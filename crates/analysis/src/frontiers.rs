@@ -1,0 +1,88 @@
+//! Dominance frontiers (Cytron et al.), used by SSA construction.
+
+use crate::domtree::DomTree;
+use crate::order::Rpo;
+use pgvn_ir::{Block, EntityRef, Function};
+
+/// The dominance frontier of every reachable block.
+#[derive(Clone, Debug)]
+pub struct DominanceFrontiers {
+    df: Vec<Vec<Block>>,
+}
+
+impl DominanceFrontiers {
+    /// Computes dominance frontiers from the dominator tree.
+    pub fn compute(func: &Function, rpo: &Rpo, domtree: &DomTree) -> Self {
+        let mut df: Vec<Vec<Block>> = vec![Vec::new(); func.block_capacity()];
+        for &b in rpo.order() {
+            if func.preds(b).len() < 2 {
+                continue;
+            }
+            let idom_b = domtree.idom(b).expect("reachable block has an idom");
+            for &e in func.preds(b) {
+                let p = func.edge_from(e);
+                if !rpo.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    runner = domtree.idom(runner).expect("reachable block has an idom");
+                }
+            }
+        }
+        DominanceFrontiers { df }
+    }
+
+    /// The dominance frontier of `b`.
+    pub fn frontier(&self, b: Block) -> &[Block] {
+        &self.df[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::{CmpOp, Function};
+
+    #[test]
+    fn diamond_frontier_is_join() {
+        let mut f = Function::new("d", 2);
+        let entry = f.entry();
+        let (t, e, j) = (f.add_block(), f.add_block(), f.add_block());
+        let c = f.cmp(entry, CmpOp::Lt, f.param(0), f.param(1));
+        f.set_branch(entry, c, t, e);
+        f.set_jump(t, j);
+        f.set_jump(e, j);
+        let z = f.iconst(j, 0);
+        f.set_return(j, z);
+        let rpo = Rpo::compute(&f);
+        let dt = DomTree::compute(&f, &rpo);
+        let df = DominanceFrontiers::compute(&f, &rpo, &dt);
+        assert_eq!(df.frontier(t), &[j]);
+        assert_eq!(df.frontier(e), &[j]);
+        assert!(df.frontier(entry).is_empty());
+        assert!(df.frontier(j).is_empty());
+    }
+
+    #[test]
+    fn loop_header_in_own_frontier() {
+        let mut f = Function::new("l", 1);
+        let entry = f.entry();
+        let (head, body, exit) = (f.add_block(), f.add_block(), f.add_block());
+        f.set_jump(entry, head);
+        let c = f.cmp(head, CmpOp::Lt, f.param(0), f.param(0));
+        f.set_branch(head, c, body, exit);
+        f.set_jump(body, head);
+        let z = f.iconst(exit, 0);
+        f.set_return(exit, z);
+        let rpo = Rpo::compute(&f);
+        let dt = DomTree::compute(&f, &rpo);
+        let df = DominanceFrontiers::compute(&f, &rpo, &dt);
+        assert_eq!(df.frontier(head), &[head]);
+        assert_eq!(df.frontier(body), &[head]);
+        assert!(df.frontier(exit).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Loop structure and the loop-connectedness statistic.
+//!
+//! The paper's complexity bound is O(C·E²·(E+I)) where *C* is the loop
+//! connectedness of the SSA def-use graph — "the maximum number of back
+//! edges in any acyclic path of the graph" (§1.3 footnote). Computing that
+//! quantity exactly is intractable in general; for the reducible CFGs
+//! produced by structured programs it coincides with the maximum loop
+//! nesting depth, which is what [`LoopInfo::connectedness`] reports (the
+//! same proxy compilers conventionally use).
+
+use crate::domtree::DomTree;
+use crate::order::Rpo;
+use pgvn_ir::{Block, EntityRef, Function};
+
+/// Natural-loop information derived from RPO back edges.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// Loop nesting depth per block (0 = not in any loop).
+    depth: Vec<u32>,
+    /// Loop headers in RPO order.
+    headers: Vec<Block>,
+}
+
+impl LoopInfo {
+    /// Computes natural loops from the back edges of `rpo`.
+    ///
+    /// Back edges whose destination does not dominate their origin
+    /// (irreducible edges) still count as loops for the depth statistic:
+    /// their body is approximated by the blocks between destination and
+    /// origin in RPO.
+    pub fn compute(func: &Function, rpo: &Rpo, domtree: &DomTree) -> Self {
+        let cap = func.block_capacity();
+        let mut depth = vec![0u32; cap];
+        let mut headers = Vec::new();
+        for e in func.edges() {
+            if !rpo.is_back_edge(e) {
+                continue;
+            }
+            let header = func.edge_to(e);
+            let latch = func.edge_from(e);
+            if !headers.contains(&header) {
+                headers.push(header);
+            }
+            let mut members: Vec<Block> = Vec::new();
+            if domtree.dominates(header, latch) {
+                // Natural loop: header + all blocks reaching the latch
+                // without passing through the header.
+                let mut stack = vec![latch];
+                members.push(header);
+                while let Some(b) = stack.pop() {
+                    if members.contains(&b) {
+                        continue;
+                    }
+                    members.push(b);
+                    for &pe in func.preds(b) {
+                        let p = func.edge_from(pe);
+                        if rpo.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            } else {
+                // Irreducible: approximate by the RPO interval.
+                let lo = rpo.number(header);
+                let hi = rpo.number(latch);
+                for &b in rpo.order() {
+                    if rpo.number(b) >= lo && rpo.number(b) <= hi {
+                        members.push(b);
+                    }
+                }
+            }
+            for b in members {
+                depth[b.index()] += 1;
+            }
+        }
+        headers.sort_by_key(|&h| rpo.number(h));
+        LoopInfo { depth, headers }
+    }
+
+    /// Loop nesting depth of `b` (0 when `b` is in no loop).
+    pub fn depth(&self, b: Block) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Loop headers, ordered by RPO number.
+    pub fn headers(&self) -> &[Block] {
+        &self.headers
+    }
+
+    /// The loop-connectedness proxy: maximum loop nesting depth.
+    pub fn connectedness(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::CmpOp;
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        // entry -> h1; h1 -> h2 | exit; h2 -> body | l1; body -> h2 (back);
+        // l1 -> h1 (back)
+        let mut f = Function::new("n", 1);
+        let entry = f.entry();
+        let h1 = f.add_block();
+        let h2 = f.add_block();
+        let body = f.add_block();
+        let l1 = f.add_block();
+        let exit = f.add_block();
+        f.set_jump(entry, h1);
+        let c1 = f.cmp(h1, CmpOp::Lt, f.param(0), f.param(0));
+        f.set_branch(h1, c1, h2, exit);
+        let c2 = f.cmp(h2, CmpOp::Gt, f.param(0), f.param(0));
+        f.set_branch(h2, c2, body, l1);
+        f.set_jump(body, h2);
+        f.set_jump(l1, h1);
+        let z = f.iconst(exit, 0);
+        f.set_return(exit, z);
+
+        let rpo = Rpo::compute(&f);
+        let dt = DomTree::compute(&f, &rpo);
+        let li = LoopInfo::compute(&f, &rpo, &dt);
+        assert_eq!(li.depth(entry), 0);
+        assert_eq!(li.depth(exit), 0);
+        assert_eq!(li.depth(h1), 1);
+        assert_eq!(li.depth(h2), 2);
+        assert_eq!(li.depth(body), 2);
+        assert_eq!(li.depth(l1), 1);
+        assert_eq!(li.connectedness(), 2);
+        assert_eq!(li.headers(), &[h1, h2]);
+    }
+
+    #[test]
+    fn acyclic_function_has_zero_connectedness() {
+        let mut f = Function::new("a", 1);
+        let v = f.iconst(f.entry(), 3);
+        f.set_return(f.entry(), v);
+        let rpo = Rpo::compute(&f);
+        let dt = DomTree::compute(&f, &rpo);
+        let li = LoopInfo::compute(&f, &rpo, &dt);
+        assert_eq!(li.connectedness(), 0);
+        assert!(li.headers().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion bench for the feature ablations (DESIGN.md E13): the cost of
+//! each unified analysis, and of the SSA construction styles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgvn_bench::standard_suite;
+use pgvn_core::{run, GvnConfig, Variant};
+use pgvn_ssa::SsaStyle;
+use pgvn_workload::{spec_suite, SuiteConfig};
+
+fn bench_feature_cost(c: &mut Criterion) {
+    let suite = standard_suite(0.02);
+    let funcs: Vec<_> = suite
+        .iter()
+        .find(|b| b.profile.name == "176.gcc")
+        .expect("gcc profile exists")
+        .routines()
+        .collect();
+    let mut group = c.benchmark_group("feature_ablations_gcc");
+    let mut no_vi = GvnConfig::full();
+    no_vi.value_inference = false;
+    let mut no_pi = GvnConfig::full();
+    no_pi.predicate_inference = false;
+    let mut no_pp = GvnConfig::full();
+    no_pp.phi_predication = false;
+    let mut no_ra = GvnConfig::full();
+    no_ra.global_reassociation = false;
+    for (label, cfg) in [
+        ("full", GvnConfig::full()),
+        ("no_value_inference", no_vi),
+        ("no_predicate_inference", no_pi),
+        ("no_phi_predication", no_pp),
+        ("no_reassociation", no_ra),
+        ("complete_variant", GvnConfig::full().variant(Variant::Complete)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &funcs, |bencher, funcs| {
+            bencher.iter(|| {
+                let mut acc = 0usize;
+                for f in funcs {
+                    acc += run(f, &cfg).num_congruence_classes();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssa_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_style_ablation");
+    for (label, style) in [
+        ("minimal", SsaStyle::Minimal),
+        ("semi_pruned", SsaStyle::SemiPruned),
+        ("pruned", SsaStyle::Pruned),
+    ] {
+        let suite = spec_suite(SuiteConfig { scale: 0.01, style, ..Default::default() });
+        let funcs: Vec<_> = suite.iter().flat_map(|b| b.routines().collect::<Vec<_>>()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &funcs, |bencher, funcs| {
+            bencher.iter(|| {
+                let mut acc = 0usize;
+                for f in funcs {
+                    acc += run(f, &GvnConfig::full()).num_congruence_classes();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_cost, bench_ssa_styles);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the substrates: RPO + dominators, postdominators,
+//! SSA construction and the front end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgvn_analysis::{DomTree, PostDomTree, Rpo};
+use pgvn_lang::{lower, parse};
+use pgvn_ssa::{build_ssa, SsaStyle};
+use pgvn_workload::{generate_routine, GenConfig};
+
+fn bench_analyses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfg_analyses");
+    for stmts in [50usize, 200, 800] {
+        let cfg = GenConfig { seed: 11, target_stmts: stmts, ..Default::default() };
+        let routine = generate_routine("m", &cfg);
+        let vf = lower(&routine);
+        let f = build_ssa(&vf, SsaStyle::Minimal).expect("builds");
+        group.bench_with_input(BenchmarkId::new("rpo_domtree", stmts), &f, |bencher, f| {
+            bencher.iter(|| {
+                let rpo = Rpo::compute(f);
+                DomTree::compute(f, &rpo).idom(f.entry())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("postdoms", stmts), &f, |bencher, f| {
+            bencher.iter(|| {
+                let rpo = Rpo::compute(f);
+                PostDomTree::compute(f, &rpo).ipdom(f.entry())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ssa_construction", stmts), &vf, |bencher, vf| {
+            bencher.iter(|| build_ssa(vf, SsaStyle::Pruned).expect("builds").num_insts());
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = pgvn_lang::fixtures::FIGURE1;
+    c.bench_function("parse_figure1", |bencher| {
+        bencher.iter(|| parse(src).expect("parses").body.len());
+    });
+}
+
+criterion_group!(benches, bench_analyses, bench_frontend);
+criterion_main!(benches);

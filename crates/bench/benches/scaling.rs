@@ -1,0 +1,28 @@
+//! Scaling behaviour: GVN time as routine size grows, sparse vs dense.
+//!
+//! The sparse formulation's advantage grows with routine size (the dense
+//! driver re-processes every instruction each pass); this bench makes the
+//! trend measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgvn_core::{run, GvnConfig};
+use pgvn_workload::{generate_function, GenConfig};
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size_scaling");
+    for stmts in [25usize, 100, 400] {
+        let cfg = GenConfig { seed: 99, target_stmts: stmts, ..Default::default() };
+        let f = generate_function("s", &cfg, pgvn_ssa::SsaStyle::Minimal);
+        group.throughput(Throughput::Elements(f.num_insts() as u64));
+        group.bench_with_input(BenchmarkId::new("sparse", stmts), &f, |b, f| {
+            b.iter(|| run(f, &GvnConfig::full()).num_congruence_classes());
+        });
+        group.bench_with_input(BenchmarkId::new("dense", stmts), &f, |b, f| {
+            b.iter(|| run(f, &GvnConfig::full().sparse(false)).num_congruence_classes());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_scaling);
+criterion_main!(benches);

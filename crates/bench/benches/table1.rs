@@ -1,0 +1,40 @@
+//! Criterion bench for Table 1: GVN time under optimistic, balanced and
+//! pessimistic value numbering, per benchmark profile.
+//!
+//! The paper's headline ratios: balanced runs as fast as pessimistic
+//! (E/I ≈ 1.00) and 1.39–1.90× faster than optimistic (B/E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgvn_bench::standard_suite;
+use pgvn_core::{run, GvnConfig, Mode};
+
+fn bench_modes(c: &mut Criterion) {
+    let suite = standard_suite(0.02);
+    let mut group = c.benchmark_group("table1_modes");
+    for bench in suite.iter().filter(|b| matches!(b.profile.name, "164.gzip" | "176.gcc" | "300.twolf")) {
+        let funcs: Vec<_> = bench.routines().collect();
+        for (label, cfg) in [
+            ("optimistic", GvnConfig::full()),
+            ("balanced", GvnConfig::full().mode(Mode::Balanced)),
+            ("pessimistic", GvnConfig::full().mode(Mode::Pessimistic)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.profile.name),
+                &funcs,
+                |bencher, funcs| {
+                    bencher.iter(|| {
+                        let mut acc = 0usize;
+                        for f in funcs {
+                            acc += run(f, &cfg).num_congruence_classes();
+                        }
+                        acc
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Table 2: the sparse formulation vs the dense
+//! brute-force reapplication, and the "Basic" feature set.
+//!
+//! Paper shape: Dense/Sparse in 1.23–1.57, Sparse(full)/Sparse(basic) in
+//! 1.15–1.32.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgvn_bench::standard_suite;
+use pgvn_core::{run, GvnConfig};
+
+fn bench_sparseness(c: &mut Criterion) {
+    let suite = standard_suite(0.02);
+    let mut group = c.benchmark_group("table2_sparseness");
+    for bench in suite.iter().filter(|b| matches!(b.profile.name, "176.gcc" | "254.gap")) {
+        let funcs: Vec<_> = bench.routines().collect();
+        for (label, cfg) in [
+            ("dense", GvnConfig::full().sparse(false)),
+            ("sparse", GvnConfig::full()),
+            ("basic", GvnConfig::basic()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.profile.name),
+                &funcs,
+                |bencher, funcs| {
+                    bencher.iter(|| {
+                        let mut acc = 0usize;
+                        for f in funcs {
+                            acc += run(f, &cfg).num_congruence_classes();
+                        }
+                        acc
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparseness);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the paper's worst cases.
+//!
+//! Figure 9: a ladder of n equality guards makes value inference climb the
+//! dominator tree O(n²) times in total — time should grow superlinearly
+//! with n. Also times the Figure 1 headline routine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgvn_core::{run, GvnConfig};
+use pgvn_lang::{compile, fixtures};
+use pgvn_ssa::SsaStyle;
+
+fn bench_figure9_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_value_inference_worst_case");
+    for n in [8usize, 16, 32, 64] {
+        let src = fixtures::figure9(n);
+        let f = compile(&src, SsaStyle::Minimal).expect("ladder compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &f, |bencher, f| {
+            bencher.iter(|| run(f, &GvnConfig::full()).stats.value_inference_visits);
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let f = compile(fixtures::FIGURE1, SsaStyle::Minimal).expect("figure 1 compiles");
+    c.bench_function("figure1_full_algorithm", |bencher| {
+        bencher.iter(|| run(&f, &GvnConfig::full()).num_congruence_classes());
+    });
+}
+
+criterion_group!(benches, bench_figure9_ladder, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! Regenerates the paper's tables and figures on the synthetic suite.
+//!
+//! ```text
+//! cargo run --release -p pgvn-bench --bin tables -- [all|table1|table2|
+//!     figure10|figure11|figure12|stats|ablations] [--scale X]
+//! ```
+//!
+//! The default scale of 0.25 generates about 1450 routines (the paper's
+//! suite has ~5800); `--scale 1.0` reproduces the full size.
+
+use pgvn_bench::{
+    collect_stats, compare_strength, standard_suite, table1_timings, table2_timings,
+    total_strength, Improvements,
+};
+use pgvn_core::{GvnConfig, Mode, Variant};
+use pgvn_ssa::SsaStyle;
+use pgvn_workload::{spec_suite, Benchmark, SuiteConfig};
+
+fn ms(nanos: u128) -> f64 {
+    nanos as f64 / 1.0e6
+}
+
+fn ratio(a: u128, b: u128) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+fn print_table1(suite: &[Benchmark]) {
+    println!("## Table 1 — HLO and GVN time: optimistic vs balanced vs pessimistic");
+    println!("(times in milliseconds on the synthetic suite; paper shape: E/D ≈ B/D,");
+    println!(" B/E in 1.39–1.90, K = I/H ≈ 1.00)");
+    println!();
+    println!(
+        "{:<14} {:>9} {:>9} {:>6} {:>9} {:>9} {:>6} {:>6} {:>9} {:>9} {:>6} {:>6}",
+        "Benchmark", "HLO(opt)", "GVN(opt)", "B/A%", "HLO(bal)", "GVN(bal)", "E/D%", "B/E", "HLO(pes)", "GVN(pes)", "I/H%", "E/I"
+    );
+    let rows = table1_timings(suite);
+    let mut tot_a = 0u128;
+    let mut tot_b = 0u128;
+    let mut tot_d = 0u128;
+    let mut tot_e = 0u128;
+    let mut tot_h = 0u128;
+    let mut tot_i = 0u128;
+    for r in &rows {
+        let (a, b) = (r.optimistic.hlo_nanos, r.optimistic.gvn_nanos);
+        let (d, e) = (r.balanced.hlo_nanos, r.balanced.gvn_nanos);
+        let (h, i) = (r.pessimistic.hlo_nanos, r.pessimistic.gvn_nanos);
+        tot_a += a;
+        tot_b += b;
+        tot_d += d;
+        tot_e += e;
+        tot_h += h;
+        tot_i += i;
+        println!(
+            "{:<14} {:>9.2} {:>9.2} {:>5.1}% {:>9.2} {:>9.2} {:>5.1}% {:>6.2} {:>9.2} {:>9.2} {:>5.1}% {:>6.2}",
+            r.name,
+            ms(a),
+            ms(b),
+            100.0 * ratio(b, a),
+            ms(d),
+            ms(e),
+            100.0 * ratio(e, d),
+            ratio(b, e),
+            ms(h),
+            ms(i),
+            100.0 * ratio(i, h),
+            ratio(e, i),
+        );
+    }
+    println!(
+        "{:<14} {:>9.2} {:>9.2} {:>5.1}% {:>9.2} {:>9.2} {:>5.1}% {:>6.2} {:>9.2} {:>9.2} {:>5.1}% {:>6.2}",
+        "All",
+        ms(tot_a),
+        ms(tot_b),
+        100.0 * ratio(tot_b, tot_a),
+        ms(tot_d),
+        ms(tot_e),
+        100.0 * ratio(tot_e, tot_d),
+        ratio(tot_b, tot_e),
+        ms(tot_h),
+        ms(tot_i),
+        100.0 * ratio(tot_i, tot_h),
+        ratio(tot_e, tot_i),
+    );
+    println!();
+}
+
+fn print_table2(suite: &[Benchmark]) {
+    println!("## Table 2 — GVN time: Dense vs Sparse vs Basic");
+    println!("(paper shape: A/B in 1.23–1.57, B/C in 1.15–1.32)");
+    println!();
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "Benchmark", "Dense A", "Sparse B", "Basic C", "A/B", "B/C"
+    );
+    let rows = table2_timings(suite);
+    let mut ta = 0u128;
+    let mut tb = 0u128;
+    let mut tc = 0u128;
+    for r in &rows {
+        let (a, b, c) = (r.dense.gvn_nanos, r.sparse.gvn_nanos, r.basic.gvn_nanos);
+        ta += a;
+        tb += b;
+        tc += c;
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>6.2} {:>6.2}",
+            r.name,
+            ms(a),
+            ms(b),
+            ms(c),
+            ratio(a, b),
+            ratio(b, c)
+        );
+    }
+    println!(
+        "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>6.2} {:>6.2}",
+        "All",
+        ms(ta),
+        ms(tb),
+        ms(tc),
+        ratio(ta, tb),
+        ratio(tb, tc)
+    );
+    println!();
+}
+
+fn print_figure(title: &str, note: &str, imp: &Improvements) {
+    println!("## {title}");
+    println!("({note})");
+    println!();
+    println!("Unreachable values improvement distribution:");
+    print!("{}", imp.unreachable);
+    println!("Constant values improvement distribution:");
+    print!("{}", imp.constants);
+    println!("Congruence classes reduction distribution:");
+    print!("{}", imp.classes);
+    println!();
+}
+
+fn print_stats(suite: &[Benchmark]) {
+    println!("## §4/§5 scalar statistics (full algorithm, optimistic)");
+    println!("(paper: 1.98 passes/routine; 0.91 / 0.38 / 0.16 blocks visited per");
+    println!(" instruction by value inference / predicate inference / φ-predication)");
+    println!();
+    let s = collect_stats(suite, &GvnConfig::full());
+    println!("routines:                      {}", s.routines);
+    println!("instructions:                  {}", s.insts);
+    println!("passes per routine:            {:.2}", s.passes_per_routine());
+    println!("value-inference visits/inst:   {:.2}", s.vi_per_inst());
+    println!("predicate-inference visits/inst: {:.2}", s.pi_per_inst());
+    println!("phi-predication visits/inst:   {:.2}", s.pp_per_inst());
+    println!();
+}
+
+fn print_ablations(suite: &[Benchmark]) {
+    println!("## Ablations (suite-wide strength totals; DESIGN.md E13)");
+    println!();
+    println!(
+        "{:<38} {:>12} {:>10} {:>10}",
+        "Configuration", "unreachable", "constants", "classes"
+    );
+    let show = |name: &str, cfg: &GvnConfig| {
+        let s = total_strength(suite, cfg);
+        println!(
+            "{:<38} {:>12} {:>10} {:>10}",
+            name, s.unreachable_values, s.constant_values, s.congruence_classes
+        );
+    };
+    show("full (optimistic, practical)", &GvnConfig::full());
+    show("complete variant", &GvnConfig::full().variant(Variant::Complete));
+    show("balanced", &GvnConfig::full().mode(Mode::Balanced));
+    show("pessimistic", &GvnConfig::full().mode(Mode::Pessimistic));
+    let mut c = GvnConfig::full();
+    c.value_inference = false;
+    show("- value inference", &c);
+    let mut c = GvnConfig::full();
+    c.predicate_inference = false;
+    show("- predicate inference", &c);
+    let mut c = GvnConfig::full();
+    c.phi_predication = false;
+    show("- phi-predication", &c);
+    let mut c = GvnConfig::full();
+    c.global_reassociation = false;
+    show("- global reassociation", &c);
+    let mut c = GvnConfig::full();
+    c.value_inference_constants_only = true;
+    show("value inference: constants only", &c);
+    show("+ §6 φ-distribution + §7 joint dom.", &GvnConfig::extended());
+    show("click emulation (basic)", &GvnConfig::click());
+    show("wegman-zadeck sccp emulation", &GvnConfig::sccp());
+    show("awz/simpson emulation", &GvnConfig::awz());
+    println!();
+    // SSA-style ablation (§3: pruned SSA can reduce effectiveness).
+    println!("SSA construction style (full algorithm):");
+    for (label, style) in [
+        ("minimal SSA", SsaStyle::Minimal),
+        ("semi-pruned SSA", SsaStyle::SemiPruned),
+        ("pruned SSA", SsaStyle::Pruned),
+    ] {
+        let scale_suite = spec_suite(SuiteConfig {
+            scale: suite.iter().map(Benchmark::len).sum::<usize>() as f64 / 5793.0,
+            style,
+            ..Default::default()
+        });
+        let s = total_strength(&scale_suite, &GvnConfig::full());
+        println!(
+            "{:<38} {:>12} {:>10} {:>10}",
+            label, s.unreachable_values, s.constant_values, s.congruence_classes
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.25;
+    let mut what: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    let all = what.iter().any(|w| w == "all");
+    let wants = |w: &str| all || what.iter().any(|x| x == w);
+
+    eprintln!("# pgvn evaluation (scale {scale})");
+    let suite = standard_suite(scale);
+    let n: usize = suite.iter().map(Benchmark::len).sum();
+    eprintln!("# suite: {} benchmarks, {} routines", suite.len(), n);
+    println!();
+
+    if wants("table1") {
+        print_table1(&suite);
+    }
+    if wants("table2") {
+        print_table2(&suite);
+    }
+    if wants("figure10") {
+        let imp = compare_strength(&suite, &GvnConfig::full(), &GvnConfig::click());
+        print_figure(
+            "Figure 10 — full algorithm vs Click's strongest algorithm",
+            "paper shape: overwhelming mass at 0, long positive tail, a few \
+             value-inference regressions in congruence classes",
+            &imp,
+        );
+    }
+    if wants("figure11") {
+        let imp = compare_strength(&suite, &GvnConfig::full(), &GvnConfig::sccp());
+        print_figure(
+            "Figure 11 — full algorithm vs Wegman–Zadeck SCCP",
+            "paper shape: mass at 0 with a positive tail in unreachable and constants",
+            &imp,
+        );
+    }
+    if wants("figure12") {
+        let imp = compare_strength(
+            &suite,
+            &GvnConfig::full(),
+            &GvnConfig::full().mode(Mode::Balanced),
+        );
+        print_figure(
+            "Figure 12 — optimistic vs balanced value numbering",
+            "paper shape: balanced is almost as strong; small positive tail only",
+            &imp,
+        );
+    }
+    if wants("stats") {
+        print_stats(&suite);
+    }
+    if wants("ablations") {
+        print_ablations(&suite);
+    }
+}

@@ -1,0 +1,287 @@
+//! # pgvn-bench — the evaluation harness
+//!
+//! Measurement machinery that regenerates every table and figure of the
+//! paper's §5 on the synthetic SPEC CINT2000 stand-in suite:
+//!
+//! - **Table 1** — HLO (pipeline) and GVN time under optimistic, balanced
+//!   and pessimistic value numbering, with the paper's ratio columns;
+//! - **Table 2** — GVN time with sparseness disabled ("Dense"), enabled
+//!   ("Sparse") and with the §1.3 analyses disabled ("Basic");
+//! - **Figures 10/11/12** — distributions of per-routine improvements in
+//!   unreachable values, constant values and congruence classes of the
+//!   full algorithm over Click's algorithm, over Wegman–Zadeck SCCP, and
+//!   of optimistic over balanced value numbering;
+//! - **§4/§5 scalar statistics** — passes per routine and blocks visited
+//!   per instruction by each inference.
+//!
+//! Run `cargo run --release -p pgvn-bench --bin tables -- all` to print
+//! everything.
+
+use pgvn_core::{run, GvnConfig, GvnStats, Mode, Strength};
+use pgvn_transform::Pipeline;
+use pgvn_workload::{spec_suite, Benchmark, Histogram, SuiteConfig};
+use std::time::Instant;
+
+/// Per-benchmark timing of one configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchTiming {
+    /// Total pipeline ("HLO" stand-in) time in nanoseconds.
+    pub hlo_nanos: u128,
+    /// Total GVN analysis time in nanoseconds.
+    pub gvn_nanos: u128,
+    /// Routines measured.
+    pub routines: usize,
+}
+
+impl BenchTiming {
+    /// GVN share of total pipeline time.
+    pub fn gvn_share(&self) -> f64 {
+        if self.hlo_nanos == 0 {
+            0.0
+        } else {
+            self.gvn_nanos as f64 / self.hlo_nanos as f64
+        }
+    }
+}
+
+/// Times the full pipeline and its embedded GVN for every routine of a
+/// benchmark under `cfg`.
+pub fn time_pipeline(bench: &Benchmark, cfg: &GvnConfig) -> BenchTiming {
+    let mut t = BenchTiming::default();
+    for i in 0..bench.len() {
+        let mut f = bench.routine(i);
+        let report = Pipeline::new(cfg.clone()).optimize(&mut f);
+        t.hlo_nanos += report.total_nanos;
+        t.gvn_nanos += report.gvn_nanos;
+        t.routines += 1;
+    }
+    t
+}
+
+/// Times just the GVN analysis for every routine of a benchmark.
+pub fn time_gvn(bench: &Benchmark, cfg: &GvnConfig) -> BenchTiming {
+    let mut t = BenchTiming::default();
+    for i in 0..bench.len() {
+        let f = bench.routine(i);
+        let g0 = Instant::now();
+        let results = run(&f, cfg);
+        let nanos = g0.elapsed().as_nanos();
+        assert!(results.stats.converged, "{} did not converge", f.name());
+        t.gvn_nanos += nanos;
+        t.hlo_nanos += nanos;
+        t.routines += 1;
+    }
+    t
+}
+
+/// The three per-routine improvement histograms of a Figure 10/11/12-style
+/// comparison.
+#[derive(Clone, Debug, Default)]
+pub struct Improvements {
+    /// Additional unreachable values found by the stronger configuration.
+    pub unreachable: Histogram,
+    /// Additional constant values.
+    pub constants: Histogram,
+    /// Reduction in congruence classes (positive = fewer classes).
+    pub classes: Histogram,
+}
+
+/// Compares two configurations per routine across a suite.
+pub fn compare_strength(suite: &[Benchmark], strong: &GvnConfig, weak: &GvnConfig) -> Improvements {
+    let mut imp = Improvements::default();
+    for bench in suite {
+        for i in 0..bench.len() {
+            let f = bench.routine(i);
+            let s = run(&f, strong).strength();
+            let w = run(&f, weak).strength();
+            imp.unreachable.add(s.unreachable_values as i64 - w.unreachable_values as i64);
+            imp.constants.add(s.constant_values as i64 - w.constant_values as i64);
+            imp.classes.add(w.congruence_classes as i64 - s.congruence_classes as i64);
+        }
+    }
+    imp
+}
+
+/// Aggregated GVN statistics over a suite (the paper's §4/§5 scalars).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuiteStats {
+    /// Total passes over all routines.
+    pub passes: u64,
+    /// Total routines.
+    pub routines: u64,
+    /// Total instructions.
+    pub insts: u64,
+    /// Total value-inference block visits.
+    pub vi_visits: u64,
+    /// Total predicate-inference block visits.
+    pub pi_visits: u64,
+    /// Total φ-predication block visits.
+    pub pp_visits: u64,
+}
+
+impl SuiteStats {
+    /// Accumulates one routine's stats.
+    pub fn absorb(&mut self, s: &GvnStats) {
+        self.passes += u64::from(s.passes);
+        self.routines += 1;
+        self.insts += s.num_insts;
+        self.vi_visits += s.value_inference_visits;
+        self.pi_visits += s.predicate_inference_visits;
+        self.pp_visits += s.phi_predication_visits;
+    }
+
+    /// Average passes per routine (paper: 1.98).
+    pub fn passes_per_routine(&self) -> f64 {
+        self.passes as f64 / self.routines.max(1) as f64
+    }
+
+    /// Average value-inference block visits per instruction (paper: 0.91).
+    pub fn vi_per_inst(&self) -> f64 {
+        self.vi_visits as f64 / self.insts.max(1) as f64
+    }
+
+    /// Average predicate-inference block visits per instruction (0.38).
+    pub fn pi_per_inst(&self) -> f64 {
+        self.pi_visits as f64 / self.insts.max(1) as f64
+    }
+
+    /// Average φ-predication block visits per instruction (0.16).
+    pub fn pp_per_inst(&self) -> f64 {
+        self.pp_visits as f64 / self.insts.max(1) as f64
+    }
+}
+
+/// Collects suite-wide scalar statistics under `cfg`.
+pub fn collect_stats(suite: &[Benchmark], cfg: &GvnConfig) -> SuiteStats {
+    let mut out = SuiteStats::default();
+    for bench in suite {
+        for i in 0..bench.len() {
+            let f = bench.routine(i);
+            let results = run(&f, cfg);
+            out.absorb(&results.stats);
+        }
+    }
+    out
+}
+
+/// Builds the standard evaluation suite at the given scale.
+pub fn standard_suite(scale: f64) -> Vec<Benchmark> {
+    spec_suite(SuiteConfig { scale, ..Default::default() })
+}
+
+/// A convenience bundle for per-mode comparisons (Table 1 rows).
+#[derive(Clone, Debug)]
+pub struct ModeTimings {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Optimistic pipeline/GVN time.
+    pub optimistic: BenchTiming,
+    /// Balanced pipeline/GVN time.
+    pub balanced: BenchTiming,
+    /// Pessimistic pipeline/GVN time.
+    pub pessimistic: BenchTiming,
+}
+
+/// Times the three value-numbering modes for every benchmark (Table 1).
+pub fn table1_timings(suite: &[Benchmark]) -> Vec<ModeTimings> {
+    suite
+        .iter()
+        .map(|bench| ModeTimings {
+            name: bench.profile.name,
+            optimistic: time_pipeline(bench, &GvnConfig::full()),
+            balanced: time_pipeline(bench, &GvnConfig::full().mode(Mode::Balanced)),
+            pessimistic: time_pipeline(bench, &GvnConfig::full().mode(Mode::Pessimistic)),
+        })
+        .collect()
+}
+
+/// Dense / sparse / basic timings per benchmark (Table 2).
+#[derive(Clone, Debug)]
+pub struct SparsenessTimings {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Full algorithm with sparseness disabled.
+    pub dense: BenchTiming,
+    /// Full sparse algorithm.
+    pub sparse: BenchTiming,
+    /// Sparse with reassociation/inference/φ-predication disabled.
+    pub basic: BenchTiming,
+}
+
+/// Times the sparseness/feature tradeoffs for every benchmark (Table 2).
+pub fn table2_timings(suite: &[Benchmark]) -> Vec<SparsenessTimings> {
+    suite
+        .iter()
+        .map(|bench| SparsenessTimings {
+            name: bench.profile.name,
+            dense: time_gvn(bench, &GvnConfig::full().sparse(false)),
+            sparse: time_gvn(bench, &GvnConfig::full()),
+            basic: time_gvn(bench, &GvnConfig::basic()),
+        })
+        .collect()
+}
+
+/// Strength of a configuration summed over a whole suite (used by the
+/// ablation report).
+pub fn total_strength(suite: &[Benchmark], cfg: &GvnConfig) -> Strength {
+    let mut total = Strength::default();
+    for bench in suite {
+        for i in 0..bench.len() {
+            let s = run(&bench.routine(i), cfg).strength();
+            total.unreachable_values += s.unreachable_values;
+            total.constant_values += s.constant_values;
+            total.congruence_classes += s.congruence_classes;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Vec<Benchmark> {
+        standard_suite(0.004)
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let suite = tiny_suite();
+        let t = time_pipeline(&suite[0], &GvnConfig::full());
+        assert_eq!(t.routines, suite[0].len());
+        assert!(t.hlo_nanos >= t.gvn_nanos);
+        assert!(t.gvn_share() > 0.0 && t.gvn_share() <= 1.0);
+    }
+
+    #[test]
+    fn comparison_histograms_cover_all_routines() {
+        let suite = tiny_suite();
+        let total: usize = suite.iter().map(Benchmark::len).sum();
+        let imp = compare_strength(&suite, &GvnConfig::full(), &GvnConfig::click());
+        assert_eq!(imp.unreachable.total(), total);
+        assert_eq!(imp.constants.total(), total);
+        assert_eq!(imp.classes.total(), total);
+        // Full must not lose unreachable values vs Click anywhere.
+        assert_eq!(imp.unreachable.regressed(), 0);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let suite = tiny_suite();
+        let s = collect_stats(&suite, &GvnConfig::full());
+        assert!(s.routines > 0);
+        assert!(s.passes_per_routine() >= 1.0);
+        assert!(s.vi_per_inst() >= 0.0);
+    }
+
+    #[test]
+    fn mode_timings_have_all_benchmarks() {
+        let suite = tiny_suite();
+        let rows = table1_timings(&suite);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.optimistic.routines > 0);
+            assert_eq!(r.optimistic.routines, r.balanced.routines);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Congruence classes (§2.2–2.3, §3).
+//!
+//! A congruence class is a set of values with a *leader* (its
+//! representative: a constant or a member value) and a *defining
+//! expression* (used by forward propagation). Following §3, classes are
+//! implemented as intrusive doubly-linked lists over value indices, so
+//! membership moves are O(1) and no sets are allocated per class.
+//!
+//! Class 0 is the `INITIAL` class: every value starts there with the
+//! undetermined leader ⊥; values still in `INITIAL` when the algorithm
+//! finishes are unreachable.
+
+use crate::expr::ExprId;
+use pgvn_ir::{EntityRef, Value};
+use std::collections::HashMap;
+
+/// A congruence class reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// The `INITIAL` class holding all values at the start.
+    pub const INITIAL: ClassId = ClassId(0);
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a class id from a raw index. Only meaningful together
+    /// with the [`Classes`] store that produced it.
+    #[doc(hidden)]
+    pub fn from_raw(raw: u32) -> Self {
+        ClassId(raw)
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The representative of a congruence class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Leader {
+    /// ⊥ — the class's value is not (yet) determined.
+    #[default]
+    Undetermined,
+    /// The class is a known constant.
+    Const(i64),
+    /// A member value represents the class.
+    Value(Value),
+}
+
+#[derive(Clone, Debug, Default)]
+struct ClassData {
+    head: Option<Value>,
+    size: u32,
+    leader: Leader,
+    expression: Option<ExprId>,
+}
+
+/// The congruence class store: `CLASS`, `LEADER`, `EXPRESSION` and `TABLE`
+/// from the paper, in one structure.
+#[derive(Debug)]
+pub struct Classes {
+    class_of: Vec<ClassId>,
+    next: Vec<Option<Value>>,
+    prev: Vec<Option<Value>>,
+    classes: Vec<ClassData>,
+    table: HashMap<ExprId, ClassId>,
+}
+
+impl Classes {
+    /// Creates the store with `num_values` values, all in `INITIAL`.
+    pub fn new(num_values: usize) -> Self {
+        let mut c = Classes {
+            class_of: vec![ClassId::INITIAL; num_values],
+            next: vec![None; num_values],
+            prev: vec![None; num_values],
+            classes: vec![ClassData::default()],
+            table: HashMap::new(),
+        };
+        // Link all values into INITIAL.
+        let mut prev: Option<Value> = None;
+        for i in 0..num_values {
+            let v = Value::new(i);
+            c.prev[i] = prev;
+            if let Some(p) = prev {
+                c.next[p.index()] = Some(v);
+            } else {
+                c.classes[0].head = Some(v);
+            }
+            prev = Some(v);
+        }
+        c.classes[0].size = num_values as u32;
+        c
+    }
+
+    /// The class of `v`.
+    pub fn class_of(&self, v: Value) -> ClassId {
+        self.class_of[v.index()]
+    }
+
+    /// The leader of `c`.
+    pub fn leader(&self, c: ClassId) -> Leader {
+        self.classes[c.index()].leader
+    }
+
+    /// Sets the leader of `c`.
+    pub fn set_leader(&mut self, c: ClassId, leader: Leader) {
+        self.classes[c.index()].leader = leader;
+    }
+
+    /// The defining expression of `c`.
+    pub fn expression(&self, c: ClassId) -> Option<ExprId> {
+        self.classes[c.index()].expression
+    }
+
+    /// The number of members of `c`.
+    pub fn size(&self, c: ClassId) -> u32 {
+        self.classes[c.index()].size
+    }
+
+    /// Looks up the class of an expression in `TABLE`.
+    pub fn lookup(&self, e: ExprId) -> Option<ClassId> {
+        self.table.get(&e).copied()
+    }
+
+    /// Iterates over the members of `c`.
+    pub fn members(&self, c: ClassId) -> Members<'_> {
+        Members { classes: self, cur: self.classes[c.index()].head }
+    }
+
+    /// Creates a fresh empty class keyed by `e` with the given leader, and
+    /// registers it in `TABLE`.
+    pub fn create_class(&mut self, leader: Leader, e: ExprId) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassData { head: None, size: 0, leader, expression: Some(e) });
+        self.table.insert(e, id);
+        id
+    }
+
+    fn unlink(&mut self, v: Value) {
+        let i = v.index();
+        let c = self.class_of[i];
+        let (p, n) = (self.prev[i], self.next[i]);
+        if let Some(p) = p {
+            self.next[p.index()] = n;
+        } else {
+            self.classes[c.index()].head = n;
+        }
+        if let Some(n) = n {
+            self.prev[n.index()] = p;
+        }
+        self.prev[i] = None;
+        self.next[i] = None;
+        self.classes[c.index()].size -= 1;
+    }
+
+    fn link(&mut self, v: Value, c: ClassId) {
+        let i = v.index();
+        let head = self.classes[c.index()].head;
+        self.next[i] = head;
+        self.prev[i] = None;
+        if let Some(h) = head {
+            self.prev[h.index()] = Some(v);
+        }
+        self.classes[c.index()].head = Some(v);
+        self.classes[c.index()].size += 1;
+        self.class_of[i] = c;
+    }
+
+    /// Moves `v` from its current class into `to`. Returns the vacated
+    /// class. If the vacated class became empty, its `TABLE` entry,
+    /// leader and expression are cleared (paper Figure 4, lines 48–51).
+    /// The caller handles the leader-departure case.
+    pub fn move_value(&mut self, v: Value, to: ClassId) -> ClassId {
+        let from = self.class_of(v);
+        debug_assert_ne!(from, to);
+        self.unlink(v);
+        self.link(v, to);
+        if from != ClassId::INITIAL && self.classes[from.index()].size == 0 {
+            if let Some(e) = self.classes[from.index()].expression.take() {
+                // Only remove if the table still points at this class (it
+                // may have been re-keyed meanwhile).
+                if self.table.get(&e) == Some(&from) {
+                    self.table.remove(&e);
+                }
+            }
+            self.classes[from.index()].leader = Leader::Undetermined;
+        }
+        from
+    }
+
+    /// Number of classes ever created (including `INITIAL` and emptied
+    /// classes).
+    pub fn num_class_slots(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of currently non-empty classes, excluding `INITIAL`.
+    pub fn num_live_classes(&self) -> usize {
+        self.classes.iter().skip(1).filter(|c| c.size > 0).count()
+    }
+}
+
+/// Iterator over the members of a class.
+#[derive(Debug)]
+pub struct Members<'a> {
+    classes: &'a Classes,
+    cur: Option<Value>,
+}
+
+impl Iterator for Members<'_> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        let v = self.cur?;
+        self.cur = self.classes.next[v.index()];
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn all_values_start_in_initial() {
+        let c = Classes::new(4);
+        for i in 0..4 {
+            assert_eq!(c.class_of(v(i)), ClassId::INITIAL);
+        }
+        assert_eq!(c.size(ClassId::INITIAL), 4);
+        assert_eq!(c.leader(ClassId::INITIAL), Leader::Undetermined);
+        let members: Vec<Value> = c.members(ClassId::INITIAL).collect();
+        assert_eq!(members.len(), 4);
+        assert_eq!(c.num_live_classes(), 0);
+    }
+
+    #[test]
+    fn create_and_move() {
+        let mut c = Classes::new(3);
+        let e = ExprId::from_raw(7);
+        let k = c.create_class(Leader::Const(5), e);
+        assert_eq!(c.lookup(e), Some(k));
+        assert_eq!(c.size(k), 0);
+        let from = c.move_value(v(1), k);
+        assert_eq!(from, ClassId::INITIAL);
+        assert_eq!(c.class_of(v(1)), k);
+        assert_eq!(c.size(k), 1);
+        assert_eq!(c.size(ClassId::INITIAL), 2);
+        assert_eq!(c.members(k).collect::<Vec<_>>(), vec![v(1)]);
+        assert_eq!(c.num_live_classes(), 1);
+    }
+
+    #[test]
+    fn emptied_class_is_scrubbed() {
+        let mut c = Classes::new(2);
+        let e1 = ExprId::from_raw(1);
+        let e2 = ExprId::from_raw(2);
+        let k1 = c.create_class(Leader::Value(v(0)), e1);
+        let k2 = c.create_class(Leader::Value(v(0)), e2);
+        c.move_value(v(0), k1);
+        c.move_value(v(0), k2);
+        assert_eq!(c.size(k1), 0);
+        assert_eq!(c.lookup(e1), None, "vacated class leaves TABLE");
+        assert_eq!(c.leader(k1), Leader::Undetermined);
+        assert_eq!(c.expression(k1), None);
+        assert_eq!(c.lookup(e2), Some(k2));
+    }
+
+    #[test]
+    fn member_list_survives_interior_removal() {
+        let mut c = Classes::new(5);
+        let e = ExprId::from_raw(1);
+        let k = c.create_class(Leader::Value(v(0)), e);
+        for i in 0..5 {
+            c.move_value(v(i), k);
+        }
+        assert_eq!(c.size(k), 5);
+        // Remove an interior member (v2) by moving it to a new class.
+        let e2 = ExprId::from_raw(2);
+        let k2 = c.create_class(Leader::Value(v(2)), e2);
+        c.move_value(v(2), k2);
+        let mut members: Vec<Value> = c.members(k).collect();
+        members.sort();
+        assert_eq!(members, vec![v(0), v(1), v(3), v(4)]);
+        assert_eq!(c.size(ClassId::INITIAL), 0);
+    }
+}

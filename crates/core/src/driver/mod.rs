@@ -1,0 +1,308 @@
+//! The sparse predicated GVN driver — Figures 3–5, 7 and 8 of the paper.
+//!
+//! The driver makes repeated reverse-postorder passes over the routine,
+//! processing only *touched* instructions and blocks. Symbolic evaluation
+//! (constant folding, algebraic simplification, global reassociation,
+//! predicate/value inference and φ handling) produces a canonical
+//! expression per instruction; congruence finding moves the result value
+//! between classes; jump processing grows the reachable set and maintains
+//! edge predicates; and φ-predication computes block predicates over the
+//! region between a block and its immediate dominator.
+
+mod edges;
+mod eval;
+mod inference;
+mod phi;
+mod phipred;
+
+use crate::classes::{ClassId, Classes, Leader};
+use crate::config::{GvnConfig, Mode, Variant};
+use crate::expr::{ExprId, ExprKind, Interner, PhiKey};
+use crate::linear::LinearExpr;
+use crate::predicate::{implies, Pred};
+use crate::results::{GvnResults, GvnStats};
+use pgvn_ir::{
+    BinOp, Block, CmpOp, DefUse, Edge, EntityRef, EntitySet, Function, Inst, InstKind, UnOp, Value,
+};
+use pgvn_analysis::{DomTree, PostDomTree, Ranks, ReachableDomTree, Rpo};
+
+/// Hard cap on RPO passes; hit only on non-convergence bugs (the stats
+/// carry a `converged` flag that tests assert).
+const MAX_PASSES: u32 = 10_000;
+
+/// Entry point for the analysis.
+///
+/// # Examples
+///
+/// ```
+/// use pgvn_ir::{Function, BinOp};
+/// use pgvn_core::{run, GvnConfig};
+///
+/// // return (x + 1) - (1 + x)  — reassociation proves the result is 0.
+/// let mut f = Function::new("zero", 1);
+/// let b = f.entry();
+/// let x = f.param(0);
+/// let one = f.iconst(b, 1);
+/// let a = f.binary(b, BinOp::Add, x, one);
+/// let c = f.binary(b, BinOp::Add, one, x);
+/// let d = f.binary(b, BinOp::Sub, a, c);
+/// f.set_return(b, d);
+///
+/// let results = run(&f, &GvnConfig::full());
+/// assert_eq!(results.constant_value(d), Some(0));
+/// assert!(results.congruent(a, c));
+/// ```
+pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
+    Run::new(func, cfg.clone()).execute()
+}
+
+struct Run<'f> {
+    func: &'f Function,
+    cfg: GvnConfig,
+    rpo: Rpo,
+    rank_of: Vec<u32>,
+    domtree: DomTree,
+    postdom: PostDomTree,
+    defuse: DefUse,
+    rdt: Option<ReachableDomTree>,
+    interner: Interner,
+    classes: Classes,
+    reach_blocks: EntitySet<Block>,
+    reach_edges: EntitySet<Edge>,
+    touched_insts: EntitySet<Inst>,
+    touched_blocks: EntitySet<Block>,
+    changed: EntitySet<Value>,
+    edge_pred: Vec<Option<Pred>>,
+    block_pred: Vec<Option<ExprId>>,
+    canonical: Vec<Vec<Edge>>,
+    /// §3: classes that currently appear as the higher-ranked side of an
+    /// equality edge predicate — the only classes value inference can
+    /// refine. Grows monotonically (a conservative superset).
+    inferenceable_classes: std::collections::HashSet<ClassId>,
+    /// §3: operand expressions of current edge predicates — a query
+    /// predicate sharing no operand with any edge predicate can never be
+    /// decided. Grows monotonically (a conservative superset).
+    pred_operands: std::collections::HashSet<ExprId>,
+    /// §3: blocks whose φ-predication aborted; permanently nullified when
+    /// the corresponding config flag is set.
+    nullified_blocks: EntitySet<Block>,
+    /// §3: memo for value inference ("the result of the first value
+    /// inference can be cached"), keyed by the walk's *starting block*
+    /// and the value; invalidated on class movement.
+    vi_cache: std::collections::HashMap<(Block, Value), ExprId>,
+    /// §3: memo for predicate inference, keyed by starting block and
+    /// canonical predicate.
+    pi_cache: std::collections::HashMap<(Block, CmpOp, ExprId, ExprId), ExprId>,
+    stats: GvnStats,
+    any_change: bool,
+}
+
+impl<'f> Run<'f> {
+    fn new(func: &'f Function, cfg: GvnConfig) -> Self {
+        let rpo = Rpo::compute(func);
+        let ranks = Ranks::assign(func, &rpo);
+        let rank_of: Vec<u32> = (0..func.value_capacity()).map(|i| ranks.rank(Value::new(i))).collect();
+        let domtree = DomTree::compute(func, &rpo);
+        let postdom = PostDomTree::compute(func, &rpo);
+        let defuse = DefUse::compute(func);
+        let rdt = (cfg.variant == Variant::Complete).then(|| ReachableDomTree::new(func));
+        let classes = Classes::new(func.value_capacity());
+        Run {
+            func,
+            cfg,
+            rpo,
+            rank_of,
+            domtree,
+            postdom,
+            defuse,
+            rdt,
+            interner: Interner::new(),
+            classes,
+            reach_blocks: EntitySet::with_capacity(func.block_capacity()),
+            reach_edges: EntitySet::with_capacity(func.edge_capacity()),
+            touched_insts: EntitySet::with_capacity(func.inst_capacity()),
+            touched_blocks: EntitySet::with_capacity(func.block_capacity()),
+            changed: EntitySet::with_capacity(func.value_capacity()),
+            edge_pred: vec![None; func.edge_capacity()],
+            block_pred: vec![None; func.block_capacity()],
+            canonical: vec![Vec::new(); func.block_capacity()],
+            inferenceable_classes: std::collections::HashSet::new(),
+            pred_operands: std::collections::HashSet::new(),
+            nullified_blocks: EntitySet::with_capacity(func.block_capacity()),
+            vi_cache: std::collections::HashMap::new(),
+            pi_cache: std::collections::HashMap::new(),
+            stats: GvnStats::default(),
+            any_change: false,
+        }
+    }
+
+    fn rank(&self, v: Value) -> u32 {
+        self.rank_of[v.index()]
+    }
+
+    fn preds_enabled(&self) -> bool {
+        self.cfg.predicate_inference || self.cfg.value_inference || self.cfg.phi_predication
+    }
+
+    fn touch_inst(&mut self, i: Inst) {
+        if self.touched_insts.insert(i) {
+            self.stats.touches += 1;
+        }
+    }
+
+    fn touch_block_insts(&mut self, b: Block) {
+        for &i in self.func.block_insts(b) {
+            self.touch_inst(i);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Initialization and the pass loop (Figure 3)
+    // -----------------------------------------------------------------
+
+    fn execute(mut self) -> GvnResults {
+        self.stats.num_insts = self.func.num_insts() as u64;
+        let start_everywhere = !self.cfg.unreachable_code_elim || self.cfg.mode == Mode::Pessimistic;
+        if start_everywhere {
+            let order: Vec<Block> = self.rpo.order().to_vec();
+            for b in order {
+                self.reach_blocks.insert(b);
+                self.touch_block_insts(b);
+                self.touched_blocks.insert(b);
+            }
+            for e in self.func.edges() {
+                let from = self.func.edge_from(e);
+                if self.rpo.is_reachable(from) {
+                    self.reach_edges.insert(e);
+                    if let Some(rdt) = self.rdt.as_mut() {
+                        rdt.add_edge(e);
+                    }
+                }
+            }
+        } else {
+            let entry = self.func.entry();
+            self.reach_blocks.insert(entry);
+            self.touch_block_insts(entry);
+        }
+
+        loop {
+            self.stats.passes += 1;
+            self.any_change = false;
+            for bi in 0..self.rpo.order().len() {
+                let b = self.rpo.order()[bi];
+                self.vi_cache.clear();
+                self.pi_cache.clear();
+                if self.touched_blocks.remove(b)
+                    && self.reach_blocks.contains(b)
+                    && self.cfg.phi_predication
+                {
+                    self.compute_block_predicate(b);
+                }
+                let insts = self.func.block_insts(b).to_vec();
+                for inst in insts {
+                    if self.touched_insts.remove(inst) && self.reach_blocks.contains(b) {
+                        self.stats.insts_processed += 1;
+                        #[cfg(debug_assertions)]
+                        if self.stats.passes > 64 && std::env::var_os("PGVN_DEBUG_OSC").is_some() {
+                            let before = self.func.inst_result(inst).map(|v| self.classes.class_of(v));
+                            self.process_inst(inst, b);
+                            let after = self.func.inst_result(inst).map(|v| self.classes.class_of(v));
+                            if before != after {
+                                eprintln!(
+                                    "pass {}: {inst} in {b} moved {:?} -> {:?} ({:?})",
+                                    self.stats.passes, before, after, self.func.kind(inst)
+                                );
+                            }
+                            continue;
+                        }
+                        self.process_inst(inst, b);
+                    }
+                }
+            }
+            if self.cfg.mode != Mode::Optimistic {
+                break;
+            }
+            if !self.cfg.sparse {
+                // Dense formulation: brute-force reapplication while
+                // anything changed in the pass.
+                if self.any_change && self.stats.passes < MAX_PASSES {
+                    let blocks: Vec<Block> = self.reach_blocks.iter().collect();
+                    for b in blocks {
+                        self.touch_block_insts(b);
+                        self.touched_blocks.insert(b);
+                    }
+                    continue;
+                }
+                break;
+            }
+            if self.touched_insts.is_empty() && self.touched_blocks.is_empty() {
+                break;
+            }
+            if self.stats.passes >= MAX_PASSES {
+                return self.finish(false);
+            }
+        }
+        self.finish(true)
+    }
+
+    fn finish(self, converged: bool) -> GvnResults {
+        let mut stats = self.stats;
+        stats.converged = converged;
+        let nvals = self.func.value_capacity();
+        let class_of: Vec<ClassId> = (0..nvals).map(|i| self.classes.class_of(Value::new(i))).collect();
+        let leaders: Vec<Leader> = (0..self.classes.num_class_slots())
+            .map(|i| self.classes.leader(ClassId::from_raw(i as u32)))
+            .collect();
+        GvnResults {
+            reachable_blocks: self.reach_blocks,
+            reachable_edges: self.reach_edges,
+            class_of,
+            leaders,
+            stats,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Instruction processing
+    // -----------------------------------------------------------------
+
+    fn process_inst(&mut self, inst: Inst, b: Block) {
+        match self.func.kind(inst) {
+            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) => self.process_outgoing_edges(b),
+            InstKind::Return(_) => {}
+            _ => {
+                let v = self.func.inst_result(inst).expect("value-defining instruction");
+                let e = self.evaluate(inst, b);
+                if self.congruence_finding(v, e) {
+                    self.any_change = true;
+                    let users = self.defuse.uses(v).to_vec();
+                    for u in users {
+                        self.touch_inst(u);
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Symbolic evaluation (Figure 4, top half)
+    // -----------------------------------------------------------------
+
+    // -----------------------------------------------------------------
+    // φ evaluation (Figure 4 lines 10–23)
+    // -----------------------------------------------------------------
+
+    // -----------------------------------------------------------------
+    // Congruence finding (Figure 4, bottom half)
+    // -----------------------------------------------------------------
+
+    // -----------------------------------------------------------------
+    // Edges (Figure 5)
+    // -----------------------------------------------------------------
+
+    // -----------------------------------------------------------------
+    // φ-predication (Figure 8)
+    // -----------------------------------------------------------------
+
+}
+

@@ -1,0 +1,120 @@
+//! φ evaluation (Figure 4 lines 10–23) and congruence finding
+//! (Figure 4 bottom half): the heart of the hash-based partitioning.
+
+use super::*;
+
+impl Run<'_> {
+    pub(super) fn eval_phi(&mut self, v: Value, b: Block, args: &[Value]) -> Option<ExprId> {
+        let preds = self.func.preds(b).to_vec();
+        if self.cfg.mode != Mode::Optimistic && preds.iter().any(|&e| self.rpo.is_back_edge(e)) {
+            // Balanced/pessimistic: cyclic φs are unique values (§2.6).
+            return Some(self.interner.intern(ExprKind::Unique(v)));
+        }
+        // Evaluate each argument carried by a reachable edge. Arguments
+        // that are still ⊥ are *ignored*, exactly like arguments on
+        // unreachable edges: ⊥ is the optimistic "any value" assumption,
+        // and dropping it is what lets mutually-dependent φ cycles resolve.
+        let mut pairs: Vec<(Edge, ExprId)> = Vec::with_capacity(args.len());
+        let mut dropped_bottom = false;
+        for (i, &e) in preds.iter().enumerate() {
+            if !self.reach_edges.contains(e) {
+                continue;
+            }
+            match self.infer_value_at_edge(args[i], e) {
+                Some(ae) => pairs.push((e, ae)),
+                None => dropped_bottom = true,
+            }
+        }
+        if pairs.is_empty() {
+            return None;
+        }
+        // Reorder to CANONICAL[B] when the block predicate is known and
+        // the correspondence with reachable incoming edges is intact.
+        let key = match self.block_pred[b.index()] {
+            Some(p) if !dropped_bottom && self.canonical[b.index()].len() == pairs.len() => {
+                let canon = self.canonical[b.index()].clone();
+                let mut reordered = Vec::with_capacity(pairs.len());
+                let mut ok = true;
+                for e in canon {
+                    match pairs.iter().find(|&&(pe, _)| pe == e) {
+                        Some(&p2) => reordered.push(p2),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    pairs = reordered;
+                    PhiKey::Pred(p)
+                } else {
+                    PhiKey::Block(b)
+                }
+            }
+            _ => PhiKey::Block(b),
+        };
+        let arg_exprs: Vec<ExprId> = pairs.into_iter().map(|(_, ae)| ae).collect();
+        // All-congruent arguments reduce the φ (Figure 4 line 23). Note:
+        // no "self-reference" shortcut here — reducing φ(x, self) → x in a
+        // later pass would be a move *up* the lattice and break the
+        // optimistic-to-pessimistic monotonicity that §4's termination
+        // argument relies on. A φ that is its own class leader simply
+        // hashes to its existing class through its Leader leaf.
+        if let [single, rest @ ..] = &arg_exprs[..] {
+            if rest.iter().all(|a| a == single) {
+                return Some(*single);
+            }
+        }
+        Some(self.interner.intern(ExprKind::Phi(key, arg_exprs)))
+    }
+
+    pub(super) fn congruence_finding(&mut self, v: Value, e: Option<ExprId>) -> bool {
+        let was_changed = self.changed.remove(v);
+        let Some(e) = e else {
+            return was_changed;
+        };
+        let c0 = self.classes.class_of(v);
+        let target = if let Some(w) = self.interner.as_value(e) {
+            // The expression is (congruent to) an existing value.
+            self.classes.class_of(w)
+        } else {
+            match self.classes.lookup(e) {
+                Some(c) => c,
+                None => {
+                    let leader = match self.interner.as_const(e) {
+                        Some(k) => Leader::Const(k),
+                        None => Leader::Value(v),
+                    };
+                    self.classes.create_class(leader, e)
+                }
+            }
+        };
+        if target == c0 {
+            return was_changed;
+        }
+        self.classes.move_value(v, target);
+        // Class movement can invalidate memoized inference results.
+        self.vi_cache.clear();
+        self.pi_cache.clear();
+        if c0 != ClassId::INITIAL && self.classes.size(c0) > 0 && self.classes.leader(c0) == Leader::Value(v) {
+            // Leader departure (Figure 4 lines 52–56): elect the lowest-
+            // ranked member, mark the class changed, re-evaluate members.
+            let members: Vec<Value> = self.classes.members(c0).collect();
+            let new_leader = members
+                .iter()
+                .copied()
+                .min_by_key(|&m| (self.rank(m), m))
+                .expect("non-empty class");
+            self.classes.set_leader(c0, Leader::Value(new_leader));
+            for m in members {
+                self.changed.insert(m);
+                self.touch_inst(self.func.def(m));
+                let users = self.defuse.uses(m).to_vec();
+                for u in users {
+                    self.touch_inst(u);
+                }
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,168 @@
+//! φ-predication (§2.8, Figure 8): block predicates as canonical
+//! OR-of-AND path formulas between a block and its immediate dominator,
+//! plus the `CANONICAL` edge ordering.
+
+use super::*;
+
+impl Run<'_> {
+    pub(super) fn compute_block_predicate(&mut self, b0: Block) {
+        if self.nullified_blocks.contains(b0) {
+            return; // §3: permanently nullified after an aborted traversal
+        }
+        let reachable_incoming =
+            self.func.preds(b0).iter().filter(|&&e| self.reach_edges.contains(e)).count();
+        let d0 = match self.rdt.as_mut() {
+            Some(rdt) => rdt.idom(self.func, b0),
+            None => self.domtree.idom(b0),
+        };
+        let new_pred;
+        let mut new_canon = Vec::new();
+        match d0 {
+            Some(d0) if d0 != b0 && self.postdom.postdominates(b0, d0) && reachable_incoming >= 1 => {
+                let mut ctx = PredCtx {
+                    b0,
+                    aborted: false,
+                    canonical: Vec::new(),
+                    or_ops: vec![None; self.func.block_capacity()],
+                    result: Vec::new(),
+                };
+                self.compute_partial(d0, None, true, &mut ctx);
+                if ctx.aborted && self.cfg.nullify_aborted_predicates {
+                    self.nullified_blocks.insert(b0);
+                }
+                if ctx.aborted || ctx.result.len() != reachable_incoming {
+                    new_pred = None;
+                } else {
+                    new_canon = ctx.canonical;
+                    let t = self.interner.constant(1);
+                    let ops: Vec<ExprId> = ctx.result.iter().map(|o| o.unwrap_or(t)).collect();
+                    new_pred = if ops.len() == 1 {
+                        Some(ops[0])
+                    } else {
+                        Some(self.interner.intern(ExprKind::PredOr(ops)))
+                    };
+                }
+            }
+            _ => new_pred = None,
+        }
+        if self.block_pred[b0.index()] != new_pred || self.canonical[b0.index()] != new_canon {
+            self.block_pred[b0.index()] = new_pred;
+            self.canonical[b0.index()] = new_canon;
+            let phis: Vec<Inst> = self
+                .func
+                .block_insts(b0)
+                .iter()
+                .copied()
+                .filter(|&i| self.func.kind(i).is_phi())
+                .collect();
+            for p in phis {
+                self.touch_inst(p);
+            }
+            self.any_change = true;
+        }
+    }
+
+    pub(super) fn compute_partial(&mut self, b: Block, pp: Option<ExprId>, ignore_incoming: bool, ctx: &mut PredCtx) {
+        if ctx.aborted {
+            return;
+        }
+        self.stats.phi_predication_visits += 1;
+        let reachable_in =
+            self.func.preds(b).iter().filter(|&&e| self.reach_edges.contains(e)).count();
+        let partial: Option<ExprId>;
+        if b == ctx.b0 {
+            // A path arrived at B0: record its predicate as the next OR
+            // operand (correspondence with CANONICAL is kept by the
+            // caller pushing the edge right after this call).
+            ctx.result.push(pp);
+            return;
+        }
+        if ignore_incoming || reachable_in < 2 {
+            partial = pp;
+        } else {
+            // A confluence node inside the region: accumulate one operand
+            // per incoming path and proceed only once complete.
+            let slot = &mut ctx.or_ops[b.index()];
+            let t = self.interner.constant(1);
+            match slot {
+                None => *slot = Some(vec![pp.unwrap_or(t)]),
+                Some(ops) => ops.push(pp.unwrap_or(t)),
+            }
+            let ops = ctx.or_ops[b.index()].as_ref().expect("just inserted");
+            if ops.len() < reachable_in {
+                return;
+            }
+            let ops = ops.clone();
+            partial = Some(if ops.len() == 1 {
+                ops[0]
+            } else {
+                self.interner.intern(ExprKind::PredOr(ops))
+            });
+        }
+        // Skip-to-postdominator shortcut (Figure 8 lines 25–28).
+        if let Some(d) = self.postdom.ipdom(b) {
+            if d != ctx.b0 && self.domtree.dominates(b, d) {
+                self.compute_partial(d, partial, true, ctx);
+                return;
+            }
+        }
+        let succs = self.canonical_succs(b);
+        let reachable_out = succs.iter().filter(|&&e| self.reach_edges.contains(e)).count();
+        for e in succs {
+            if ctx.aborted {
+                return;
+            }
+            if !self.reach_edges.contains(e) {
+                continue;
+            }
+            if self.rpo.is_back_edge(e) {
+                ctx.aborted = true;
+                return;
+            }
+            let ep = if reachable_out == 1 {
+                partial
+            } else {
+                let edge_p = self.edge_pred[e.index()].map(|p| self.pred_expr(p));
+                match (partial, edge_p) {
+                    (None, ep) => ep,
+                    (pp2, None) => pp2,
+                    (Some(a), Some(b2)) => Some(self.interner.intern(ExprKind::PredAnd(vec![a, b2]))),
+                }
+            };
+            let dest = self.func.edge_to(e);
+            self.compute_partial(dest, ep, false, ctx);
+            if dest == ctx.b0 {
+                ctx.canonical.push(e);
+            }
+        }
+    }
+
+    pub(super) fn pred_expr(&mut self, p: Pred) -> ExprId {
+        self.interner.intern(ExprKind::Cmp(p.op, p.lhs, p.rhs))
+    }
+
+    /// Outgoing edges in canonical order (§2.8: "the outgoing edges are
+    /// arranged so that the predicate of the first outgoing edge has the
+    /// operator =, < or ≤").
+    pub(super) fn canonical_succs(&self, b: Block) -> Vec<Edge> {
+        let succs = self.func.succs(b).to_vec();
+        if succs.len() == 2 {
+            if let Some(p) = self.edge_pred[succs[0].index()] {
+                if !matches!(p.op, CmpOp::Eq | CmpOp::Lt | CmpOp::Le) {
+                    return vec![succs[1], succs[0]];
+                }
+            }
+        }
+        succs
+    }
+
+}
+
+pub(super) struct PredCtx {
+    b0: Block,
+    aborted: bool,
+    canonical: Vec<Edge>,
+    or_ops: Vec<Option<Vec<ExprId>>>,
+    result: Vec<Option<ExprId>>,
+}
+

@@ -1,0 +1,274 @@
+//! Hash-consed symbolic expressions.
+//!
+//! Symbolic evaluation (§2.2) turns every instruction into a canonical
+//! expression over *class leaders*; the `TABLE` mapping from expressions
+//! to congruence classes then makes congruence finding a hash lookup.
+//! Interning gives every distinct expression a stable [`ExprId`], so
+//! expression equality — including the equality of block predicates needed
+//! by φ-predication — is an integer comparison.
+
+use crate::linear::LinearExpr;
+use pgvn_ir::{BinOp, Block, CmpOp, UnOp, Value};
+use std::collections::HashMap;
+
+/// An interned expression reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index. Only meaningful with the
+    /// interner that produced the index; exposed for tests and debugging.
+    #[doc(hidden)]
+    pub fn from_raw(raw: u32) -> Self {
+        ExprId(raw)
+    }
+}
+
+impl std::fmt::Display for ExprId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// The distinguishing context of a φ expression (§2.2, §2.8): a φ's
+/// expression carries either its block or — when φ-predication computed
+/// one — the block's predicate, which lets φs of *different* blocks with
+/// congruent predicates fall into one congruence class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhiKey {
+    /// The φ's own block (no predicate available).
+    Block(Block),
+    /// The block's predicate expression.
+    Pred(ExprId),
+}
+
+/// A canonical symbolic expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExprKind {
+    /// An integer constant.
+    Const(i64),
+    /// An atomic value (a congruence class leader).
+    Leader(Value),
+    /// A value that is forcibly its own class: cyclic φs under balanced /
+    /// pessimistic value numbering (§2.6), and SCCP-mode non-constants.
+    Unique(Value),
+    /// An opaque token (call/load); congruent only to itself.
+    Opaque(u32),
+    /// A reassociated linear combination (sum of products of leaders).
+    Linear(LinearExpr),
+    /// A non-reassociable operation over canonical operands.
+    Op(BinOp, Vec<ExprId>),
+    /// A unary operation that did not simplify.
+    Un(UnOp, ExprId),
+    /// A comparison with canonically ordered operands.
+    Cmp(CmpOp, ExprId, ExprId),
+    /// A φ-function: key plus one argument per (canonically ordered)
+    /// reachable incoming edge.
+    Phi(PhiKey, Vec<ExprId>),
+    /// Conjunction of edge predicates along a path (φ-predication).
+    PredAnd(Vec<ExprId>),
+    /// Disjunction of path predicates of a block (φ-predication).
+    PredOr(Vec<ExprId>),
+}
+
+/// The expression interner.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<ExprKind, ExprId>,
+    kinds: Vec<ExprKind>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `kind`, returning its stable id.
+    pub fn intern(&mut self, kind: ExprKind) -> ExprId {
+        if let Some(&id) = self.map.get(&kind) {
+            return id;
+        }
+        let id = ExprId(self.kinds.len() as u32);
+        self.kinds.push(kind.clone());
+        self.map.insert(kind, id);
+        id
+    }
+
+    /// The expression for `id`.
+    pub fn kind(&self, id: ExprId) -> &ExprKind {
+        &self.kinds[id.index()]
+    }
+
+    /// Number of distinct expressions interned.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Shorthand: interns a constant.
+    pub fn constant(&mut self, c: i64) -> ExprId {
+        self.intern(ExprKind::Const(c))
+    }
+
+    /// Shorthand: interns a leader leaf.
+    pub fn leader(&mut self, v: Value) -> ExprId {
+        self.intern(ExprKind::Leader(v))
+    }
+
+    /// Returns the constant if `id` is a constant (directly or as a
+    /// degenerate linear expression).
+    pub fn as_const(&self, id: ExprId) -> Option<i64> {
+        match self.kind(id) {
+            ExprKind::Const(c) => Some(*c),
+            ExprKind::Linear(l) => l.as_const(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value if `id` is a single-value leaf.
+    pub fn as_value(&self, id: ExprId) -> Option<Value> {
+        match self.kind(id) {
+            ExprKind::Leader(v) => Some(*v),
+            ExprKind::Linear(l) => l.as_single_value(),
+            _ => None,
+        }
+    }
+
+    /// Renders `id` for diagnostics.
+    pub fn display(&self, id: ExprId) -> String {
+        match self.kind(id) {
+            ExprKind::Const(c) => c.to_string(),
+            ExprKind::Leader(v) => v.to_string(),
+            ExprKind::Unique(v) => format!("unique({v})"),
+            ExprKind::Opaque(t) => format!("opaque({t})"),
+            ExprKind::Linear(l) => {
+                let mut s = String::new();
+                for (i, t) in l.terms.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(" + ");
+                    }
+                    s.push_str(&t.coeff.to_string());
+                    for f in &t.factors {
+                        s.push_str(&format!("·{f}"));
+                    }
+                }
+                if l.constant != 0 || l.terms.is_empty() {
+                    if !l.terms.is_empty() {
+                        s.push_str(" + ");
+                    }
+                    s.push_str(&l.constant.to_string());
+                }
+                s
+            }
+            ExprKind::Op(op, args) => {
+                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
+                format!("({op} {})", parts.join(" "))
+            }
+            ExprKind::Un(op, a) => format!("({op} {})", self.display(*a)),
+            ExprKind::Cmp(op, a, b) => format!("({} {} {})", self.display(*a), op.symbol(), self.display(*b)),
+            ExprKind::Phi(key, args) => {
+                let k = match key {
+                    PhiKey::Block(b) => b.to_string(),
+                    PhiKey::Pred(p) => self.display(*p),
+                };
+                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
+                format!("φ[{k}]({})", parts.join(", "))
+            }
+            ExprKind::PredAnd(args) => {
+                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
+                format!("({})", parts.join(" ∧ "))
+            }
+            ExprKind::PredOr(args) => {
+                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
+                format!("({})", parts.join(" ∨ "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::EntityRef;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.constant(4);
+        let b = i.constant(4);
+        let c = i.constant(5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn structural_equality_of_compounds() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let y = i.leader(Value::new(2));
+        let e1 = i.intern(ExprKind::Cmp(CmpOp::Lt, x, y));
+        let e2 = i.intern(ExprKind::Cmp(CmpOp::Lt, x, y));
+        let e3 = i.intern(ExprKind::Cmp(CmpOp::Lt, y, x));
+        assert_eq!(e1, e2);
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn linear_exprs_intern_canonically() {
+        let mut i = Interner::new();
+        let x = LinearExpr::from_value(Value::new(1));
+        let y = LinearExpr::from_value(Value::new(2));
+        let a = i.intern(ExprKind::Linear(x.add(&y)));
+        let b = i.intern(ExprKind::Linear(y.add(&x)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn as_const_and_as_value_helpers() {
+        let mut i = Interner::new();
+        let c = i.constant(9);
+        assert_eq!(i.as_const(c), Some(9));
+        assert_eq!(i.as_value(c), None);
+        let lc = i.intern(ExprKind::Linear(LinearExpr::from_const(9)));
+        assert_eq!(i.as_const(lc), Some(9));
+        let v = i.leader(Value::new(3));
+        assert_eq!(i.as_value(v), Some(Value::new(3)));
+        let lv = i.intern(ExprKind::Linear(LinearExpr::from_value(Value::new(3))));
+        assert_eq!(i.as_value(lv), Some(Value::new(3)));
+    }
+
+    #[test]
+    fn phi_keys_distinguish_blocks() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let p1 = i.intern(ExprKind::Phi(PhiKey::Block(Block::new(1)), vec![x, x]));
+        let p2 = i.intern(ExprKind::Phi(PhiKey::Block(Block::new(2)), vec![x, x]));
+        assert_ne!(p1, p2, "φs in different blocks must not collide");
+        let pred = i.constant(1);
+        let p3 = i.intern(ExprKind::Phi(PhiKey::Pred(pred), vec![x, x]));
+        let p4 = i.intern(ExprKind::Phi(PhiKey::Pred(pred), vec![x, x]));
+        assert_eq!(p3, p4, "φs with congruent predicates collide");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let c = i.constant(3);
+        let cmp = i.intern(ExprKind::Cmp(CmpOp::Le, c, x));
+        assert_eq!(i.display(cmp), "(3 <= v1)");
+        let lin = i.intern(ExprKind::Linear(LinearExpr::from_value(Value::new(1)).scale(2)));
+        assert_eq!(i.display(lin), "2·v1");
+    }
+}

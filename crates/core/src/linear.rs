@@ -1,0 +1,357 @@
+//! The canonical arithmetic form used by global reassociation (§2.2).
+//!
+//! "The canonical form of an arithmetic expression is a sum of products of
+//! values, where sums and products are represented by ordered lists." A
+//! [`LinearExpr`] is `constant + Σ coeffᵢ·Πⱼ factorᵢⱼ`:
+//!
+//! - factors within a product are ordered by increasing rank (constants
+//!   would be rank 0, but constants are folded into the coefficient);
+//! - terms are ordered by their factor lists, so that "values and products
+//!   of values that differ only in sign are treated as equal when ordering
+//!   lists" — the sign lives in the coefficient, which the ordering
+//!   ignores;
+//! - coefficients use wrapping arithmetic, matching the IR semantics, so
+//!   reassociation is sound even at the i64 boundaries.
+//!
+//! Forward propagation is cancelled when an expression grows beyond the
+//! configured operand limit (§2.2 footnote 4); see [`LinearExpr::size`].
+
+use pgvn_ir::Value;
+
+/// One product term: `coeff · factors[0] · factors[1] · …`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Term {
+    /// The factor list, sorted by `(rank, value index)`; may repeat a
+    /// value (powers).
+    pub factors: Vec<Value>,
+    /// The wrapping integer coefficient.
+    pub coeff: i64,
+}
+
+/// A linear combination in canonical form.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct LinearExpr {
+    /// Terms ordered by factor list; no term has `coeff == 0` or an empty
+    /// factor list (the constant lives in `constant`).
+    pub terms: Vec<Term>,
+    /// The constant part.
+    pub constant: i64,
+}
+
+impl LinearExpr {
+    /// The constant `c`.
+    pub fn from_const(c: i64) -> Self {
+        LinearExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// The single value `v` (coefficient 1).
+    pub fn from_value(v: Value) -> Self {
+        LinearExpr { terms: vec![Term { factors: vec![v], coeff: 1 }], constant: 0 }
+    }
+
+    /// Returns `Some(c)` if the expression is the constant `c`.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.constant)
+    }
+
+    /// Returns `Some(v)` if the expression is exactly `1·v`.
+    pub fn as_single_value(&self) -> Option<Value> {
+        match (&self.terms[..], self.constant) {
+            ([t], 0) if t.coeff == 1 && t.factors.len() == 1 => Some(t.factors[0]),
+            _ => None,
+        }
+    }
+
+    /// The size used against the forward-propagation limit: total number
+    /// of factors across terms, plus one per term.
+    pub fn size(&self) -> usize {
+        self.terms.iter().map(|t| t.factors.len() + 1).sum()
+    }
+
+    /// Normalizes: merges equal factor lists, drops zero coefficients,
+    /// sorts terms. Factor lists inside terms must already be sorted.
+    fn normalize(mut self) -> Self {
+        self.terms.sort();
+        let mut out: Vec<Term> = Vec::with_capacity(self.terms.len());
+        for t in self.terms {
+            if let Some(last) = out.last_mut() {
+                if last.factors == t.factors {
+                    last.coeff = last.coeff.wrapping_add(t.coeff);
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        out.retain(|t| t.coeff != 0);
+        LinearExpr { terms: out, constant: self.constant }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinearExpr) -> LinearExpr {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        LinearExpr { terms, constant: self.constant.wrapping_add(other.constant) }.normalize()
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinearExpr) -> LinearExpr {
+        self.add(&other.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> LinearExpr {
+        LinearExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_neg() })
+                .collect(),
+            constant: self.constant.wrapping_neg(),
+        }
+    }
+
+    /// `self · k`.
+    pub fn scale(&self, k: i64) -> LinearExpr {
+        if k == 0 {
+            return LinearExpr::from_const(0);
+        }
+        LinearExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_mul(k) })
+                .collect(),
+            constant: self.constant.wrapping_mul(k),
+        }
+        .normalize()
+    }
+
+    /// `self · other`, distributing multiplication over addition. The
+    /// factor lists of product terms are re-sorted with `rank`.
+    pub fn mul(&self, other: &LinearExpr, rank: &dyn Fn(Value) -> u32) -> LinearExpr {
+        let mut acc = LinearExpr::from_const(self.constant.wrapping_mul(other.constant));
+        // constant × other.terms and self.terms × constant
+        for t in &other.terms {
+            acc.terms.push(Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_mul(self.constant) });
+        }
+        for t in &self.terms {
+            acc.terms.push(Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_mul(other.constant) });
+        }
+        for a in &self.terms {
+            for b in &other.terms {
+                let mut factors = a.factors.clone();
+                factors.extend(b.factors.iter().copied());
+                factors.sort_by_key(|&v| (rank(v), v));
+                acc.terms.push(Term { factors, coeff: a.coeff.wrapping_mul(b.coeff) });
+            }
+        }
+        acc.normalize()
+    }
+
+    /// Evaluates the expression under a concrete assignment of values.
+    /// Used by tests to check reassociation against direct evaluation.
+    pub fn eval(&self, assign: &dyn Fn(Value) -> i64) -> i64 {
+        let mut total = self.constant;
+        for t in &self.terms {
+            let mut p = t.coeff;
+            for &f in &t.factors {
+                p = p.wrapping_mul(assign(f));
+            }
+            total = total.wrapping_add(p);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::EntityRef;
+
+    fn v(i: usize) -> Value {
+        Value::new(i)
+    }
+
+    fn id_rank(x: Value) -> u32 {
+        x.index() as u32
+    }
+
+    #[test]
+    fn constants_fold() {
+        let a = LinearExpr::from_const(3);
+        let b = LinearExpr::from_const(4);
+        assert_eq!(a.add(&b).as_const(), Some(7));
+        assert_eq!(a.sub(&b).as_const(), Some(-1));
+        assert_eq!(a.mul(&b, &id_rank).as_const(), Some(12));
+        assert_eq!(a.neg().as_const(), Some(-3));
+    }
+
+    #[test]
+    fn x_plus_y_commutes() {
+        let x = LinearExpr::from_value(v(2));
+        let y = LinearExpr::from_value(v(1));
+        assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn x_minus_x_is_zero() {
+        let x = LinearExpr::from_value(v(1));
+        assert_eq!(x.sub(&x).as_const(), Some(0));
+    }
+
+    #[test]
+    fn addition_is_associative() {
+        let (x, y, z) = (LinearExpr::from_value(v(1)), LinearExpr::from_value(v(2)), LinearExpr::from_value(v(3)));
+        assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
+    }
+
+    #[test]
+    fn distribution_over_sum() {
+        // (x + 1) * (x - 1) == x*x - 1
+        let x = LinearExpr::from_value(v(1));
+        let one = LinearExpr::from_const(1);
+        let lhs = x.add(&one).mul(&x.sub(&one), &id_rank);
+        let xx = x.mul(&x, &id_rank);
+        assert_eq!(lhs, xx.sub(&one));
+        assert_eq!(lhs.terms.len(), 1);
+        assert_eq!(lhs.terms[0].factors, vec![v(1), v(1)]);
+        assert_eq!(lhs.constant, -1);
+    }
+
+    #[test]
+    fn single_value_detection() {
+        let x = LinearExpr::from_value(v(5));
+        assert_eq!(x.as_single_value(), Some(v(5)));
+        assert_eq!(x.scale(2).as_single_value(), None);
+        assert_eq!(x.add(&LinearExpr::from_const(1)).as_single_value(), None);
+        let back = x.scale(2).sub(&x);
+        assert_eq!(back.as_single_value(), Some(v(5)));
+    }
+
+    #[test]
+    fn factor_order_follows_rank() {
+        // With rank(v3) < rank(v1), v1*v3 must store [v3, v1].
+        let rank = |x: Value| if x == v(3) { 1 } else { 9 };
+        let a = LinearExpr::from_value(v(1));
+        let b = LinearExpr::from_value(v(3));
+        let p = a.mul(&b, &rank);
+        assert_eq!(p.terms[0].factors, vec![v(3), v(1)]);
+        // Multiplication commutes because of the ordering.
+        assert_eq!(p, b.mul(&a, &rank));
+    }
+
+    #[test]
+    fn wrapping_coefficients() {
+        let x = LinearExpr::from_value(v(1));
+        let big = x.scale(i64::MAX);
+        let sum = big.add(&x); // (MAX + 1) x = MIN x
+        assert_eq!(sum.terms[0].coeff, i64::MIN);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        // 2*x*y - 3*z + 7 at x=2,y=5,z=1 → 20 - 3 + 7 = 24
+        let (x, y, z) = (LinearExpr::from_value(v(1)), LinearExpr::from_value(v(2)), LinearExpr::from_value(v(3)));
+        let e = x.mul(&y, &id_rank).scale(2).sub(&z.scale(3)).add(&LinearExpr::from_const(7));
+        let assign = |w: Value| match w.index() {
+            1 => 2,
+            2 => 5,
+            3 => 1,
+            _ => 0,
+        };
+        assert_eq!(e.eval(&assign), 24);
+    }
+
+    #[test]
+    fn size_counts_terms_and_factors() {
+        let x = LinearExpr::from_value(v(1));
+        let y = LinearExpr::from_value(v(2));
+        assert_eq!(x.size(), 2);
+        assert_eq!(x.add(&y).size(), 4);
+        assert_eq!(x.mul(&y, &id_rank).size(), 3);
+        assert_eq!(LinearExpr::from_const(5).size(), 0);
+    }
+
+    #[test]
+    fn zero_scale_collapses() {
+        let x = LinearExpr::from_value(v(1));
+        assert_eq!(x.scale(0).as_const(), Some(0));
+        assert_eq!(x.mul(&LinearExpr::from_const(0), &id_rank).as_const(), Some(0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pgvn_ir::EntityRef;
+    use proptest::prelude::*;
+
+    fn id_rank(x: Value) -> u32 {
+        x.index() as u32
+    }
+
+    /// A small random linear expression over values v0..v4.
+    fn arb_linear() -> impl Strategy<Value = LinearExpr> {
+        let term = (0usize..5, 1usize..3, -4i64..5).prop_map(|(v, reps, coeff)| Term {
+            factors: vec![Value::new(v); reps],
+            coeff,
+        });
+        (proptest::collection::vec(term, 0..4), -100i64..100).prop_map(|(terms, constant)| {
+            LinearExpr { terms, constant }.add(&LinearExpr::from_const(0)) // normalize
+        })
+    }
+
+    fn arb_assign() -> impl Strategy<Value = [i64; 5]> {
+        proptest::array::uniform5(-7i64..8)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_linear(), b in arb_linear()) {
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn add_associates(a in arb_linear(), b in arb_linear(), c in arb_linear()) {
+            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_linear(), b in arb_linear()) {
+            prop_assert_eq!(a.mul(&b, &id_rank), b.mul(&a, &id_rank));
+        }
+
+        #[test]
+        fn mul_distributes_over_add(a in arb_linear(), b in arb_linear(), c in arb_linear()) {
+            let lhs = a.mul(&b.add(&c), &id_rank);
+            let rhs = a.mul(&b, &id_rank).add(&a.mul(&c, &id_rank));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn sub_then_add_roundtrips(a in arb_linear(), b in arb_linear()) {
+            prop_assert_eq!(a.sub(&b).add(&b), a);
+        }
+
+        #[test]
+        fn eval_respects_structure(a in arb_linear(), b in arb_linear(), vals in arb_assign()) {
+            let assign = |v: Value| vals[v.index() % 5];
+            prop_assert_eq!(a.add(&b).eval(&assign), a.eval(&assign).wrapping_add(b.eval(&assign)));
+            prop_assert_eq!(a.sub(&b).eval(&assign), a.eval(&assign).wrapping_sub(b.eval(&assign)));
+            prop_assert_eq!(a.mul(&b, &id_rank).eval(&assign), a.eval(&assign).wrapping_mul(b.eval(&assign)));
+            prop_assert_eq!(a.neg().eval(&assign), a.eval(&assign).wrapping_neg());
+        }
+
+        #[test]
+        fn normalization_is_canonical(a in arb_linear(), b in arb_linear(), vals in arb_assign()) {
+            // Two syntactically different constructions of the same sum
+            // normalize to the same structure.
+            let one = a.add(&b);
+            let two = b.add(&a);
+            prop_assert_eq!(&one, &two);
+            // And equal structures always evaluate equal.
+            let assign = |v: Value| vals[v.index() % 5];
+            prop_assert_eq!(one.eval(&assign), two.eval(&assign));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Canonical comparison predicates and implication (§2.7, §2.8).
+//!
+//! Edge predicates are comparisons over canonical operand expressions.
+//! Predicate inference asks: given that `known` holds (it labels a
+//! dominating edge), is `query` decided? Two reasoning modes:
+//!
+//! - **same operand pair**: `a < b` decides `a ≥ b` (false), `a ≤ b`
+//!   (true), and so on — a fixed 6×6 implication table;
+//! - **intervals against constants**: `1 ≤ X` confines `X` to
+//!   `[1, i64::MAX]`, which decides any other comparison of `X` with a
+//!   constant whose satisfying set contains or excludes that interval.
+//!   This is the integer-aware step behind the paper's example "`Z < 1` is
+//!   false in a block dominated by `Z > I₅`" once `I₅`'s leader is 1.
+
+use crate::expr::{ExprId, Interner};
+use pgvn_ir::CmpOp;
+
+/// A predicate: `lhs op rhs` over canonical expressions.
+///
+/// Canonical operand order (the paper §2.8: "the predicates of edges are
+/// canonicalized by arranging their operands in order of increasing rank")
+/// is established by the evaluator before a `Pred` is built; constants
+/// rank lowest and therefore appear on the left.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Pred {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand (lower rank).
+    pub lhs: ExprId,
+    /// Right operand (higher rank).
+    pub rhs: ExprId,
+}
+
+impl Pred {
+    /// The negated predicate (same operands, negated operator).
+    pub fn negated(self) -> Pred {
+        Pred { op: self.op.negated(), ..self }
+    }
+
+    /// Returns `(x, y)` if this is an equality `x == y`.
+    pub fn as_equality(self) -> Option<(ExprId, ExprId)> {
+        (self.op == CmpOp::Eq).then_some((self.lhs, self.rhs))
+    }
+}
+
+/// Implication between comparisons of the *same* operand pair: given
+/// `a known_op b`, what is the truth of `a query_op b`?
+fn same_pair(known_op: CmpOp, query_op: CmpOp) -> Option<bool> {
+    use CmpOp::*;
+    if known_op == query_op {
+        return Some(true);
+    }
+    match known_op {
+        Eq => Some(matches!(query_op, Le | Ge)),
+        Ne => match query_op {
+            Eq => Some(false),
+            _ => None,
+        },
+        Lt => match query_op {
+            Le | Ne => Some(true),
+            Eq | Gt | Ge => Some(false),
+            Lt => Some(true),
+        },
+        Gt => match query_op {
+            Ge | Ne => Some(true),
+            Eq | Lt | Le => Some(false),
+            Gt => Some(true),
+        },
+        Le => match query_op {
+            Gt => Some(false),
+            _ => None,
+        },
+        Ge => match query_op {
+            Lt => Some(false),
+            _ => None,
+        },
+    }
+}
+
+/// The satisfying set of `x op c` as an interval over i128 (so the ±1
+/// adjustments cannot overflow), with `Ne` handled separately.
+fn interval(op: CmpOp, c: i64) -> Option<(i128, i128)> {
+    let c = c as i128;
+    let (lo, hi) = (i64::MIN as i128, i64::MAX as i128);
+    Some(match op {
+        CmpOp::Eq => (c, c),
+        CmpOp::Lt => (lo, c - 1),
+        CmpOp::Le => (lo, c),
+        CmpOp::Gt => (c + 1, hi),
+        CmpOp::Ge => (c, hi),
+        CmpOp::Ne => return None,
+    })
+}
+
+/// Decides `x query_op qc` given that `x known_op kc` holds.
+fn against_constants(known_op: CmpOp, kc: i64, query_op: CmpOp, qc: i64) -> Option<bool> {
+    // Ne as knowledge: only decides the same-constant queries.
+    if known_op == CmpOp::Ne {
+        return match query_op {
+            CmpOp::Eq if qc == kc => Some(false),
+            CmpOp::Ne if qc == kc => Some(true),
+            _ => None,
+        };
+    }
+    let (klo, khi) = interval(known_op, kc).expect("Ne handled above");
+    if klo > khi {
+        // The known predicate is unsatisfiable: the program point is
+        // dynamically unreachable, so any answer is vacuously sound.
+        return Some(true);
+    }
+    if query_op == CmpOp::Ne {
+        let q = qc as i128;
+        if q < klo || q > khi {
+            return Some(true);
+        }
+        if klo == khi && klo == q {
+            return Some(false);
+        }
+        return None;
+    }
+    let (qlo, qhi) = interval(query_op, qc).expect("Ne handled above");
+    if klo >= qlo && khi <= qhi {
+        Some(true)
+    } else if khi < qlo || klo > qhi {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Decides `query` given that `known` holds, or returns `None`.
+///
+/// Operands are compared as interned expression ids, which is exactly the
+/// congruence the paper requires: both predicates were canonicalized over
+/// class leaders by the same evaluator.
+pub fn implies(interner: &Interner, known: Pred, query: Pred) -> Option<bool> {
+    if known.lhs == query.lhs && known.rhs == query.rhs {
+        return same_pair(known.op, query.op);
+    }
+    // Same-pair with swapped operands cannot occur for canonicalized
+    // predicates, but cost nothing to handle defensively.
+    if known.lhs == query.rhs && known.rhs == query.lhs {
+        return same_pair(known.op, query.op.swapped());
+    }
+    // Constant-interval reasoning. Canonical form places constants on the
+    // lhs; normalize both to "x op c".
+    let norm = |p: Pred| -> Option<(ExprId, CmpOp, i64)> {
+        if let Some(c) = interner.as_const(p.lhs) {
+            // c op x  ⇔  x op.swapped() c
+            Some((p.rhs, p.op.swapped(), c))
+        } else if let Some(c) = interner.as_const(p.rhs) {
+            Some((p.lhs, p.op, c))
+        } else {
+            None
+        }
+    };
+    if let (Some((kx, kop, kc)), Some((qx, qop, qc))) = (norm(known), norm(query)) {
+        if kx == qx {
+            return against_constants(kop, kc, qop, qc);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::{EntityRef, Value};
+
+    fn setup() -> (Interner, ExprId, ExprId) {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let y = i.leader(Value::new(2));
+        (i, x, y)
+    }
+
+    fn pred(op: CmpOp, lhs: ExprId, rhs: ExprId) -> Pred {
+        Pred { op, lhs, rhs }
+    }
+
+    #[test]
+    fn same_pair_table_is_sound() {
+        // Exhaustively check the table against concrete integer pairs.
+        let (i, x, y) = setup();
+        let pairs: Vec<(i64, i64)> = vec![(1, 2), (2, 1), (3, 3), (i64::MIN, i64::MAX), (0, 0)];
+        for kop in CmpOp::ALL {
+            for qop in CmpOp::ALL {
+                if let Some(expect) = implies(&i, pred(kop, x, y), pred(qop, x, y)) {
+                    for &(a, b) in &pairs {
+                        if kop.eval(a, b) == 1 {
+                            assert_eq!(
+                                qop.eval(a, b) == 1,
+                                expect,
+                                "({a} {kop} {b}) true but ({a} {qop} {b}) != {expect}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_pair_known_cases() {
+        let (i, x, y) = setup();
+        assert_eq!(implies(&i, pred(CmpOp::Lt, x, y), pred(CmpOp::Ge, x, y)), Some(false));
+        assert_eq!(implies(&i, pred(CmpOp::Lt, x, y), pred(CmpOp::Le, x, y)), Some(true));
+        assert_eq!(implies(&i, pred(CmpOp::Eq, x, y), pred(CmpOp::Le, x, y)), Some(true));
+        assert_eq!(implies(&i, pred(CmpOp::Le, x, y), pred(CmpOp::Lt, x, y)), None);
+        assert_eq!(implies(&i, pred(CmpOp::Ne, x, y), pred(CmpOp::Lt, x, y)), None);
+    }
+
+    #[test]
+    fn paper_example_z_less_one_false_given_z_greater_one() {
+        // Edge predicate: 1 < Z (canonical for Z > 1). Query: Z < 1.
+        let mut i = Interner::new();
+        let z = i.leader(Value::new(7));
+        let one = i.constant(1);
+        let known = pred(CmpOp::Lt, one, z);
+        let query = pred(CmpOp::Gt, one, z); // canonical form of Z < 1
+        assert_eq!(implies(&i, known, query), Some(false));
+    }
+
+    #[test]
+    fn interval_reasoning_against_constants() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let c0 = i.constant(0);
+        let c5 = i.constant(5);
+        let c10 = i.constant(10);
+        // x > 10 implies x > 5, x >= 10, x != 0.
+        let known = pred(CmpOp::Lt, c10, x); // 10 < x
+        assert_eq!(implies(&i, known, pred(CmpOp::Lt, c5, x)), Some(true));
+        assert_eq!(implies(&i, known, pred(CmpOp::Le, c10, x)), Some(true));
+        assert_eq!(implies(&i, known, pred(CmpOp::Ne, c0, x)), Some(true));
+        // x > 10 decides x < 5 (false) and x == 0 (false).
+        assert_eq!(implies(&i, known, pred(CmpOp::Gt, c5, x)), Some(false));
+        assert_eq!(implies(&i, known, pred(CmpOp::Eq, c0, x)), Some(false));
+        // x > 5 does not decide x > 10.
+        let weaker = pred(CmpOp::Lt, c5, x);
+        assert_eq!(implies(&i, weaker, pred(CmpOp::Lt, c10, x)), None);
+    }
+
+    #[test]
+    fn equality_with_constant_decides_everything() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let c5 = i.constant(5);
+        let c9 = i.constant(9);
+        let known = pred(CmpOp::Eq, c5, x);
+        assert_eq!(implies(&i, known, pred(CmpOp::Lt, c9, x)), Some(false)); // 9 < x?
+        assert_eq!(implies(&i, known, pred(CmpOp::Gt, c9, x)), Some(true)); // 9 > x?
+        assert_eq!(implies(&i, known, pred(CmpOp::Ne, c9, x)), Some(true));
+        assert_eq!(implies(&i, known, pred(CmpOp::Eq, c5, x)), Some(true));
+    }
+
+    #[test]
+    fn ne_knowledge_is_weak() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let c5 = i.constant(5);
+        let known = pred(CmpOp::Ne, c5, x);
+        assert_eq!(implies(&i, known, pred(CmpOp::Eq, c5, x)), Some(false));
+        assert_eq!(implies(&i, known, pred(CmpOp::Ne, c5, x)), Some(true));
+        assert_eq!(implies(&i, known, pred(CmpOp::Lt, c5, x)), None);
+    }
+
+    #[test]
+    fn boundary_constants_do_not_overflow() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let cmin = i.constant(i64::MIN);
+        let cmax = i.constant(i64::MAX);
+        // x < MIN is unsatisfiable; vacuous truth.
+        let known = pred(CmpOp::Gt, cmin, x); // MIN > x
+        assert_eq!(implies(&i, known, pred(CmpOp::Eq, cmax, x)), Some(true));
+        // x <= MAX always true as knowledge decides nothing new.
+        let known2 = pred(CmpOp::Ge, cmax, x); // MAX >= x
+        assert_eq!(implies(&i, known2, pred(CmpOp::Eq, cmin, x)), None);
+    }
+
+    #[test]
+    fn different_operands_are_unrelated() {
+        let (mut i, x, y) = setup();
+        let z = i.leader(Value::new(9));
+        assert_eq!(implies(&i, pred(CmpOp::Lt, x, y), pred(CmpOp::Lt, x, z)), None);
+    }
+
+    #[test]
+    fn negated_and_equality_helpers() {
+        let (_, x, y) = setup();
+        let p = pred(CmpOp::Lt, x, y);
+        assert_eq!(p.negated().op, CmpOp::Ge);
+        assert_eq!(p.as_equality(), None);
+        assert_eq!(pred(CmpOp::Eq, x, y).as_equality(), Some((x, y)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pgvn_ir::{EntityRef, Value};
+    use proptest::prelude::*;
+
+    fn arb_op() -> impl Strategy<Value = CmpOp> {
+        proptest::sample::select(&CmpOp::ALL[..])
+    }
+
+    proptest! {
+        /// The interval reasoning must be sound for every concrete x that
+        /// satisfies the known predicate.
+        #[test]
+        fn constant_implication_is_sound(
+            kop in arb_op(),
+            kc in -6i64..7,
+            qop in arb_op(),
+            qc in -6i64..7,
+            x in -10i64..11,
+        ) {
+            let mut i = Interner::new();
+            let xv = i.leader(Value::new(1));
+            let kce = i.constant(kc);
+            let qce = i.constant(qc);
+            // Canonical form: constant on the lhs, so "x kop kc" is
+            // written "kc kop.swapped() x".
+            let known = Pred { op: kop.swapped(), lhs: kce, rhs: xv };
+            let query = Pred { op: qop.swapped(), lhs: qce, rhs: xv };
+            if let Some(expect) = implies(&i, known, query) {
+                if kop.eval(x, kc) == 1 {
+                    prop_assert_eq!(
+                        qop.eval(x, qc) == 1,
+                        expect,
+                        "x={} known x {} {} query x {} {}",
+                        x, kop, kc, qop, qc
+                    );
+                }
+            }
+        }
+
+        /// Boundary constants must not wrap the ±1 interval adjustments.
+        #[test]
+        fn extreme_constants_are_sound(
+            kop in arb_op(),
+            qop in arb_op(),
+            kc in proptest::sample::select(&[i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX][..]),
+            qc in proptest::sample::select(&[i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX][..]),
+            x in proptest::sample::select(&[i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX][..]),
+        ) {
+            let mut i = Interner::new();
+            let xv = i.leader(Value::new(1));
+            let kce = i.constant(kc);
+            let qce = i.constant(qc);
+            let known = Pred { op: kop.swapped(), lhs: kce, rhs: xv };
+            let query = Pred { op: qop.swapped(), lhs: qce, rhs: xv };
+            if let Some(expect) = implies(&i, known, query) {
+                if kop.eval(x, kc) == 1 {
+                    prop_assert_eq!(qop.eval(x, qc) == 1, expect);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Run statistics and analysis results.
+
+use crate::classes::{ClassId, Leader};
+use pgvn_ir::{Block, Edge, EntityRef, EntitySet, Value};
+
+/// Counters collected during a GVN run (§4 and §5 report these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GvnStats {
+    /// Number of RPO passes over the routine (paper: average 1.98).
+    pub passes: u32,
+    /// Touched instructions actually processed.
+    pub insts_processed: u64,
+    /// Total touch operations performed.
+    pub touches: u64,
+    /// Blocks visited by `Infer value at block` / `Infer value at edge`
+    /// (paper: average 0.91 per instruction).
+    pub value_inference_visits: u64,
+    /// Blocks visited by `Infer value of predicate` (paper: 0.38).
+    pub predicate_inference_visits: u64,
+    /// Blocks visited by `Compute partial predicate of block`
+    /// (paper: 0.16).
+    pub phi_predication_visits: u64,
+    /// Live instructions in the routine, for per-instruction averages.
+    pub num_insts: u64,
+    /// `false` if the pass cap was hit before the fixed point (should
+    /// never happen; monitored by tests).
+    pub converged: bool,
+}
+
+impl GvnStats {
+    /// Average blocks visited per instruction by value inference.
+    pub fn value_inference_per_inst(&self) -> f64 {
+        self.value_inference_visits as f64 / (self.num_insts.max(1)) as f64
+    }
+
+    /// Average blocks visited per instruction by predicate inference.
+    pub fn predicate_inference_per_inst(&self) -> f64 {
+        self.predicate_inference_visits as f64 / (self.num_insts.max(1)) as f64
+    }
+
+    /// Average blocks visited per instruction by φ-predication.
+    pub fn phi_predication_per_inst(&self) -> f64 {
+        self.phi_predication_visits as f64 / (self.num_insts.max(1)) as f64
+    }
+}
+
+/// The per-routine strength measures compared in the paper's Figures
+/// 10–12: unreachable values and constant values (more is better),
+/// congruence classes (fewer is better).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Strength {
+    /// Values proven unreachable.
+    pub unreachable_values: usize,
+    /// Values proven constant. Per §5, unreachable values count as
+    /// constant values too ("when a constant value is found to be
+    /// unreachable, it improves the number of unreachable values but
+    /// worsens the number of constant values; we correct for this by
+    /// counting unreachable values as constant values too").
+    pub constant_values: usize,
+    /// Congruence classes among reachable values.
+    pub congruence_classes: usize,
+}
+
+/// The outcome of running the GVN algorithm on a routine.
+#[derive(Clone, Debug)]
+pub struct GvnResults {
+    pub(crate) reachable_blocks: EntitySet<Block>,
+    pub(crate) reachable_edges: EntitySet<Edge>,
+    pub(crate) class_of: Vec<ClassId>,
+    pub(crate) leaders: Vec<Leader>,
+    /// Statistics of the run.
+    pub stats: GvnStats,
+}
+
+impl GvnResults {
+    /// Returns `true` if the analysis proved `b` reachable.
+    pub fn is_block_reachable(&self, b: Block) -> bool {
+        self.reachable_blocks.contains(b)
+    }
+
+    /// Returns `true` if the analysis proved `e` reachable.
+    pub fn is_edge_reachable(&self, e: Edge) -> bool {
+        self.reachable_edges.contains(e)
+    }
+
+    /// Returns `true` if `v` was proven unreachable (still in `INITIAL`).
+    pub fn is_value_unreachable(&self, v: Value) -> bool {
+        self.class_of[v.index()] == ClassId::INITIAL
+    }
+
+    /// The congruence class of `v`.
+    pub fn class_of(&self, v: Value) -> ClassId {
+        self.class_of[v.index()]
+    }
+
+    /// The constant `v` was proven to hold, if any.
+    pub fn constant_value(&self, v: Value) -> Option<i64> {
+        match self.leaders[self.class_of(v).index()] {
+            Leader::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The leader value of `v`'s class, when the leader is a value.
+    pub fn leader_value(&self, v: Value) -> Option<Value> {
+        match self.leaders[self.class_of(v).index()] {
+            Leader::Value(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` and `b` were proven congruent.
+    pub fn congruent(&self, a: Value, b: Value) -> bool {
+        let ca = self.class_of(a);
+        ca != ClassId::INITIAL && ca == self.class_of(b)
+    }
+
+    /// The number of congruence classes among determined values.
+    pub fn num_congruence_classes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for (i, &c) in self.class_of.iter().enumerate() {
+            let _ = i;
+            if c != ClassId::INITIAL {
+                seen.insert(c);
+            }
+        }
+        seen.len()
+    }
+
+    /// The strength measures used by the paper's Figures 10–12.
+    pub fn strength(&self) -> Strength {
+        let unreachable = self.class_of.iter().filter(|&&c| c == ClassId::INITIAL).count();
+        let constants = self
+            .class_of
+            .iter()
+            .filter(|&&c| c == ClassId::INITIAL || matches!(self.leaders[c.index()], Leader::Const(_)))
+            .count();
+        Strength {
+            unreachable_values: unreachable,
+            constant_values: constants,
+            congruence_classes: self.num_congruence_classes(),
+        }
+    }
+}

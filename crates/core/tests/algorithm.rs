@@ -1,0 +1,784 @@
+//! Behavioural tests of the GVN algorithm on compiled source programs.
+
+use pgvn_core::{run, GvnConfig, Mode, Variant};
+use pgvn_ir::{Function, InstKind, Value};
+use pgvn_lang::compile;
+use pgvn_ssa::SsaStyle;
+
+fn build(src: &str) -> Function {
+    compile(src, SsaStyle::Minimal).expect("compiles")
+}
+
+/// The value returned by the (single) return reachable in `f`, if the
+/// GVN proved it constant.
+fn returned_constant(f: &Function, cfg: &GvnConfig) -> Option<i64> {
+    let results = run(f, cfg);
+    assert!(results.stats.converged, "analysis did not converge");
+    let mut constants = Vec::new();
+    for b in f.blocks() {
+        let Some(t) = f.terminator(b) else { continue };
+        if let InstKind::Return(v) = f.kind(t) {
+            if results.is_block_reachable(b) {
+                constants.push(results.constant_value(*v));
+            }
+        }
+    }
+    match &constants[..] {
+        [only] => *only,
+        _ => {
+            // Multiple reachable returns: constant only if all agree.
+            let first = constants.first().copied().flatten()?;
+            constants.iter().all(|&c| c == Some(first)).then_some(first)
+        }
+    }
+}
+
+fn ret_const(src: &str, cfg: &GvnConfig) -> Option<i64> {
+    returned_constant(&build(src), cfg)
+}
+
+// ---------------------------------------------------------------------
+// Constant folding and algebraic simplification
+// ---------------------------------------------------------------------
+
+#[test]
+fn folds_constants() {
+    assert_eq!(ret_const("routine f() { return 2 + 3 * 4; }", &GvnConfig::full()), Some(14));
+    assert_eq!(ret_const("routine f() { return (10 / 3) % 2; }", &GvnConfig::full()), Some(1));
+    assert_eq!(ret_const("routine f() { return 1 << 5; }", &GvnConfig::full()), Some(32));
+}
+
+#[test]
+fn simplifies_identities() {
+    for (src, want) in [
+        ("routine f(x) { return x * 0; }", 0),
+        ("routine f(x) { return x - x; }", 0),
+        ("routine f(x) { return x ^ x; }", 0),
+        ("routine f(x) { return (x & 0) + (x % 1); }", 0),
+    ] {
+        assert_eq!(ret_const(src, &GvnConfig::full()), Some(want), "{src}");
+    }
+}
+
+#[test]
+fn awz_mode_does_not_fold() {
+    let src = "routine f() { return 2 + 3; }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(5));
+    assert_eq!(ret_const(src, &GvnConfig::awz()), None, "AWZ performs no constant folding");
+}
+
+// ---------------------------------------------------------------------
+// Global reassociation
+// ---------------------------------------------------------------------
+
+#[test]
+fn reassociation_exposes_congruences() {
+    // (a + b) - (b + a) == 0 needs commutativity.
+    assert_eq!(ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::full()), Some(0));
+    // ((a + 1) + b) - ((b + 1) + a) == 0 needs associativity.
+    assert_eq!(
+        ret_const("routine f(a, b) { return ((a + 1) + b) - ((b + 1) + a); }", &GvnConfig::full()),
+        Some(0)
+    );
+    // (a + b) * c - a*c - b*c == 0 needs distribution.
+    assert_eq!(
+        ret_const("routine f(a, b, c) { return (a + b) * c - a * c - b * c; }", &GvnConfig::full()),
+        Some(0)
+    );
+    // Click emulation cannot do any of these.
+    assert_eq!(ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::click()), None);
+}
+
+#[test]
+fn shift_by_constant_reassociates() {
+    assert_eq!(ret_const("routine f(x) { return (x << 1) - (x + x); }", &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn bitwise_not_linearizes() {
+    // ~x == -x - 1, so ~x + x + 1 == 0.
+    assert_eq!(ret_const("routine f(x) { return ~x + x + 1; }", &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn forward_propagation_limit_caps_growth() {
+    // A long chain still terminates and stays sound with a tiny limit.
+    let src = "routine f(a, b, c, d) {
+        s = a + b + c + d + a + b + c + d + a + b + c + d;
+        t = d + c + b + a + d + c + b + a + d + c + b + a;
+        return s - t;
+    }";
+    let full = GvnConfig::full();
+    assert_eq!(ret_const(src, &full), Some(0));
+    let mut tiny = GvnConfig::full();
+    tiny.forward_propagation_limit = 2;
+    // With propagation cancelled the congruence may be missed, but the
+    // analysis must still converge and not crash.
+    let f = build(src);
+    let r = run(&f, &tiny);
+    assert!(r.stats.converged);
+}
+
+// ---------------------------------------------------------------------
+// Unreachable code elimination
+// ---------------------------------------------------------------------
+
+#[test]
+fn detects_unreachable_branch() {
+    let src = "routine f(x) {
+        if (1 > 2) { return 111; }
+        return 7;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(7));
+    let f = build(src);
+    let r = run(&f, &GvnConfig::full());
+    // Some block must be unreachable.
+    assert!(f.blocks().any(|b| !r.is_block_reachable(b)));
+    // AWZ (no UCE) finds no unreachable block.
+    let r_awz = run(&f, &GvnConfig::awz());
+    assert!(f.blocks().all(|b| r_awz.is_block_reachable(b)));
+}
+
+#[test]
+fn unreachable_definitions_are_ignored_through_phis() {
+    let src = "routine f(x) {
+        t = 4;
+        if (0) { t = 9; }
+        return t;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(4));
+    assert_eq!(ret_const(src, &GvnConfig::sccp()), Some(4), "SCCP also gets this");
+}
+
+#[test]
+fn sccp_finds_constants_but_not_congruences() {
+    let f = build("routine f(a, b) { x = a + b; y = a + b; return x - y; }");
+    assert_eq!(returned_constant(&f, &GvnConfig::full()), Some(0));
+    assert_eq!(returned_constant(&f, &GvnConfig::sccp()), None, "SCCP tracks only constants");
+    // But SCCP still folds pure constants.
+    assert_eq!(ret_const("routine f() { return 3 * 3; }", &GvnConfig::sccp()), Some(9));
+}
+
+// ---------------------------------------------------------------------
+// Optimistic vs balanced vs pessimistic (§1.2, §2.6)
+// ---------------------------------------------------------------------
+
+/// A loop-invariant cyclic value: i stays 0 through the loop.
+const CYCLIC_INVARIANT: &str = "routine f(n) {
+    i = 0;
+    j = 0;
+    while (j < n) {
+        i = i * 2;
+        j = j + 1;
+    }
+    return i;
+}";
+
+#[test]
+fn optimistic_detects_loop_invariant_cyclic_value() {
+    assert_eq!(ret_const(CYCLIC_INVARIANT, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn balanced_misses_cyclic_but_keeps_unreachable_code() {
+    let cfg = GvnConfig::full().mode(Mode::Balanced);
+    assert_eq!(ret_const(CYCLIC_INVARIANT, &cfg), None, "balanced treats cyclic φs as unique");
+    // ... but it still removes unreachable code:
+    let src = "routine f(x) { if (2 < 1) { return 9; } return 3; }";
+    assert_eq!(ret_const(src, &cfg), Some(3));
+    let f = build(src);
+    let r = run(&f, &cfg);
+    assert!(f.blocks().any(|b| !r.is_block_reachable(b)));
+    assert_eq!(r.stats.passes, 1, "balanced terminates after one pass");
+}
+
+#[test]
+fn pessimistic_is_single_pass_everything_reachable() {
+    let f = build(CYCLIC_INVARIANT);
+    let r = run(&f, &GvnConfig::full().mode(Mode::Pessimistic));
+    assert_eq!(r.stats.passes, 1);
+    assert!(f.blocks().all(|b| r.is_block_reachable(b)));
+    // Still folds straight-line constants.
+    assert_eq!(
+        ret_const("routine f() { return 4 + 4; }", &GvnConfig::full().mode(Mode::Pessimistic)),
+        Some(8)
+    );
+}
+
+#[test]
+fn cyclic_congruences_found_optimistically() {
+    // Two identical counters are congruent only under optimism.
+    let src = "routine f(n) {
+        i = 0; j = 0; k = 0;
+        while (k < n) {
+            i = i + 1;
+            j = j + 1;
+            k = k + 1;
+        }
+        return i - j;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+    assert_eq!(ret_const(src, &GvnConfig::full().mode(Mode::Balanced)), None);
+}
+
+// ---------------------------------------------------------------------
+// Predicate and value inference (§2.7)
+// ---------------------------------------------------------------------
+
+#[test]
+fn value_inference_from_equality_with_constant() {
+    let src = "routine f(k) {
+        if (k == 0) { return k + 5; }
+        return 5;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(5));
+    let mut no_vi = GvnConfig::full();
+    no_vi.value_inference = false;
+    assert_eq!(ret_const(src, &no_vi), None);
+}
+
+#[test]
+fn value_inference_chain_figure6() {
+    // Figure 6: inside K==J and J==I, X = K + 1 ≅ I + 1.
+    let f = build(pgvn_lang::fixtures::FIGURE6);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.converged);
+    // Find the value computing K + 1 and a manually-built I + 1 witness:
+    // instead, check via a twin routine where we return (K+1) - (I+1).
+    let twin = build(
+        "routine fig6t(I, J, K) {
+            if (K == J) {
+                if (J == I) {
+                    return (K + 1) - (I + 1);
+                }
+            }
+            return 0;
+        }",
+    );
+    assert_eq!(returned_constant(&twin, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn predicate_inference_decides_dominated_comparisons() {
+    let src = "routine f(z) {
+        if (z > 1) {
+            return z < 1;
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+    let mut no_pi = GvnConfig::full();
+    no_pi.predicate_inference = false;
+    assert_eq!(ret_const(src, &no_pi), None);
+}
+
+#[test]
+fn predicate_inference_same_operands() {
+    let src = "routine f(a, b) {
+        if (a < b) {
+            return a >= b;
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn briggs_figure13_unified_inference() {
+    // I and J both become 0 inside the branch; I + J == 0.
+    let src = "routine fig13(K) {
+        L = K + 0;
+        if (K == 0) {
+            I = K;
+            J = L;
+            return I + J;
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn inference_does_not_cross_back_edges_in_practical() {
+    // The guard is outside the loop; the use inside the loop is reached
+    // through a back edge on some iterations. The practical algorithm
+    // must still handle the first-iteration path soundly.
+    let src = "routine f(k, n) {
+        s = 0;
+        if (k == 0) {
+            i = 0;
+            while (i < n) {
+                s = s + k;
+                i = i + 1;
+            }
+        }
+        return s;
+    }";
+    // s stays 0 since k == 0 in the loop; optimistic + inference finds it.
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+}
+
+// ---------------------------------------------------------------------
+// φ-predication (§2.8)
+// ---------------------------------------------------------------------
+
+#[test]
+fn phi_predication_unifies_structurally_identical_diamonds() {
+    let src = "routine f(c, x, y) {
+        if (c < 10) { a = x; } else { a = y; }
+        if (c < 10) { b = x; } else { b = y; }
+        return a - b;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+    let mut no_pp = GvnConfig::full();
+    no_pp.phi_predication = false;
+    assert_eq!(ret_const(src, &no_pp), None, "without φ-predication the φs stay apart");
+}
+
+#[test]
+fn phi_predication_requires_congruent_predicates() {
+    let src = "routine f(c, d, x, y) {
+        if (c < 10) { a = x; } else { a = y; }
+        if (d < 10) { b = x; } else { b = y; }
+        return a - b;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), None, "different predicates: not congruent");
+}
+
+#[test]
+fn phi_predication_swapped_branch_sides() {
+    // Same condition written in flipped form; canonicalization of the
+    // comparison plus canonical edge ordering must still unify.
+    let src = "routine f(c, x, y) {
+        if (c < 10) { a = x; } else { a = y; }
+        if (10 <= c) { b = y; } else { b = x; }
+        return a - b;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn figure14a_is_out_of_scope_for_the_base_algorithm() {
+    // The paper (§6) notes that K3 ≅ L3 needs a φ-distribution extension
+    // it does not perform; the base algorithm must miss it but converge.
+    let f = build(pgvn_lang::fixtures::FIGURE14A);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.converged);
+    assert_eq!(returned_constant(&f, &GvnConfig::full()), None);
+}
+
+// ---------------------------------------------------------------------
+// The headline example (Figure 1 / Figure 2 / §2.10)
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure1_returns_constant_one_with_full_algorithm() {
+    assert_eq!(ret_const(pgvn_lang::fixtures::FIGURE1, &GvnConfig::full()), Some(1));
+}
+
+#[test]
+fn figure1_needs_every_analysis() {
+    let f = build(pgvn_lang::fixtures::FIGURE1);
+    let mut cases: Vec<(&str, GvnConfig)> = Vec::new();
+    let mut c = GvnConfig::full();
+    c.value_inference = false;
+    cases.push(("value inference", c));
+    let mut c = GvnConfig::full();
+    c.predicate_inference = false;
+    cases.push(("predicate inference", c));
+    let mut c = GvnConfig::full();
+    c.phi_predication = false;
+    cases.push(("φ-predication", c));
+    let mut c = GvnConfig::full();
+    c.global_reassociation = false;
+    cases.push(("global reassociation", c));
+    let mut c = GvnConfig::full();
+    c.unreachable_code_elim = false;
+    cases.push(("unreachable code elimination", c));
+    cases.push(("optimism (balanced)", GvnConfig::full().mode(Mode::Balanced)));
+    cases.push(("click emulation", GvnConfig::click()));
+    cases.push(("sccp emulation", GvnConfig::sccp()));
+    cases.push(("awz emulation", GvnConfig::awz()));
+    for (name, cfg) in cases {
+        assert_eq!(
+            returned_constant(&f, &cfg),
+            None,
+            "disabling {name} should break the Figure 1 inference chain"
+        );
+    }
+}
+
+#[test]
+fn figure1_works_with_complete_variant_too() {
+    let cfg = GvnConfig::full().variant(Variant::Complete);
+    assert_eq!(ret_const(pgvn_lang::fixtures::FIGURE1, &cfg), Some(1));
+}
+
+#[test]
+fn figure1_works_dense() {
+    let cfg = GvnConfig::full().sparse(false);
+    assert_eq!(ret_const(pgvn_lang::fixtures::FIGURE1, &cfg), Some(1));
+}
+
+// ---------------------------------------------------------------------
+// Congruence quality across modes and variants
+// ---------------------------------------------------------------------
+
+fn all_return_values(f: &Function) -> Vec<Value> {
+    f.blocks()
+        .filter_map(|b| f.terminator(b))
+        .filter_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn redundant_expressions_share_a_class() {
+    let f = build("routine f(a, b) { x = a * b + 3; y = a * b + 3; return x - y; }");
+    let r = run(&f, &GvnConfig::full());
+    // The two computations are congruent; the return is 0.
+    assert_eq!(returned_constant(&f, &GvnConfig::full()), Some(0));
+    let _ = all_return_values(&f);
+    assert!(r.num_congruence_classes() > 0);
+}
+
+#[test]
+fn strength_ordering_of_modes() {
+    // optimistic >= balanced >= pessimistic in constants found.
+    for src in [
+        CYCLIC_INVARIANT,
+        pgvn_lang::fixtures::FIGURE1,
+        "routine f(a) { if (a > 0) { return a - a; } return 0; }",
+    ] {
+        let f = build(src);
+        let opt = run(&f, &GvnConfig::full()).strength();
+        let bal = run(&f, &GvnConfig::full().mode(Mode::Balanced)).strength();
+        let pes = run(&f, &GvnConfig::full().mode(Mode::Pessimistic)).strength();
+        assert!(opt.constant_values >= bal.constant_values, "{src}");
+        assert!(bal.constant_values >= pes.constant_values, "{src}");
+        assert!(opt.unreachable_values >= bal.unreachable_values, "{src}");
+        assert!(bal.unreachable_values >= pes.unreachable_values, "{src}");
+    }
+}
+
+#[test]
+fn sparse_and_dense_agree() {
+    for src in [
+        pgvn_lang::fixtures::FIGURE1,
+        pgvn_lang::fixtures::FIGURE6,
+        CYCLIC_INVARIANT,
+        "routine f(a, b) { return (a + b) - (b + a); }",
+    ] {
+        let f = build(src);
+        let sparse = run(&f, &GvnConfig::full());
+        let dense = run(&f, &GvnConfig::full().sparse(false));
+        assert_eq!(sparse.strength(), dense.strength(), "{src}");
+        for v in f.values() {
+            assert_eq!(
+                sparse.constant_value(v),
+                dense.constant_value(v),
+                "{src}: {v} differs between sparse and dense"
+            );
+        }
+    }
+}
+
+#[test]
+fn practical_and_complete_agree_on_paper_programs() {
+    for src in [pgvn_lang::fixtures::FIGURE1, pgvn_lang::fixtures::FIGURE6, pgvn_lang::fixtures::FIGURE13] {
+        let f = build(src);
+        let p = run(&f, &GvnConfig::full());
+        let c = run(&f, &GvnConfig::full().variant(Variant::Complete));
+        // Complete is at least as strong as practical.
+        assert!(c.strength().constant_values >= p.strength().constant_values, "{src}");
+        assert!(c.strength().unreachable_values >= p.strength().unreachable_values, "{src}");
+    }
+}
+
+#[test]
+fn figure9_ladder_converges_and_infers() {
+    // The value-inference worst case: J = I_n + 1 where a ladder of
+    // guards makes I_n ≅ I_1. Check the chain is actually followed.
+    let src_ladder = pgvn_lang::fixtures::figure9(6);
+    let twin = format!(
+        "routine fig9t(I1, I2, I3, I4, I5, I6) {{
+            if (I1 == I2) {{ if (I2 == I3) {{ if (I3 == I4) {{
+            if (I4 == I5) {{ if (I5 == I6) {{
+                return (I6 + 1) - (I1 + 1);
+            }} }} }} }} }}
+            return 0;
+        }}"
+    );
+    let f = build(&src_ladder);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.converged);
+    assert!(r.stats.value_inference_visits > 0);
+    assert_eq!(ret_const(&twin, &GvnConfig::full()), Some(0));
+}
+
+#[test]
+fn stats_are_populated() {
+    let f = build(pgvn_lang::fixtures::FIGURE1);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.passes >= 2, "figure 1 needs optimistic iteration");
+    assert!(r.stats.insts_processed > 0);
+    assert!(r.stats.num_insts > 0);
+    assert!(r.stats.value_inference_visits > 0);
+    assert!(r.stats.predicate_inference_visits > 0);
+    assert!(r.stats.phi_predication_visits > 0);
+    assert!(r.stats.value_inference_per_inst() >= 0.0);
+}
+
+// ---------------------------------------------------------------------
+// The §6 φ-distribution extension (GvnConfig::extended)
+// ---------------------------------------------------------------------
+
+#[test]
+fn extension_captures_figure14a() {
+    // K3 = φ(I1+1, I2+1) vs L3 = φ(I1,I2) + 1.
+    let f = build(pgvn_lang::fixtures::FIGURE14A);
+    assert_eq!(returned_constant(&f, &GvnConfig::full()), None, "base algorithm misses it");
+    assert_eq!(returned_constant(&f, &GvnConfig::extended()), Some(0), "extension captures it");
+}
+
+#[test]
+fn extension_captures_figure14b() {
+    // K3 = φ(1,2) + φ(2,1) vs L3 = 3 — the paper predicts the
+    // distribution extension captures case (b) as well (§6).
+    let f = build(pgvn_lang::fixtures::FIGURE14B);
+    assert_eq!(returned_constant(&f, &GvnConfig::full()), None);
+    assert_eq!(returned_constant(&f, &GvnConfig::extended()), Some(0));
+}
+
+#[test]
+fn extension_distributes_comparisons() {
+    let src = "routine f(c, x) {
+        if (c) { a = 1; } else { a = 2; }
+        return a < 5;
+    }";
+    let f = build(src);
+    assert_eq!(returned_constant(&f, &GvnConfig::extended()), Some(1));
+}
+
+#[test]
+fn extension_still_proves_figure1() {
+    assert_eq!(ret_const(pgvn_lang::fixtures::FIGURE1, &GvnConfig::extended()), Some(1));
+}
+
+#[test]
+fn extension_is_at_least_as_strong() {
+    for src in [
+        pgvn_lang::fixtures::FIGURE1,
+        pgvn_lang::fixtures::FIGURE6,
+        pgvn_lang::fixtures::FIGURE13,
+        pgvn_lang::fixtures::FIGURE14A,
+        CYCLIC_INVARIANT,
+    ] {
+        let f = build(src);
+        let base = run(&f, &GvnConfig::full()).strength();
+        let ext = run(&f, &GvnConfig::extended()).strength();
+        assert!(ext.constant_values >= base.constant_values, "{src}");
+        assert!(ext.unreachable_values >= base.unreachable_values, "{src}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The §7 joint-domination extension (part of GvnConfig::extended)
+// ---------------------------------------------------------------------
+
+/// Both paths into the final block establish x == 0 on their own edges.
+const JOINT_DOM: &str = "routine f(x, c) {
+    if (c < 5) {
+        if (x != 0) { return 9; }
+    } else {
+        if (x != 0) { return 8; }
+    }
+    return x + 1;
+}";
+
+#[test]
+fn joint_domination_infers_across_confluences() {
+    let f = build(JOINT_DOM);
+    // The base practical algorithm climbs past the join and loses the
+    // x == 0 knowledge carried by *both* incoming edges…
+    let base = run(&f, &GvnConfig::full());
+    assert!(base.stats.converged);
+    // …the extension combines them: the joined return is the constant 1.
+    let ext = run(&f, &GvnConfig::extended());
+    assert!(ext.stats.converged);
+    let ret_consts: Vec<Option<i64>> = f
+        .blocks()
+        .filter(|&b| ext.is_block_reachable(b))
+        .filter_map(|b| f.terminator(b))
+        .filter_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(*v),
+            _ => None,
+        })
+        .map(|v| ext.constant_value(v))
+        .collect();
+    assert!(ret_consts.contains(&Some(1)), "{ret_consts:?}");
+    // And the base algorithm indeed misses it (documented gap the §7
+    // extension closes).
+    let base_consts: Vec<Option<i64>> = f
+        .blocks()
+        .filter_map(|b| f.terminator(b))
+        .filter_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(*v),
+            _ => None,
+        })
+        .map(|v| base.constant_value(v))
+        .collect();
+    assert!(!base_consts.contains(&Some(1)), "{base_consts:?}");
+}
+
+#[test]
+fn joint_domination_predicate_queries() {
+    // Both edges into the join carry x > 3 knowledge in different forms.
+    let src = "routine f(x, c) {
+        if (c < 5) {
+            if (x <= 3) { return 0; }
+        } else {
+            if (x <= 3) { return 0; }
+        }
+        return x > 1;
+    }";
+    let f = build(src);
+    let ext = run(&f, &GvnConfig::extended());
+    let folded = f
+        .blocks()
+        .filter(|&b| ext.is_block_reachable(b))
+        .filter_map(|b| f.terminator(b))
+        .filter_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(ext.constant_value(*v)),
+            _ => None,
+        })
+        .any(|c| c == Some(1));
+    assert!(folded, "x > 1 should fold to 1 at the joint-dominated block");
+}
+
+#[test]
+fn joint_domination_requires_agreement() {
+    // The two paths imply different facts about x; nothing may fold.
+    let src = "routine f(x, c) {
+        if (c < 5) {
+            if (x != 0) { return 9; }
+        } else {
+            if (x != 1) { return 8; }
+        }
+        return x + 1;
+    }";
+    let f = build(src);
+    let ext = run(&f, &GvnConfig::extended());
+    assert!(ext.stats.converged);
+    let any_one = f
+        .blocks()
+        .filter_map(|b| f.terminator(b))
+        .filter_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(ext.constant_value(*v)),
+            _ => None,
+        })
+        .any(|c| c == Some(1) || c == Some(2));
+    assert!(!any_one, "disagreeing predicates must not fold the join");
+}
+
+// ---------------------------------------------------------------------
+// §3: value inference restricted to congruences with constants
+// ---------------------------------------------------------------------
+
+#[test]
+fn constants_only_value_inference_keeps_constant_replacements() {
+    let src = "routine f(x) {
+        if (x == 3) { return x - 3; }
+        return 0;
+    }";
+    let mut cfg = GvnConfig::full();
+    cfg.value_inference_constants_only = true;
+    assert_eq!(ret_const(src, &cfg), Some(0), "constant replacement still applies");
+}
+
+#[test]
+fn constants_only_value_inference_skips_variable_replacements() {
+    // y → x replacement is variable-to-variable: skipped in this mode,
+    // so y - x is not proven 0 … but the predicate x == y itself still
+    // decides `y == x` queries (predicate inference is unaffected).
+    let src = "routine f(x) {
+        y = opaque(1);
+        if (y == x) { return y - x; }
+        return 0;
+    }";
+    let mut cfg = GvnConfig::full();
+    cfg.value_inference_constants_only = true;
+    assert_eq!(ret_const(src, &cfg), None);
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0), "unrestricted mode folds it");
+}
+
+// ---------------------------------------------------------------------
+// Results API surface
+// ---------------------------------------------------------------------
+
+#[test]
+fn results_expose_congruence_queries() {
+    let f = build("routine f(a, b) { x = a * b; y = b * a; z = a + 1; return x + y + z; }");
+    let r = run(&f, &GvnConfig::full());
+    let muls: Vec<Value> = f
+        .values()
+        .filter(|&v| matches!(f.kind(f.def(v)), InstKind::Binary(pgvn_ir::BinOp::Mul, _, _)))
+        .collect();
+    let [x, y] = muls[..] else { panic!("expected two multiplies") };
+    // The two multiplies are congruent (reassociation commutes them).
+    assert!(r.congruent(x, y), "\n{}", pgvn_core::annotated(&f, &r));
+    assert_eq!(r.class_of(x), r.class_of(y));
+    assert!(r.leader_value(y).is_some());
+    let s = r.strength();
+    assert!(s.congruence_classes >= 1);
+    assert_eq!(s.unreachable_values, 0);
+}
+
+// ---------------------------------------------------------------------
+// §2.10 walkthrough facts on Figure 1
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure1_walkthrough_intermediate_facts() {
+    let f = build(pgvn_lang::fixtures::FIGURE1);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.converged);
+
+    // "Unreachable code elimination ignores the definition of I4" and
+    // "the definition of P8": both guarded assignments (`I = 2` and
+    // `P = 2` behind `I ≠ 1`) are dead, so at least two blocks are
+    // proven unreachable.
+    let unreachable: Vec<_> = f.blocks().filter(|&b| !r.is_block_reachable(b)).collect();
+    assert!(unreachable.len() >= 2, "expected both `≠ 1` arms dead, got {unreachable:?}");
+
+    // "φ-predication enables congruence finding to determine that Q14 is
+    // congruent to P11": φs in *different* blocks share congruence
+    // classes. (Our lowering builds the 3-way merges of the paper's
+    // figure as chains of 2-argument φs, so the congruent φs here are
+    // those chains' links.)
+    let phis: Vec<(Value, pgvn_ir::Block)> = f
+        .values()
+        .filter(|&v| f.kind(f.def(v)).is_phi() && !r.is_value_unreachable(v) && r.constant_value(v).is_none())
+        .map(|v| (v, f.def_block(v)))
+        .collect();
+    let cross_block_congruent = phis.iter().any(|&(a, ba)| {
+        phis.iter().any(|&(b, bb)| a != b && ba != bb && r.congruent(a, b))
+    });
+    assert!(
+        cross_block_congruent,
+        "P and Q φs should share a class via φ-predication:\n{}",
+        pgvn_core::annotated(&f, &r)
+    );
+
+    // "The algorithm … performs 3 passes over the routine" — ours takes
+    // the same number.
+    assert_eq!(r.stats.passes, 3, "§2.10 reports exactly 3 passes");
+
+    // The loop-carried I φ is congruent to the constant 1.
+    let one_phi = f
+        .values()
+        .any(|v| f.kind(f.def(v)).is_phi() && r.constant_value(v) == Some(1));
+    assert!(one_phi, "I2 = φ(1, I17) must be the constant 1");
+}

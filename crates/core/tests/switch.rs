@@ -1,0 +1,237 @@
+//! Switch-instruction support: the §3 extension "φ-predication can be
+//! extended to handle switch instructions, even when their default case
+//! does not have an explicit predicate", plus the interactions of
+//! multi-way branches with every other part of the algorithm.
+
+use pgvn_core::{run, GvnConfig, Mode};
+use pgvn_ir::{Function, HashedOpaques, InstKind, Interpreter};
+use pgvn_lang::compile;
+use pgvn_ssa::SsaStyle;
+
+fn build(src: &str) -> Function {
+    compile(src, SsaStyle::Minimal).expect("compiles")
+}
+
+fn ret_const(src: &str, cfg: &GvnConfig) -> Option<i64> {
+    let f = build(src);
+    let results = run(&f, cfg);
+    assert!(results.stats.converged);
+    let mut constants = Vec::new();
+    for b in f.blocks() {
+        let Some(t) = f.terminator(b) else { continue };
+        if let InstKind::Return(v) = f.kind(t) {
+            if results.is_block_reachable(b) {
+                constants.push(results.constant_value(*v));
+            }
+        }
+    }
+    let first = constants.first().copied().flatten()?;
+    constants.iter().all(|&c| c == Some(first)).then_some(first)
+}
+
+fn exec(src: &str, args: &[i64]) -> i64 {
+    let f = build(src);
+    Interpreter::new(&f).run(args, &mut HashedOpaques::new(0)).expect("terminates")
+}
+
+const DISPATCH: &str = "routine dispatch(x) {
+    switch (x) {
+        case 1: { r = 10; }
+        case 2: { r = 20; }
+        default: { r = 0; }
+    }
+    return r;
+}";
+
+#[test]
+fn switch_executes_correctly() {
+    assert_eq!(exec(DISPATCH, &[1]), 10);
+    assert_eq!(exec(DISPATCH, &[2]), 20);
+    assert_eq!(exec(DISPATCH, &[3]), 0);
+    assert_eq!(exec(DISPATCH, &[-1]), 0);
+}
+
+#[test]
+fn switch_on_constant_prunes_other_cases() {
+    let src = "routine f() {
+        k = 2;
+        switch (k) {
+            case 1: { return 111; }
+            case 2: { return 222; }
+            default: { return 333; }
+        }
+        return 0;
+    }";
+    assert_eq!(exec(src, &[]), 222);
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(222));
+    let f = build(src);
+    let r = run(&f, &GvnConfig::full());
+    assert!(f.blocks().any(|b| !r.is_block_reachable(b)), "case arms pruned");
+}
+
+#[test]
+fn case_edges_enable_value_inference() {
+    // In the `case 7` arm, x is known to be 7: x + 1 is the constant 8.
+    let src = "routine f(x) {
+        switch (x) {
+            case 7: { return x + 1; }
+            default: { return 8; }
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(8));
+    let mut no_vi = GvnConfig::full();
+    no_vi.value_inference = false;
+    assert_eq!(ret_const(src, &no_vi), None);
+}
+
+#[test]
+fn case_edges_enable_predicate_inference() {
+    // In the `case 5` arm, x == 5 decides x > 3.
+    let src = "routine f(x) {
+        switch (x) {
+            case 5: { return x > 3; }
+            default: { return 1; }
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(1));
+}
+
+#[test]
+fn default_edge_has_no_predicate_but_stays_sound() {
+    // The default arm knows nothing about x (our predicate for it is ∅),
+    // so x + 1 must NOT fold there.
+    let src = "routine f(x) {
+        switch (x) {
+            case 1: { return 2; }
+            default: { return x + 1; }
+        }
+        return 0;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), None);
+    assert_eq!(exec(src, &[1]), 2);
+    assert_eq!(exec(src, &[41]), 42);
+}
+
+#[test]
+fn phis_after_switch_join_work() {
+    let src = "routine f(x, a, b) {
+        switch (x) {
+            case 0: { t = a; }
+            case 1: { t = b; }
+            default: { t = a + b; }
+        }
+        return t;
+    }";
+    assert_eq!(exec(src, &[0, 3, 9]), 3);
+    assert_eq!(exec(src, &[1, 3, 9]), 9);
+    assert_eq!(exec(src, &[5, 3, 9]), 12);
+    let f = build(src);
+    let r = run(&f, &GvnConfig::full());
+    assert!(r.stats.converged);
+}
+
+#[test]
+fn phi_predication_unifies_identical_switches() {
+    // Two switches over the same scrutinee selecting the same values: the
+    // joined results are congruent (σ-predication over case predicates).
+    let src = "routine f(x, a, b) {
+        switch (x) {
+            case 1: { s = a; }
+            default: { s = b; }
+        }
+        switch (x) {
+            case 1: { t = a; }
+            default: { t = b; }
+        }
+        return s - t;
+    }";
+    assert_eq!(ret_const(src, &GvnConfig::full()), Some(0));
+    let mut no_pp = GvnConfig::full();
+    no_pp.phi_predication = false;
+    assert_eq!(ret_const(src, &no_pp), None, "needs φ-predication");
+}
+
+#[test]
+fn switch_in_loop_with_modes() {
+    let src = "routine f(n) {
+        s = 0;
+        i = 0;
+        while (i < n) {
+            switch (i % 3) {
+                case 0: { s = s + 1; }
+                case 1: { s = s + 10; }
+                default: { s = s + 100; }
+            }
+            i = i + 1;
+        }
+        return s;
+    }";
+    assert_eq!(exec(src, &[6]), 222);
+    for mode in [Mode::Optimistic, Mode::Balanced, Mode::Pessimistic] {
+        let f = build(src);
+        let r = run(&f, &GvnConfig::full().mode(mode));
+        assert!(r.stats.converged, "{mode:?}");
+    }
+}
+
+#[test]
+fn nested_switches() {
+    let src = "routine f(x, y) {
+        switch (x) {
+            case 0: {
+                switch (y) {
+                    case 0: { return 1; }
+                    default: { return 2; }
+                }
+                return 0;
+            }
+            default: { return 3; }
+        }
+        return 0;
+    }";
+    assert_eq!(exec(src, &[0, 0]), 1);
+    assert_eq!(exec(src, &[0, 9]), 2);
+    assert_eq!(exec(src, &[4, 0]), 3);
+    let f = build(src);
+    assert!(run(&f, &GvnConfig::full()).stats.converged);
+}
+
+#[test]
+fn switch_without_default_body_falls_through() {
+    let src = "routine f(x) {
+        r = 100;
+        switch (x) {
+            case 1: { r = 1; }
+        }
+        return r;
+    }";
+    assert_eq!(exec(src, &[1]), 1);
+    assert_eq!(exec(src, &[2]), 100);
+}
+
+#[test]
+fn negative_case_values_parse_and_run() {
+    let src = "routine f(x) {
+        switch (x) {
+            case -3: { return 1; }
+            case 0: { return 2; }
+            default: { return 3; }
+        }
+        return 0;
+    }";
+    assert_eq!(exec(src, &[-3]), 1);
+    assert_eq!(exec(src, &[0]), 2);
+    assert_eq!(exec(src, &[5]), 3);
+}
+
+#[test]
+fn duplicate_cases_rejected_by_parser() {
+    let err = compile(
+        "routine f(x) { switch (x) { case 1: { return 1; } case 1: { return 2; } } return 0; }",
+        SsaStyle::Minimal,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("duplicate case"), "{err}");
+}

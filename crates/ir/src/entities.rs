@@ -1,0 +1,439 @@
+//! Entity references and dense entity maps.
+//!
+//! The IR is arena-based: blocks, instructions, values and edges are stored
+//! in per-function vectors and referenced by small copyable index types
+//! ("entity references"). This mirrors the layout used by production
+//! compilers (Cranelift, LLVM's dense maps) and is what makes the sparse
+//! worklist formulation of the paper cheap: set membership is a bit per
+//! entity, and all per-entity side tables are flat vectors.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// A type that can be used as a dense index into an [`EntityVec`].
+pub trait EntityRef: Copy + Eq + Hash {
+    /// Creates an entity reference from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    fn new(index: usize) -> Self;
+
+    /// Returns the raw index of this entity.
+    fn index(self) -> usize;
+}
+
+macro_rules! entity_ref {
+    ($(#[$attr:meta])* $name:ident, $prefix:expr) => {
+        $(#[$attr])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $crate::entities::EntityRef for $name {
+            #[inline]
+            fn new(index: usize) -> Self {
+                debug_assert!(index < u32::MAX as usize);
+                $name(index as u32)
+            }
+
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl $name {
+            /// Creates an entity reference from a raw index.
+            #[inline]
+            pub fn from_u32(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw `u32` index.
+            #[inline]
+            pub fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                ::std::fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+entity_ref! {
+    /// A reference to a basic block.
+    Block, "bb"
+}
+entity_ref! {
+    /// A reference to an instruction.
+    Inst, "inst"
+}
+entity_ref! {
+    /// A reference to an SSA value (the result of an instruction).
+    Value, "v"
+}
+entity_ref! {
+    /// A reference to a control flow edge.
+    ///
+    /// Edges are first class in this IR because the paper's algorithm keeps
+    /// per-edge state: the `REACHABLE` set and the `PREDICATE` mapping both
+    /// range over edges.
+    Edge, "e"
+}
+
+/// A dense map from an entity reference to `V`, backed by a `Vec`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EntityVec<K, V> {
+    elems: Vec<V>,
+    marker: PhantomData<K>,
+}
+
+impl<K: EntityRef, V> EntityVec<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        EntityVec { elems: Vec::new(), marker: PhantomData }
+    }
+
+    /// Creates an empty map with capacity for `cap` entities.
+    pub fn with_capacity(cap: usize) -> Self {
+        EntityVec { elems: Vec::with_capacity(cap), marker: PhantomData }
+    }
+
+    /// Appends `value` and returns the entity reference of the new slot.
+    pub fn push(&mut self, value: V) -> K {
+        let key = K::new(self.elems.len());
+        self.elems.push(value);
+        key
+    }
+
+    /// Returns the number of entities.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` if the map contains no entities.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Returns `true` if `key` indexes an existing slot.
+    pub fn is_valid(&self, key: K) -> bool {
+        key.index() < self.elems.len()
+    }
+
+    /// Returns a reference to the element for `key`, if valid.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.elems.get(key.index())
+    }
+
+    /// Iterates over `(key, &value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.elems.iter().enumerate().map(|(i, v)| (K::new(i), v))
+    }
+
+    /// Iterates over `(key, &mut value)` pairs in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.elems.iter_mut().enumerate().map(|(i, v)| (K::new(i), v))
+    }
+
+    /// Iterates over all keys in index order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + use<K, V> {
+        (0..self.elems.len()).map(K::new)
+    }
+
+    /// Iterates over all values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.elems.iter()
+    }
+}
+
+impl<K: EntityRef, V> Default for EntityVec<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: EntityRef, V> std::ops::Index<K> for EntityVec<K, V> {
+    type Output = V;
+    #[inline]
+    fn index(&self, key: K) -> &V {
+        &self.elems[key.index()]
+    }
+}
+
+impl<K: EntityRef, V> std::ops::IndexMut<K> for EntityVec<K, V> {
+    #[inline]
+    fn index_mut(&mut self, key: K) -> &mut V {
+        &mut self.elems[key.index()]
+    }
+}
+
+impl<K, V: fmt::Debug> fmt::Debug for EntityVec<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.elems.iter()).finish()
+    }
+}
+
+impl<K: EntityRef, V> FromIterator<V> for EntityVec<K, V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        EntityVec { elems: iter.into_iter().collect(), marker: PhantomData }
+    }
+}
+
+/// A dense secondary map from an entity reference to `V`, with a default
+/// value for entities that have not been written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecondaryMap<K, V> {
+    elems: Vec<V>,
+    default: V,
+    marker: PhantomData<K>,
+}
+
+impl<K: EntityRef, V: Clone> SecondaryMap<K, V> {
+    /// Creates a map whose entries default to `default`.
+    pub fn with_default(default: V) -> Self {
+        SecondaryMap { elems: Vec::new(), default, marker: PhantomData }
+    }
+
+    /// Creates a map sized for `len` entities up front.
+    pub fn with_capacity(default: V, len: usize) -> Self {
+        SecondaryMap { elems: vec![default.clone(); len], default, marker: PhantomData }
+    }
+
+    fn ensure(&mut self, key: K) {
+        if key.index() >= self.elems.len() {
+            self.elems.resize(key.index() + 1, self.default.clone());
+        }
+    }
+
+    /// Resets every entry to the default value, keeping allocation.
+    pub fn clear(&mut self) {
+        for e in &mut self.elems {
+            *e = self.default.clone();
+        }
+    }
+}
+
+impl<K: EntityRef, V: Clone> std::ops::Index<K> for SecondaryMap<K, V> {
+    type Output = V;
+    #[inline]
+    fn index(&self, key: K) -> &V {
+        self.elems.get(key.index()).unwrap_or(&self.default)
+    }
+}
+
+impl<K: EntityRef, V: Clone> std::ops::IndexMut<K> for SecondaryMap<K, V> {
+    #[inline]
+    fn index_mut(&mut self, key: K) -> &mut V {
+        self.ensure(key);
+        &mut self.elems[key.index()]
+    }
+}
+
+/// A set of entities, backed by a bit vector, with a membership count.
+///
+/// This is the representation the paper recommends in section 3 for the
+/// `TOUCHED`, `REACHABLE` and `CHANGED` sets: "values, instructions and
+/// blocks can contain bit masks which specify the sets they belong to" and
+/// "a count of the touched instructions and blocks can be maintained".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntitySet<K> {
+    bits: Vec<u64>,
+    len: usize,
+    marker: PhantomData<K>,
+}
+
+impl<K: EntityRef> EntitySet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        EntitySet { bits: Vec::new(), len: 0, marker: PhantomData }
+    }
+
+    /// Creates an empty set with room for `n` entities.
+    pub fn with_capacity(n: usize) -> Self {
+        EntitySet { bits: vec![0; n.div_ceil(64)], len: 0, marker: PhantomData }
+    }
+
+    /// Returns the number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `key` is a member.
+    #[inline]
+    pub fn contains(&self, key: K) -> bool {
+        let i = key.index();
+        match self.bits.get(i / 64) {
+            Some(word) => word & (1 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was not already a member.
+    #[inline]
+    pub fn insert(&mut self, key: K) -> bool {
+        let i = key.index();
+        if i / 64 >= self.bits.len() {
+            self.bits.resize(i / 64 + 1, 0);
+        }
+        let word = &mut self.bits[i / 64];
+        let mask = 1 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was a member.
+    #[inline]
+    pub fn remove(&mut self, key: K) -> bool {
+        let i = key.index();
+        if let Some(word) = self.bits.get_mut(i / 64) {
+            let mask = 1 << (i % 64);
+            if *word & mask != 0 {
+                *word &= !mask;
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every member, keeping allocation.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates over members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(K::new(wi * 64 + bit))
+            })
+        })
+    }
+}
+
+impl<K: EntityRef> FromIterator<K> for EntitySet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut set = EntitySet::new();
+        for k in iter {
+            set.insert(k);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_ref_roundtrip() {
+        let b = Block::new(17);
+        assert_eq!(b.index(), 17);
+        assert_eq!(b.as_u32(), 17);
+        assert_eq!(Block::from_u32(17), b);
+        assert_eq!(b.to_string(), "bb17");
+        assert_eq!(format!("{b:?}"), "bb17");
+    }
+
+    #[test]
+    fn entity_vec_push_index() {
+        let mut v: EntityVec<Value, i64> = EntityVec::new();
+        assert!(v.is_empty());
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[a], 10);
+        assert_eq!(v[b], 20);
+        v[a] = 11;
+        assert_eq!(v[a], 11);
+        assert!(v.is_valid(a));
+        assert!(!v.is_valid(Value::new(2)));
+        assert_eq!(v.get(b), Some(&20));
+        assert_eq!(v.get(Value::new(9)), None);
+    }
+
+    #[test]
+    fn entity_vec_iteration() {
+        let v: EntityVec<Inst, &str> = ["x", "y"].into_iter().collect();
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(Inst::new(0), &"x"), (Inst::new(1), &"y")]);
+        let keys: Vec<_> = v.keys().collect();
+        assert_eq!(keys, vec![Inst::new(0), Inst::new(1)]);
+    }
+
+    #[test]
+    fn secondary_map_defaults() {
+        let mut m: SecondaryMap<Block, u32> = SecondaryMap::with_default(7);
+        assert_eq!(m[Block::new(3)], 7);
+        m[Block::new(3)] = 9;
+        assert_eq!(m[Block::new(3)], 9);
+        assert_eq!(m[Block::new(100)], 7);
+        m.clear();
+        assert_eq!(m[Block::new(3)], 7);
+    }
+
+    #[test]
+    fn entity_set_basics() {
+        let mut s: EntitySet<Inst> = EntitySet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Inst::new(5)));
+        assert!(!s.insert(Inst::new(5)));
+        assert!(s.insert(Inst::new(64)));
+        assert!(s.insert(Inst::new(0)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Inst::new(64)));
+        assert!(!s.contains(Inst::new(63)));
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![Inst::new(0), Inst::new(5), Inst::new(64)]);
+        assert!(s.remove(Inst::new(5)));
+        assert!(!s.remove(Inst::new(5)));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(Inst::new(0)));
+    }
+
+    #[test]
+    fn entity_set_from_iter() {
+        let s: EntitySet<Block> = [Block::new(1), Block::new(3), Block::new(1)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Block::new(3)));
+    }
+
+    #[test]
+    fn entity_set_large_indices() {
+        let mut s: EntitySet<Value> = EntitySet::with_capacity(10);
+        assert!(s.insert(Value::new(1000)));
+        assert!(s.contains(Value::new(1000)));
+        assert!(!s.contains(Value::new(999)));
+    }
+}

@@ -1,0 +1,718 @@
+//! The [`Function`] container: blocks, edges, instructions and values.
+//!
+//! A function is a control flow graph of basic blocks. Control flow edges
+//! are materialized as entities because the paper's algorithm tracks
+//! per-edge reachability and predicates. Instructions live in per-block
+//! ordered lists; the last instruction of a complete block is a terminator
+//! and φ-functions form a prefix of the block.
+
+use crate::entities::{Block, Edge, EntityRef, EntityVec, Inst, Value};
+use crate::instr::{BinOp, CmpOp, InstData, InstKind, UnOp};
+
+/// A basic block: ordered instructions plus ordered incoming and outgoing
+/// edge lists.
+#[derive(Clone, Debug, Default)]
+pub struct BlockData {
+    /// Instructions in execution order; φs first, terminator last.
+    pub insts: Vec<Inst>,
+    /// Incoming edges. φ argument `i` corresponds to `preds[i]`.
+    pub preds: Vec<Edge>,
+    /// Outgoing edges. For a branch, index 0 is the true edge and index 1
+    /// the false edge.
+    pub succs: Vec<Edge>,
+    /// Tombstone flag; removed blocks are skipped by iteration.
+    pub removed: bool,
+}
+
+/// A control flow edge from one block to another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeData {
+    /// Originating block.
+    pub from: Block,
+    /// Destination block.
+    pub to: Block,
+    /// Tombstone flag; removed edges are skipped by iteration.
+    pub removed: bool,
+}
+
+/// Metadata for an SSA value.
+#[derive(Clone, Debug)]
+pub struct ValueData {
+    /// The unique defining instruction.
+    pub def: Inst,
+}
+
+/// A routine in SSA form.
+///
+/// # Examples
+///
+/// ```
+/// use pgvn_ir::{Function, InstKind, BinOp};
+///
+/// let mut f = Function::new("double", 1);
+/// let entry = f.entry();
+/// let x = f.param(0);
+/// let two = f.append(entry, InstKind::Const(2));
+/// let d = f.append(entry, InstKind::Binary(BinOp::Mul, x, two));
+/// f.set_return(entry, d);
+/// assert_eq!(f.num_blocks(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Function {
+    name: String,
+    params: Vec<Value>,
+    entry: Block,
+    pub(crate) blocks: EntityVec<Block, BlockData>,
+    pub(crate) insts: EntityVec<Inst, InstData>,
+    pub(crate) values: EntityVec<Value, ValueData>,
+    pub(crate) edges: EntityVec<Edge, EdgeData>,
+}
+
+impl Function {
+    /// Creates a function with `num_params` parameters. The entry block is
+    /// created and populated with one [`InstKind::Param`] instruction per
+    /// parameter.
+    pub fn new(name: impl Into<String>, num_params: u32) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params: Vec::new(),
+            entry: Block::new(0),
+            blocks: EntityVec::new(),
+            insts: EntityVec::new(),
+            values: EntityVec::new(),
+            edges: EntityVec::new(),
+        };
+        f.entry = f.add_block();
+        for i in 0..num_params {
+            let v = f.append(f.entry, InstKind::Param(i));
+            f.params.push(v);
+        }
+        f
+    }
+
+    /// Returns the function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the entry block.
+    pub fn entry(&self) -> Block {
+        self.entry
+    }
+
+    /// Returns the value of parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Value {
+        self.params[i as usize]
+    }
+
+    /// Returns all parameter values in order.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// Number of (live) blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.values().filter(|b| !b.removed).count()
+    }
+
+    /// Total block slots ever allocated, including removed blocks.
+    /// Suitable for sizing dense side tables.
+    pub fn block_capacity(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total instruction slots ever allocated.
+    pub fn inst_capacity(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Total value slots ever allocated.
+    pub fn value_capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total edge slots ever allocated.
+    pub fn edge_capacity(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of live instructions.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.values().filter(|b| !b.removed).map(|b| b.insts.len()).sum()
+    }
+
+    /// Appends a fresh empty block.
+    pub fn add_block(&mut self) -> Block {
+        self.blocks.push(BlockData::default())
+    }
+
+    /// Iterates over live blocks in creation order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        self.blocks.iter().filter(|(_, d)| !d.removed).map(|(b, _)| b)
+    }
+
+    /// Iterates over live edges in creation order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().filter(|(_, d)| !d.removed).map(|(e, _)| e)
+    }
+
+    /// Returns `true` if `b` has been removed.
+    pub fn is_block_removed(&self, b: Block) -> bool {
+        self.blocks[b].removed
+    }
+
+    /// Returns `true` if `e` has been removed.
+    pub fn is_edge_removed(&self, e: Edge) -> bool {
+        self.edges[e].removed
+    }
+
+    /// Returns the block's instruction list in order.
+    pub fn block_insts(&self, b: Block) -> &[Inst] {
+        &self.blocks[b].insts
+    }
+
+    /// Returns the block's incoming edges in φ-argument order.
+    pub fn preds(&self, b: Block) -> &[Edge] {
+        &self.blocks[b].preds
+    }
+
+    /// Returns the block's outgoing edges in branch order.
+    pub fn succs(&self, b: Block) -> &[Edge] {
+        &self.blocks[b].succs
+    }
+
+    /// Returns the originating block of an edge.
+    pub fn edge_from(&self, e: Edge) -> Block {
+        self.edges[e].from
+    }
+
+    /// Returns the destination block of an edge.
+    pub fn edge_to(&self, e: Edge) -> Block {
+        self.edges[e].to
+    }
+
+    /// Returns the instruction data for `inst`.
+    pub fn inst(&self, inst: Inst) -> &InstData {
+        &self.insts[inst]
+    }
+
+    /// Returns the kind of `inst`.
+    pub fn kind(&self, inst: Inst) -> &InstKind {
+        &self.insts[inst].kind
+    }
+
+    /// Returns the block containing `inst`.
+    pub fn inst_block(&self, inst: Inst) -> Block {
+        self.insts[inst].block
+    }
+
+    /// Returns the result value of `inst`, if it defines one.
+    pub fn inst_result(&self, inst: Inst) -> Option<Value> {
+        self.insts[inst].result
+    }
+
+    /// Returns the defining instruction of `value`.
+    pub fn def(&self, value: Value) -> Inst {
+        self.values[value].def
+    }
+
+    /// Returns the block in which `value` is defined.
+    pub fn def_block(&self, value: Value) -> Block {
+        self.inst_block(self.def(value))
+    }
+
+    /// Returns the constant defined by `value`'s instruction, if it is a
+    /// `Const`.
+    pub fn value_as_const(&self, value: Value) -> Option<i64> {
+        match self.kind(self.def(value)) {
+            InstKind::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns the terminator of `b`, if the block is complete.
+    pub fn terminator(&self, b: Block) -> Option<Inst> {
+        let last = *self.blocks[b].insts.last()?;
+        self.insts[last].kind.is_terminator().then_some(last)
+    }
+
+    /// Iterates over all live values (results of instructions in live
+    /// blocks).
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.blocks
+            .values()
+            .filter(|b| !b.removed)
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|&i| self.insts[i].result)
+    }
+
+    // ---------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------
+
+    /// Appends a non-terminator instruction to `b` and returns its result
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a terminator (use [`Function::set_jump`],
+    /// [`Function::set_branch`] or [`Function::set_return`]) or if the block
+    /// is already terminated.
+    pub fn append(&mut self, b: Block, kind: InstKind) -> Value {
+        assert!(!kind.is_terminator(), "append requires a non-terminator; got {kind:?}");
+        assert!(self.terminator(b).is_none(), "block {b} is already terminated");
+        let inst = self.insts.push(InstData { kind, block: b, result: None });
+        let value = self.values.push(ValueData { def: inst });
+        self.insts[inst].result = Some(value);
+        self.blocks[b].insts.push(inst);
+        value
+    }
+
+    /// Appends an empty φ-function to `b`; arguments are filled in later
+    /// with [`Function::set_phi_args`]. Returns the φ's result value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` already contains a non-φ instruction (φs must form a
+    /// prefix of their block).
+    pub fn append_phi(&mut self, b: Block) -> Value {
+        let all_phis = self.blocks[b].insts.iter().all(|&i| self.insts[i].kind.is_phi());
+        assert!(all_phis, "φ appended after non-φ instructions in {b}");
+        self.append(b, InstKind::Phi(Vec::new()))
+    }
+
+    /// Sets the arguments of the φ defining `phi_value`, one per incoming
+    /// edge of its block, in predecessor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi_value` is not defined by a φ.
+    pub fn set_phi_args(&mut self, phi_value: Value, args: Vec<Value>) {
+        let inst = self.def(phi_value);
+        match &mut self.insts[inst].kind {
+            InstKind::Phi(a) => *a = args,
+            other => panic!("set_phi_args on non-φ {other:?}"),
+        }
+    }
+
+    fn add_edge(&mut self, from: Block, to: Block) -> Edge {
+        let e = self.edges.push(EdgeData { from, to, removed: false });
+        self.blocks[from].succs.push(e);
+        self.blocks[to].preds.push(e);
+        e
+    }
+
+    fn set_terminator(&mut self, b: Block, kind: InstKind) -> Inst {
+        assert!(self.terminator(b).is_none(), "block {b} is already terminated");
+        let inst = self.insts.push(InstData { kind, block: b, result: None });
+        self.blocks[b].insts.push(inst);
+        inst
+    }
+
+    /// Terminates `b` with an unconditional jump to `target`, creating the
+    /// edge. Returns the new edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated.
+    pub fn set_jump(&mut self, b: Block, target: Block) -> Edge {
+        self.set_terminator(b, InstKind::Jump);
+        self.add_edge(b, target)
+    }
+
+    /// Terminates `b` with a conditional branch on `cond`. The first edge
+    /// (to `then_target`) is taken when `cond != 0`. Returns the (true,
+    /// false) edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated.
+    pub fn set_branch(&mut self, b: Block, cond: Value, then_target: Block, else_target: Block) -> (Edge, Edge) {
+        self.set_terminator(b, InstKind::Branch(cond));
+        let t = self.add_edge(b, then_target);
+        let e = self.add_edge(b, else_target);
+        (t, e)
+    }
+
+    /// Terminates `b` with a return of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated.
+    pub fn set_return(&mut self, b: Block, value: Value) {
+        self.set_terminator(b, InstKind::Return(value));
+    }
+
+    /// Terminates `b` with a switch on `arg`: control transfers to
+    /// `targets[i]` when `arg == cases[i]`, to `default` otherwise.
+    /// Returns the created edges, case edges first, default edge last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is already terminated, `cases` and `targets` have
+    /// different lengths, or `cases` contains duplicates.
+    pub fn set_switch(&mut self, b: Block, arg: Value, cases: &[i64], targets: &[Block], default: Block) -> Vec<Edge> {
+        assert_eq!(cases.len(), targets.len(), "one target per case value");
+        let mut sorted = cases.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cases.len(), "switch case values must be unique");
+        self.set_terminator(b, InstKind::Switch(arg, cases.to_vec()));
+        let mut edges: Vec<Edge> = targets.iter().map(|&t| self.add_edge(b, t)).collect();
+        edges.push(self.add_edge(b, default));
+        edges
+    }
+
+    // ---------------------------------------------------------------
+    // Mutation (used by the transform crate)
+    // ---------------------------------------------------------------
+
+    /// Replaces the kind of a value-defining instruction in place.
+    ///
+    /// When a φ is replaced by a non-φ, the instruction is moved just
+    /// after the block's φ prefix so that φs stay contiguous at the top
+    /// (the interpreter and verifier rely on this invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the old and new kinds disagree about being a terminator.
+    pub fn replace_kind(&mut self, inst: Inst, kind: InstKind) {
+        assert_eq!(
+            self.insts[inst].kind.is_terminator(),
+            kind.is_terminator(),
+            "replace_kind cannot change terminator-ness"
+        );
+        let was_phi = self.insts[inst].kind.is_phi();
+        self.insts[inst].kind = kind;
+        if was_phi && !self.insts[inst].kind.is_phi() {
+            self.restore_phi_prefix(self.insts[inst].block, inst);
+        }
+    }
+
+    /// Moves `inst` (which just stopped being a φ) to the end of `b`'s φ
+    /// prefix, preserving the relative order of everything else.
+    fn restore_phi_prefix(&mut self, b: Block, inst: Inst) {
+        let pos = self.blocks[b].insts.iter().position(|&i| i == inst).expect("inst in its block");
+        self.blocks[b].insts.remove(pos);
+        let first_non_phi = self.blocks[b]
+            .insts
+            .iter()
+            .position(|&i| !self.insts[i].kind.is_phi())
+            .unwrap_or(self.blocks[b].insts.len());
+        self.blocks[b].insts.insert(first_non_phi, inst);
+    }
+
+    /// Removes edge `e` from the graph, dropping the corresponding φ
+    /// argument in the destination block.
+    ///
+    /// The originating block's terminator is *not* changed; callers that
+    /// fold a branch should use [`Function::fold_branch_to`].
+    pub fn remove_edge(&mut self, e: Edge) {
+        if self.edges[e].removed {
+            return;
+        }
+        let EdgeData { from, to, .. } = self.edges[e];
+        let pred_pos = self.blocks[to].preds.iter().position(|&x| x == e).expect("edge in pred list");
+        self.blocks[to].preds.remove(pred_pos);
+        self.blocks[from].succs.retain(|&x| x != e);
+        // Drop the matching φ argument in every φ of `to`.
+        for &i in self.blocks[to].insts.clone().iter() {
+            if let InstKind::Phi(args) = &mut self.insts[i].kind {
+                if pred_pos < args.len() {
+                    args.remove(pred_pos);
+                }
+            }
+        }
+        self.edges[e].removed = true;
+    }
+
+    /// Replaces the branch terminating `b` by a jump along its `keep`-th
+    /// outgoing edge, removing the other edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not end in a branch or `keep` is not 0 or 1.
+    pub fn fold_branch_to(&mut self, b: Block, keep: usize) {
+        assert!(keep < 2, "branch edge index must be 0 or 1");
+        let term = self.terminator(b).expect("terminated block");
+        assert!(matches!(self.insts[term].kind, InstKind::Branch(_)), "{b} does not end in a branch");
+        let drop_edge = self.blocks[b].succs[1 - keep];
+        self.remove_edge(drop_edge);
+        self.insts[term].kind = InstKind::Jump;
+    }
+
+    /// Replaces the switch terminating `b` by a jump along its `keep`-th
+    /// outgoing edge, removing all other edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not end in a switch or `keep` is out of range.
+    pub fn fold_switch_to(&mut self, b: Block, keep: usize) {
+        let term = self.terminator(b).expect("terminated block");
+        assert!(matches!(self.insts[term].kind, InstKind::Switch(..)), "{b} does not end in a switch");
+        let succs = self.blocks[b].succs.clone();
+        assert!(keep < succs.len(), "switch edge index out of range");
+        for (i, e) in succs.into_iter().enumerate() {
+            if i != keep {
+                self.remove_edge(e);
+            }
+        }
+        self.insts[term].kind = InstKind::Jump;
+    }
+
+    /// Removes block `b`: all its incoming and outgoing edges are removed
+    /// (fixing φs of successors) and the block is tombstoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is the entry block.
+    pub fn remove_block(&mut self, b: Block) {
+        assert!(b != self.entry, "cannot remove the entry block");
+        if self.blocks[b].removed {
+            return;
+        }
+        for e in self.blocks[b].preds.clone() {
+            self.remove_edge(e);
+        }
+        for e in self.blocks[b].succs.clone() {
+            self.remove_edge(e);
+        }
+        self.blocks[b].removed = true;
+    }
+
+    /// Removes a non-terminator instruction from its block (tombstones the
+    /// slot). The caller is responsible for ensuring the result is unused.
+    pub fn remove_inst(&mut self, inst: Inst) {
+        let b = self.insts[inst].block;
+        self.blocks[b].insts.retain(|&i| i != inst);
+    }
+
+    /// Replaces the φ defining `phi_value` by a copy of `src` (used when a
+    /// φ becomes redundant after edge removal).
+    pub fn replace_phi_with_copy(&mut self, phi_value: Value, src: Value) {
+        let inst = self.def(phi_value);
+        assert!(self.insts[inst].kind.is_phi(), "not a φ");
+        self.insts[inst].kind = InstKind::Copy(src);
+        self.restore_phi_prefix(self.insts[inst].block, inst);
+    }
+
+    // ---------------------------------------------------------------
+    // Convenience constructors used ubiquitously in tests
+    // ---------------------------------------------------------------
+
+    /// Appends `Const(c)` to `b`.
+    pub fn iconst(&mut self, b: Block, c: i64) -> Value {
+        self.append(b, InstKind::Const(c))
+    }
+
+    /// Appends a binary operation to `b`.
+    pub fn binary(&mut self, b: Block, op: BinOp, x: Value, y: Value) -> Value {
+        self.append(b, InstKind::Binary(op, x, y))
+    }
+
+    /// Appends a comparison to `b`.
+    pub fn cmp(&mut self, b: Block, op: CmpOp, x: Value, y: Value) -> Value {
+        self.append(b, InstKind::Cmp(op, x, y))
+    }
+
+    /// Appends a unary operation to `b`.
+    pub fn unary(&mut self, b: Block, op: UnOp, x: Value) -> Value {
+        self.append(b, InstKind::Unary(op, x))
+    }
+}
+
+/// Def-use information: for every value, the instructions that use it.
+///
+/// Computed once from a finished function; the GVN analysis does not mutate
+/// the IR, so the chains stay valid for the whole run.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    uses: EntityVec<Value, Vec<Inst>>,
+}
+
+impl DefUse {
+    /// Computes def-use chains for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut uses: EntityVec<Value, Vec<Inst>> = (0..func.values.len()).map(|_| Vec::new()).collect();
+        for b in func.blocks() {
+            for &inst in func.block_insts(b) {
+                func.kind(inst).visit_args(|v| uses[v].push(inst));
+            }
+        }
+        DefUse { uses }
+    }
+
+    /// Returns the instructions using `value` (with multiplicity).
+    pub fn uses(&self, value: Value) -> &[Inst] {
+        &self.uses[value]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// entry -> (then, else) -> join; `x = 10` in then, `y = 20` in else.
+    fn diamond() -> (Function, Block, Block, Block, Block, Value, Value) {
+        let mut f = Function::new("d", 2);
+        let entry = f.entry();
+        let (t, e, j) = (f.add_block(), f.add_block(), f.add_block());
+        let c = f.cmp(entry, CmpOp::Lt, f.param(0), f.param(1));
+        f.set_branch(entry, c, t, e);
+        let x = f.iconst(t, 10);
+        let y = f.iconst(e, 20);
+        f.set_jump(t, j);
+        f.set_jump(e, j);
+        (f, entry, t, e, j, x, y)
+    }
+
+    #[test]
+    fn new_function_has_params_in_entry() {
+        let f = Function::new("f", 3);
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.params().len(), 3);
+        assert_eq!(f.block_insts(f.entry()).len(), 3);
+        assert_eq!(f.kind(f.def(f.param(2))), &InstKind::Param(2));
+        assert_eq!(f.def_block(f.param(0)), f.entry());
+    }
+
+    #[test]
+    fn append_assigns_results_in_order() {
+        let mut f = Function::new("f", 0);
+        let b = f.entry();
+        let a = f.iconst(b, 1);
+        let c = f.iconst(b, 2);
+        let s = f.binary(b, BinOp::Add, a, c);
+        assert_eq!(f.value_as_const(a), Some(1));
+        assert_eq!(f.value_as_const(s), None);
+        assert_eq!(f.inst_result(f.def(s)), Some(s));
+        assert_eq!(f.num_insts(), 3);
+    }
+
+    #[test]
+    fn branch_creates_ordered_edges() {
+        let (f, entry, t, e, j, _x, _y) = diamond();
+        let succs = f.succs(entry);
+        assert_eq!(succs.len(), 2);
+        assert_eq!(f.edge_to(succs[0]), t);
+        assert_eq!(f.edge_to(succs[1]), e);
+        assert_eq!(f.preds(j).len(), 2);
+        assert_eq!(f.edge_from(f.preds(j)[0]), t);
+        assert_eq!(f.edge_from(f.preds(j)[1]), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminator_panics() {
+        let mut f = Function::new("f", 0);
+        let b = f.entry();
+        let v = f.iconst(b, 0);
+        f.set_return(b, v);
+        f.set_return(b, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-terminator")]
+    fn append_terminator_panics() {
+        let mut f = Function::new("f", 0);
+        let b = f.entry();
+        f.append(b, InstKind::Jump);
+    }
+
+    #[test]
+    fn phi_args_follow_pred_order() {
+        let (mut f, _entry, _t, _e, j, x, y) = diamond();
+        let p = f.append_phi(j);
+        f.set_phi_args(p, vec![x, y]);
+        match f.kind(f.def(p)) {
+            InstKind::Phi(args) => assert_eq!(args, &vec![x, y]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "φ appended after non-φ")]
+    fn phi_after_nonphi_panics() {
+        let mut f = Function::new("f", 1);
+        f.append_phi(f.entry());
+    }
+
+    #[test]
+    fn remove_edge_fixes_phis() {
+        let (mut f, _entry, _t, _e, j, x, y) = diamond();
+        let p = f.append_phi(j);
+        f.set_phi_args(p, vec![x, y]);
+        let drop = f.preds(j)[0];
+        f.remove_edge(drop);
+        assert!(f.is_edge_removed(drop));
+        assert_eq!(f.preds(j).len(), 1);
+        match f.kind(f.def(p)) {
+            InstKind::Phi(args) => assert_eq!(args, &vec![y]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fold_branch_keeps_requested_edge() {
+        let (mut f, entry, t, _e, _j, _x, _y) = diamond();
+        f.fold_branch_to(entry, 0);
+        assert_eq!(f.succs(entry).len(), 1);
+        assert_eq!(f.edge_to(f.succs(entry)[0]), t);
+        let term = f.terminator(entry).unwrap();
+        assert_eq!(f.kind(term), &InstKind::Jump);
+    }
+
+    #[test]
+    fn remove_block_detaches_all_edges() {
+        let (mut f, _entry, t, _e, j, x, y) = diamond();
+        let p = f.append_phi(j);
+        f.set_phi_args(p, vec![x, y]);
+        f.remove_block(t);
+        assert!(f.is_block_removed(t));
+        assert_eq!(f.preds(j).len(), 1);
+        assert_eq!(f.num_blocks(), 3);
+        // φ lost the argument from t.
+        match f.kind(f.def(p)) {
+            InstKind::Phi(args) => assert_eq!(args, &vec![y]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn def_use_chains() {
+        let mut f = Function::new("f", 1);
+        let b = f.entry();
+        let x = f.param(0);
+        let one = f.iconst(b, 1);
+        let a = f.binary(b, BinOp::Add, x, one);
+        let c = f.binary(b, BinOp::Mul, a, a);
+        f.set_return(b, c);
+        let du = DefUse::compute(&f);
+        assert_eq!(du.uses(x), &[f.def(a)]);
+        assert_eq!(du.uses(a), &[f.def(c), f.def(c)]); // multiplicity
+        assert_eq!(du.uses(c), &[f.terminator(b).unwrap()]);
+        assert!(du.uses(one).contains(&f.def(a)));
+    }
+
+    #[test]
+    fn values_iterates_live_only() {
+        let (mut f, _entry, t, _e, _j, _x, _y) = diamond();
+        let before = f.values().count();
+        f.remove_block(t);
+        // Block t contained one const, so one value disappears.
+        assert_eq!(f.values().count(), before - 1);
+    }
+
+    #[test]
+    fn replace_phi_with_copy() {
+        let (mut f, _entry, _t, _e, j, x, y) = diamond();
+        let p = f.append_phi(j);
+        f.set_phi_args(p, vec![x, y]);
+        f.replace_phi_with_copy(p, x);
+        assert_eq!(f.kind(f.def(p)), &InstKind::Copy(x));
+    }
+}

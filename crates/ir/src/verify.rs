@@ -1,0 +1,250 @@
+//! Structural verification of functions.
+//!
+//! [`verify`] checks every invariant that can be established without
+//! dominance information: block/edge/instruction cross-references, φ
+//! placement and arity, terminator placement, and operand validity.
+//! The dominance-aware SSA check (every use dominated by its definition)
+//! lives in `pgvn-analysis` because it needs a dominator tree.
+
+use crate::entities::{EntityRef, Value};
+use crate::function::Function;
+use crate::instr::InstKind;
+use std::error::Error;
+use std::fmt;
+
+/// An invariant violation found by [`verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Human-readable description of the violation.
+    message: String,
+}
+
+impl VerifyError {
+    fn new(message: String) -> Self {
+        VerifyError { message }
+    }
+
+    /// Returns the violation description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verification failed: {}", self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies the structural invariants of `func`.
+///
+/// # Errors
+///
+/// Returns the first violation found:
+/// - every live block is terminated, with the terminator last and unique;
+/// - φs form a prefix of their block and have one argument per incoming
+///   edge;
+/// - `Param` instructions appear only in the entry block;
+/// - edge lists are consistent (`succs`/`preds` cross-reference the edge
+///   arena, branch blocks have exactly 2 outgoing edges, jump blocks 1,
+///   return blocks 0);
+/// - all value operands reference live defining instructions.
+pub fn verify(func: &Function) -> Result<(), VerifyError> {
+    let err = |m: String| Err(VerifyError::new(m));
+
+    let mut inst_live = vec![false; func.inst_capacity()];
+    for b in func.blocks() {
+        for &i in func.block_insts(b) {
+            inst_live[i.index()] = true;
+        }
+    }
+
+    for b in func.blocks() {
+        let insts = func.block_insts(b);
+        let Some(term) = func.terminator(b) else {
+            return err(format!("block {b} has no terminator"));
+        };
+        for (pos, &inst) in insts.iter().enumerate() {
+            if func.inst_block(inst) != b {
+                return err(format!("{inst} is listed in {b} but records block {}", func.inst_block(inst)));
+            }
+            let kind = func.kind(inst);
+            if kind.is_terminator() && inst != term {
+                return err(format!("{inst} is a terminator in the middle of {b}"));
+            }
+            if kind.is_phi() {
+                let phis_so_far = insts[..pos].iter().all(|&i| func.kind(i).is_phi());
+                if !phis_so_far {
+                    return err(format!("φ {inst} does not form a prefix of {b}"));
+                }
+                if let InstKind::Phi(args) = kind {
+                    if args.len() != func.preds(b).len() {
+                        return err(format!(
+                            "φ {inst} in {b} has {} args but the block has {} predecessors",
+                            args.len(),
+                            func.preds(b).len()
+                        ));
+                    }
+                }
+            }
+            if matches!(kind, InstKind::Param(_)) && b != func.entry() {
+                return err(format!("param instruction {inst} outside the entry block"));
+            }
+            if let Some(r) = func.inst_result(inst) {
+                if func.def(r) != inst {
+                    return err(format!("result {r} of {inst} does not point back to it"));
+                }
+            } else if !kind.is_terminator() {
+                return err(format!("non-terminator {inst} has no result"));
+            }
+            let mut bad: Option<Value> = None;
+            kind.visit_args(|v| {
+                let def = func.def(v);
+                if !inst_live[def.index()] && bad.is_none() {
+                    bad = Some(v);
+                }
+            });
+            if let Some(v) = bad {
+                return err(format!("{inst} uses {v}, whose definition is not in a live block"));
+            }
+        }
+        let expected_succs = match func.kind(term) {
+            InstKind::Jump => 1,
+            InstKind::Branch(_) => 2,
+            InstKind::Switch(_, cases) => cases.len() + 1,
+            InstKind::Return(_) => 0,
+            _ => unreachable!(),
+        };
+        if func.succs(b).len() != expected_succs {
+            return err(format!(
+                "{b} terminator expects {expected_succs} outgoing edges, found {}",
+                func.succs(b).len()
+            ));
+        }
+        for &e in func.succs(b) {
+            if func.is_edge_removed(e) {
+                return err(format!("{b} lists removed edge {e} as successor"));
+            }
+            if func.edge_from(e) != b {
+                return err(format!("edge {e} in succs of {b} originates at {}", func.edge_from(e)));
+            }
+            let to = func.edge_to(e);
+            if func.is_block_removed(to) {
+                return err(format!("edge {e} targets removed block {to}"));
+            }
+            if !func.preds(to).contains(&e) {
+                return err(format!("edge {e} missing from preds of {to}"));
+            }
+        }
+        for &e in func.preds(b) {
+            if func.is_edge_removed(e) {
+                return err(format!("{b} lists removed edge {e} as predecessor"));
+            }
+            if func.edge_to(e) != b {
+                return err(format!("edge {e} in preds of {b} targets {}", func.edge_to(e)));
+            }
+            let from = func.edge_from(e);
+            if func.is_block_removed(from) {
+                return err(format!("edge {e} originates at removed block {from}"));
+            }
+            if !func.succs(from).contains(&e) {
+                return err(format!("edge {e} missing from succs of {from}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Asserts that `func` verifies; panics with the violation otherwise.
+///
+/// # Panics
+///
+/// Panics if [`verify`] returns an error. Convenient in tests.
+#[track_caller]
+pub fn assert_verifies(func: &Function) {
+    if let Err(e) = verify(func) {
+        panic!("{e}\n{func}");
+    }
+}
+
+/// Internal helpers for constructing deliberately broken functions in tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, CmpOp};
+
+    fn valid_diamond() -> Function {
+        let mut f = Function::new("d", 2);
+        let entry = f.entry();
+        let (t, e, j) = (f.add_block(), f.add_block(), f.add_block());
+        let c = f.cmp(entry, CmpOp::Lt, f.param(0), f.param(1));
+        f.set_branch(entry, c, t, e);
+        let x = f.iconst(t, 10);
+        f.set_jump(t, j);
+        let y = f.iconst(e, 20);
+        f.set_jump(e, j);
+        let p = f.append_phi(j);
+        f.set_phi_args(p, vec![x, y]);
+        f.set_return(j, p);
+        f
+    }
+
+    #[test]
+    fn valid_function_verifies() {
+        let f = valid_diamond();
+        assert_eq!(verify(&f), Ok(()));
+        assert_verifies(&f);
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut f = Function::new("f", 0);
+        let _ = f.iconst(f.entry(), 1);
+        let e = verify(&f).unwrap_err();
+        assert!(e.message().contains("no terminator"), "{e}");
+    }
+
+    #[test]
+    fn phi_arity_mismatch_detected() {
+        let mut f = valid_diamond();
+        // Find the φ and give it a bogus arg list.
+        let phi = f
+            .values()
+            .find(|&v| f.kind(f.def(v)).is_phi())
+            .expect("diamond has a φ");
+        let x = f.param(0);
+        f.set_phi_args(phi, vec![x]);
+        let e = verify(&f).unwrap_err();
+        assert!(e.message().contains("predecessors"), "{e}");
+    }
+
+    #[test]
+    fn use_of_removed_definition_detected() {
+        let mut f = Function::new("f", 1);
+        let entry = f.entry();
+        let (a, b) = (f.add_block(), f.add_block());
+        let c = f.cmp(entry, CmpOp::Eq, f.param(0), f.param(0));
+        f.set_branch(entry, c, a, b);
+        let x = f.iconst(a, 1);
+        f.set_jump(a, b);
+        // b uses x defined in a.
+        let one = f.iconst(b, 1);
+        let s = f.binary(b, BinOp::Add, x, one);
+        f.set_return(b, s);
+        assert_eq!(verify(&f), Ok(()));
+        // Fold the branch so the entry keeps a well-formed terminator, then
+        // drop block `a` entirely; `b` still uses x defined in `a`.
+        f.fold_branch_to(entry, 1);
+        f.remove_block(a);
+        let e = verify(&f).unwrap_err();
+        assert!(e.message().contains("not in a live block"), "{e}");
+    }
+
+    #[test]
+    fn verify_error_display_nonempty() {
+        let e = VerifyError::new("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Abstract syntax tree for the pgvn source language.
+
+use pgvn_ir::{BinOp, CmpOp, UnOp};
+
+/// A routine definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Routine {
+    /// Routine name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `if (cond) then [else otherwise]`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`
+    While(Expr, Vec<Stmt>),
+    /// `do body while (cond);` — the *until* form the paper mentions in §3.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `switch (e) { case N: … default: … }` — no fallthrough: each arm
+    /// jumps to the end of the switch.
+    Switch(Expr, Vec<(i64, Vec<Stmt>)>, Vec<Stmt>),
+    /// `return expr;`
+    Return(Expr),
+    /// `expr;` — evaluated for effect (only useful with `opaque`).
+    Expr(Expr),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal (`true` = 1, `false` = 0).
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary arithmetic/bitwise operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison (yields 0/1).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical negation `!e` (yields 0/1).
+    LogicalNot(Box<Expr>),
+    /// Non-short-circuit logical and: `(a != 0) & (b != 0)`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Non-short-circuit logical or: `(a != 0) | (b != 0)`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// `opaque(token)` — an unknown value the analysis cannot see through.
+    Opaque(u32),
+}

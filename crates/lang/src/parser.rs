@@ -1,0 +1,602 @@
+//! Recursive-descent parser for the pgvn source language.
+//!
+//! Grammar (statements):
+//!
+//! ```text
+//! routine   := "routine" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//! block     := "{" stmt* "}"
+//! stmt      := IDENT "=" expr ";"
+//!            | "if" "(" expr ")" stmt-or-block ["else" stmt-or-block]
+//!            | "while" "(" expr ")" stmt-or-block
+//!            | "do" stmt-or-block "while" "(" expr ")" ";"
+//!            | "break" ";" | "continue" ";" | "return" expr ";"
+//!            | expr ";"
+//! ```
+//!
+//! Expression precedence, loosest first: `||`, `&&`, `|`, `^`, `&`,
+//! equality, relational, shifts, additive, multiplicative, unary.
+
+use crate::ast::{Expr, Routine, Stmt};
+use crate::token::{lex, LexError, Token};
+use pgvn_ir::{BinOp, CmpOp, UnOp};
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 at end of input).
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Token, u32)>,
+    pos: usize,
+    /// Auto-assigned tokens for `opaque()` with no argument.
+    next_opaque: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).map(|&(_, l)| l).unwrap_or_else(|| self.toks.last().map(|&(_, l)| l).unwrap_or(0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected `{want}`, found `{t}`"))),
+            None => Err(self.error(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    fn at(&mut self, want: &Token) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError { line: self.toks[self.pos - 1].1, message: format!("expected identifier, found `{t}`") }),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn routine(&mut self) -> Result<Routine, ParseError> {
+        self.eat(&Token::Routine)?;
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.at(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Routine { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == Some(&Token::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::If) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let then = self.stmt_or_block()?;
+                let otherwise = if self.at(&Token::Else) { self.stmt_or_block()? } else { Vec::new() };
+                Ok(Stmt::If(cond, then, otherwise))
+            }
+            Some(Token::While) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Token::Do) => {
+                self.pos += 1;
+                let body = self.stmt_or_block()?;
+                self.eat(&Token::While)?;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Some(Token::Switch) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let scrutinee = self.expr()?;
+                self.eat(&Token::RParen)?;
+                self.eat(&Token::LBrace)?;
+                let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+                let mut default = Vec::new();
+                let mut saw_default = false;
+                loop {
+                    match self.peek() {
+                        Some(Token::Case) => {
+                            self.pos += 1;
+                            let neg = self.at(&Token::Minus);
+                            let raw = match self.bump() {
+                                Some(Token::Int(v)) => v,
+                                _ => return Err(self.error("expected integer case value")),
+                            };
+                            let value = if neg { raw.wrapping_neg() } else { raw };
+                            if cases.iter().any(|&(c, _)| c == value) {
+                                return Err(self.error(format!("duplicate case value {value}")));
+                            }
+                            self.eat(&Token::Colon)?;
+                            cases.push((value, self.stmt_or_block()?));
+                        }
+                        Some(Token::Default) => {
+                            if saw_default {
+                                return Err(self.error("duplicate default case"));
+                            }
+                            self.pos += 1;
+                            self.eat(&Token::Colon)?;
+                            default = self.stmt_or_block()?;
+                            saw_default = true;
+                        }
+                        Some(Token::RBrace) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.error("expected `case`, `default` or `}` in switch")),
+                    }
+                }
+                Ok(Stmt::Switch(scrutinee, cases, default))
+            }
+            Some(Token::Break) => {
+                self.pos += 1;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Some(Token::Continue) => {
+                self.pos += 1;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Some(Token::Return) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Token::Ident(_)) if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Token::Assign) => {
+                let name = self.ident()?;
+                self.eat(&Token::Assign)?;
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Assign(name, e))
+            }
+            Some(_) => {
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+            None => Err(self.error("expected statement, found end of input")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.logical_or()
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.at(&Token::OrOr) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::LogicalOr(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.at(&Token::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::LogicalAnd(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor()?;
+        while self.at(&Token::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and()?;
+        while self.at(&Token::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = Expr::Binary(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.at(&Token::Amp) {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::EqEq) => CmpOp::Eq,
+                Some(Token::NotEq) => CmpOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.relational()?;
+            lhs = Expr::Cmp(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => CmpOp::Lt,
+                Some(Token::Le) => CmpOp::Le,
+                Some(Token::Gt) => CmpOp::Gt,
+                Some(Token::Ge) => CmpOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.shift()?;
+            lhs = Expr::Cmp(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Shl) => BinOp::Shl,
+                Some(Token::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(Token::Tilde) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expr::LogicalNot(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::True) => Ok(Expr::Int(1)),
+            Some(Token::False) => Ok(Expr::Int(0)),
+            Some(Token::Ident(s)) => Ok(Expr::Var(s)),
+            Some(Token::Opaque) => {
+                self.eat(&Token::LParen)?;
+                let token = if self.peek() == Some(&Token::RParen) {
+                    let t = self.next_opaque;
+                    self.next_opaque += 1;
+                    t
+                } else {
+                    match self.bump() {
+                        Some(Token::Int(v)) if (0..=u32::MAX as i64).contains(&v) => v as u32,
+                        _ => return Err(self.error("opaque() takes a small non-negative integer token")),
+                    }
+                };
+                self.eat(&Token::RParen)?;
+                Ok(Expr::Opaque(token))
+            }
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected expression, found `{t}`"),
+            }),
+            None => Err(self.error("expected expression, found end of input")),
+        }
+    }
+}
+
+/// Parses a single routine from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first lexical or syntactic
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// let r = pgvn_lang::parse("routine id(x) { return x; }")?;
+/// assert_eq!(r.name, "id");
+/// assert_eq!(r.params, vec!["x".to_string()]);
+/// # Ok::<(), pgvn_lang::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Routine, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, next_opaque: 1_000_000 };
+    let r = p.routine()?;
+    if p.pos != p.toks.len() {
+        return Err(p.error("trailing input after routine"));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_routine() {
+        let r = parse("routine f() { return 0; }").unwrap();
+        assert_eq!(r.name, "f");
+        assert!(r.params.is_empty());
+        assert_eq!(r.body, vec![Stmt::Return(Expr::Int(0))]);
+    }
+
+    #[test]
+    fn parses_params_and_assignment() {
+        let r = parse("routine f(a, b) { c = a + b; return c; }").unwrap();
+        assert_eq!(r.params, vec!["a", "b"]);
+        match &r.body[0] {
+            Stmt::Assign(name, Expr::Binary(BinOp::Add, _, _)) => assert_eq!(name, "c"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let r = parse("routine f(a) { return 1 + a * 2; }").unwrap();
+        match &r.body[0] {
+            Stmt::Return(Expr::Binary(BinOp::Add, l, rr)) => {
+                assert_eq!(**l, Expr::Int(1));
+                assert!(matches!(**rr, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_logical() {
+        let r = parse("routine f(a, b) { return a < 1 && b > 2; }").unwrap();
+        match &r.body[0] {
+            Stmt::Return(Expr::LogicalAnd(l, rr)) => {
+                assert!(matches!(**l, Expr::Cmp(CmpOp::Lt, _, _)));
+                assert!(matches!(**rr, Expr::Cmp(CmpOp::Gt, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_and_loops() {
+        let src = "routine f(n) {
+            i = 0;
+            while (i < n) {
+                if (i == 3) break; else i = i + 1;
+            }
+            do { i = i - 1; } while (i > 0);
+            return i;
+        }";
+        let r = parse(src).unwrap();
+        assert_eq!(r.body.len(), 4);
+        assert!(matches!(r.body[1], Stmt::While(_, _)));
+        assert!(matches!(r.body[2], Stmt::DoWhile(_, _)));
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let r = parse("routine f(a,b) { if (a) if (b) return 1; else return 2; return 3; }").unwrap();
+        match &r.body[0] {
+            Stmt::If(_, then, outer_else) => {
+                assert!(outer_else.is_empty());
+                match &then[0] {
+                    Stmt::If(_, _, inner_else) => assert_eq!(inner_else.len(), 1),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_with_and_without_token() {
+        let r = parse("routine f() { a = opaque(7); b = opaque(); return a + b; }").unwrap();
+        match (&r.body[0], &r.body[1]) {
+            (Stmt::Assign(_, Expr::Opaque(7)), Stmt::Assign(_, Expr::Opaque(t))) => {
+                assert!(*t >= 1_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let r = parse("routine f(a) { return -a + ~a + !a; }").unwrap();
+        assert!(matches!(r.body[0], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn true_false_literals() {
+        let r = parse("routine f() { while (true) { break; } return false; }").unwrap();
+        assert!(matches!(&r.body[0], Stmt::While(Expr::Int(1), _)));
+        assert!(matches!(&r.body[1], Stmt::Return(Expr::Int(0))));
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let e = parse("routine f() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("expected expression"));
+        let e2 = parse("routine f() { return 0; } extra").unwrap_err();
+        assert!(e2.message.contains("trailing"));
+    }
+
+    #[test]
+    fn expression_statement() {
+        let r = parse("routine f() { opaque(3); return 0; }").unwrap();
+        assert!(matches!(&r.body[0], Stmt::Expr(Expr::Opaque(3))));
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    fn err(src: &str) -> String {
+        parse(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn switch_error_paths() {
+        assert!(err("routine f(x) { switch (x) { case y: { } } return 0; }").contains("integer case value"));
+        assert!(err("routine f(x) { switch (x) { default: {} default: {} } return 0; }").contains("duplicate default"));
+        assert!(err("routine f(x) { switch (x) { banana } return 0; }").contains("expected `case`"));
+        assert!(err("routine f(x) { switch (x) { case 1 { } } return 0; }").contains("expected `:`"));
+    }
+
+    #[test]
+    fn structural_error_paths() {
+        assert!(err("routine f( { return 0; }").contains("expected identifier"));
+        assert!(err("routine f() { return 0 }").contains("expected `;`"));
+        assert!(err("routine f() { if return 0; }").contains("expected `(`"));
+        assert!(err("routine f() { do { } }").contains("expected `while`"));
+        assert!(err("routine f() {").contains("unterminated block"));
+        assert!(err("routine f() { opaque(x); return 0; }").contains("non-negative integer token"));
+    }
+
+    #[test]
+    fn missing_routine_keyword() {
+        assert!(err("fn f() {}").contains("expected `routine`"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(err("").contains("end of input"));
+    }
+}

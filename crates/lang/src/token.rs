@@ -1,0 +1,358 @@
+//! Lexer for the pgvn source language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `routine`
+    Routine,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `opaque`
+    Opaque,
+    /// `switch`
+    Switch,
+    /// `case`
+    Case,
+    /// `default`
+    Default,
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Routine => write!(f, "routine"),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
+            Token::While => write!(f, "while"),
+            Token::Do => write!(f, "do"),
+            Token::Break => write!(f, "break"),
+            Token::Continue => write!(f, "continue"),
+            Token::Return => write!(f, "return"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Opaque => write!(f, "opaque"),
+            Token::Switch => write!(f, "switch"),
+            Token::Case => write!(f, "case"),
+            Token::Default => write!(f, "default"),
+            Token::Colon => write!(f, ":"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Tilde => write!(f, "~"),
+            Token::Bang => write!(f, "!"),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A lexing error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+/// Tokenizes `src`. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<(Token, u32)>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    line,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push((Token::Int(v), line));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "routine" => Token::Routine,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "do" => Token::Do,
+                    "break" => Token::Break,
+                    "continue" => Token::Continue,
+                    "return" => Token::Return,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "opaque" => Token::Opaque,
+                    "switch" => Token::Switch,
+                    "case" => Token::Case,
+                    "default" => Token::Default,
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push((tok, line));
+            }
+            _ => {
+                let two = |a: char, b: char| c == a && bytes.get(i + 1) == Some(&(b as u8));
+                let (tok, len) = if two('<', '<') {
+                    (Token::Shl, 2)
+                } else if two('>', '>') {
+                    (Token::Shr, 2)
+                } else if two('=', '=') {
+                    (Token::EqEq, 2)
+                } else if two('!', '=') {
+                    (Token::NotEq, 2)
+                } else if two('<', '=') {
+                    (Token::Le, 2)
+                } else if two('>', '=') {
+                    (Token::Ge, 2)
+                } else if two('&', '&') {
+                    (Token::AndAnd, 2)
+                } else if two('|', '|') {
+                    (Token::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        ',' => Token::Comma,
+                        ':' => Token::Colon,
+                        ';' => Token::Semi,
+                        '=' => Token::Assign,
+                        '+' => Token::Plus,
+                        '-' => Token::Minus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        '%' => Token::Percent,
+                        '&' => Token::Amp,
+                        '|' => Token::Pipe,
+                        '^' => Token::Caret,
+                        '~' => Token::Tilde,
+                        '!' => Token::Bang,
+                        '<' => Token::Lt,
+                        '>' => Token::Gt,
+                        _ => {
+                            return Err(LexError { line, message: format!("unexpected character `{c}`") });
+                        }
+                    };
+                    (t, 1)
+                };
+                out.push((tok, line));
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("routine foo if xif"),
+            vec![
+                Token::Routine,
+                Token::Ident("foo".into()),
+                Token::If,
+                Token::Ident("xif".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("0 42 9223372036854775807"), vec![Token::Int(0), Token::Int(42), Token::Int(i64::MAX)]);
+        assert!(lex("9223372036854775808").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<= >= == != << >> && ||"),
+            vec![Token::Le, Token::Ge, Token::EqEq, Token::NotEq, Token::Shl, Token::Shr, Token::AndAnd, Token::OrOr]
+        );
+    }
+
+    #[test]
+    fn one_char_operators_and_punct() {
+        assert_eq!(
+            toks("( ) { } , ; = + - * / % & | ^ ~ ! < >"),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::Comma,
+                Token::Semi,
+                Token::Assign,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Amp,
+                Token::Pipe,
+                Token::Caret,
+                Token::Tilde,
+                Token::Bang,
+                Token::Lt,
+                Token::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].1, 1);
+        assert_eq!(ts[1].1, 2);
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"));
+        assert_eq!(e.line, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-variable liveness on the variable CFG.
+//!
+//! Used by the *pruned* and *semi-pruned* SSA styles. The paper remarks
+//! (§3) that "pruned SSA [...] can reduce the effectiveness of global value
+//! numbering", which makes the SSA style an ablation axis of the
+//! reproduction — so all three classic styles are available.
+
+use crate::varfunc::{Var, VarFunction, VarStmt, VarTerm};
+
+/// Block-level liveness sets for every variable.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// `live_in[b]` contains the variables live on entry to block `b`.
+    live_in: Vec<Vec<bool>>,
+    /// Variables that are used in some block before any local definition
+    /// (Briggs' "non-local" / global variables, used by semi-pruned SSA).
+    non_local: Vec<bool>,
+}
+
+fn block_use_def(func: &VarFunction, b: usize, nvars: usize) -> (Vec<bool>, Vec<bool>) {
+    let mut used_before_def = vec![false; nvars];
+    let mut defined = vec![false; nvars];
+    let record_use = |v: Var, defined: &[bool], used: &mut [bool]| {
+        if !defined[v.0 as usize] {
+            used[v.0 as usize] = true;
+        }
+    };
+    for stmt in &func.block(b).stmts {
+        match stmt {
+            VarStmt::Assign(dst, e) => {
+                e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def));
+                defined[dst.0 as usize] = true;
+            }
+            VarStmt::Eval(e) => e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def)),
+        }
+    }
+    match func.block(b).term.as_ref() {
+        Some(VarTerm::Branch(e, _, _)) | Some(VarTerm::Return(e)) | Some(VarTerm::Switch(e, _, _)) => {
+            e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def));
+        }
+        _ => {}
+    }
+    (used_before_def, defined)
+}
+
+impl Liveness {
+    /// Computes liveness by the standard backward fixed point.
+    pub fn compute(func: &VarFunction) -> Self {
+        let nb = func.num_blocks();
+        let nv = func.num_vars();
+        let mut use_set = Vec::with_capacity(nb);
+        let mut def_set = Vec::with_capacity(nb);
+        for b in 0..nb {
+            let (u, d) = block_use_def(func, b, nv);
+            use_set.push(u);
+            def_set.push(d);
+        }
+        let mut non_local = vec![false; nv];
+        for u in &use_set {
+            for (v, &used) in u.iter().enumerate() {
+                if used {
+                    non_local[v] = true;
+                }
+            }
+        }
+        let mut live_in: Vec<Vec<bool>> = vec![vec![false; nv]; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let mut out = vec![false; nv];
+                for s in func.succs(b) {
+                    for v in 0..nv {
+                        out[v] = out[v] || live_in[s][v];
+                    }
+                }
+                for v in 0..nv {
+                    let new = use_set[b][v] || (out[v] && !def_set[b][v]);
+                    if new != live_in[b][v] {
+                        live_in[b][v] = new;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Liveness { live_in, non_local }
+    }
+
+    /// Returns `true` if `v` is live on entry to block `b`.
+    pub fn live_in(&self, b: usize, v: Var) -> bool {
+        self.live_in[b][v.0 as usize]
+    }
+
+    /// Returns `true` if `v` is used in some block before any local
+    /// definition (the semi-pruned "global variable" criterion).
+    pub fn is_non_local(&self, v: Var) -> bool {
+        self.non_local[v.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varfunc::expr::*;
+    use pgvn_ir::CmpOp;
+
+    #[test]
+    fn straight_line_liveness() {
+        // b0: t = a + 1; return t  — a live-in, t not.
+        let mut f = VarFunction::new("f", &["a"]);
+        let a = f.param_vars()[0];
+        let t = f.add_var("t");
+        f.assign(0, t, add(v(a), c(1)));
+        f.terminate(0, VarTerm::Return(v(t)));
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(0, a));
+        assert!(!l.live_in(0, t));
+        assert!(l.is_non_local(a));
+        assert!(!l.is_non_local(t));
+    }
+
+    #[test]
+    fn loop_carried_variable_is_live_at_header() {
+        // b0: i = 0; jump b1
+        // b1: branch (i < n) b2 b3
+        // b2: i = i + 1; jump b1
+        // b3: return i
+        let mut f = VarFunction::new("f", &["n"]);
+        let n = f.param_vars()[0];
+        let i = f.add_var("i");
+        let (b1, b2, b3) = (f.add_block(), f.add_block(), f.add_block());
+        f.assign(0, i, c(0));
+        f.terminate(0, VarTerm::Jump(b1));
+        f.terminate(b1, VarTerm::Branch(cmp(CmpOp::Lt, v(i), v(n)), b2, b3));
+        f.assign(b2, i, add(v(i), c(1)));
+        f.terminate(b2, VarTerm::Jump(b1));
+        f.terminate(b3, VarTerm::Return(v(i)));
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(b1, i));
+        assert!(l.live_in(b1, n));
+        assert!(l.live_in(b2, i));
+        assert!(l.live_in(b3, i));
+        assert!(!l.live_in(b3, n));
+        assert!(!l.live_in(0, i), "i is defined before use in b0");
+        assert!(l.is_non_local(i));
+    }
+
+    #[test]
+    fn dead_after_redefinition() {
+        // b0: t = a; t = 5; return t — a is live-in, but t's first value dead.
+        let mut f = VarFunction::new("f", &["a"]);
+        let a = f.param_vars()[0];
+        let t = f.add_var("t");
+        f.assign(0, t, v(a));
+        f.assign(0, t, c(5));
+        f.terminate(0, VarTerm::Return(v(t)));
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(0, a));
+        assert!(!l.live_in(0, t));
+    }
+}

@@ -1,0 +1,83 @@
+//! Dead code elimination.
+//!
+//! All value-defining instructions in this IR are pure (including
+//! `opaque`, which models a side-effect-free unknown input), so any value
+//! not transitively demanded by a terminator can be removed.
+
+use pgvn_ir::{EntityRef, Function, Value};
+
+/// Removes instructions whose results are never used (transitively).
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut live = vec![false; func.value_capacity()];
+    let mut work: Vec<Value> = Vec::new();
+    for b in func.blocks() {
+        if let Some(term) = func.terminator(b) {
+            func.kind(term).visit_args(|v| work.push(v));
+        }
+    }
+    while let Some(v) = work.pop() {
+        if live[v.index()] {
+            continue;
+        }
+        live[v.index()] = true;
+        func.kind(func.def(v)).visit_args(|a| work.push(a));
+    }
+    let mut removed = 0;
+    for b in func.blocks().collect::<Vec<_>>() {
+        for inst in func.block_insts(b).to_vec() {
+            if let Some(v) = func.inst_result(inst) {
+                if !live[v.index()] {
+                    func.remove_inst(inst);
+                    removed += 1;
+                }
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::{assert_verifies, BinOp, HashedOpaques, Interpreter};
+    use pgvn_lang::compile;
+    use pgvn_ssa::SsaStyle;
+
+    #[test]
+    fn removes_unused_computations() {
+        let mut f = compile("routine f(a) { x = a * 99; return a; }", SsaStyle::Minimal).unwrap();
+        let before = f.num_insts();
+        let removed = eliminate_dead_code(&mut f);
+        assert!(removed >= 2, "mul and const should die; removed {removed}");
+        assert!(f.num_insts() < before);
+        assert_verifies(&f);
+        let r = Interpreter::new(&f).run(&[11], &mut HashedOpaques::new(0)).unwrap();
+        assert_eq!(r, 11);
+    }
+
+    #[test]
+    fn keeps_transitively_used_values() {
+        let mut f = pgvn_ir::Function::new("f", 1);
+        let b = f.entry();
+        let one = f.iconst(b, 1);
+        let s = f.binary(b, BinOp::Add, f.param(0), one);
+        let t = f.binary(b, BinOp::Mul, s, s);
+        f.set_return(b, t);
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+        assert_verifies(&f);
+    }
+
+    #[test]
+    fn removes_dead_phis() {
+        let src = "routine f(c) {
+            if (c > 0) { t = 1; } else { t = 2; }
+            return 7;
+        }";
+        let mut f = compile(src, SsaStyle::Minimal).unwrap();
+        let removed = eliminate_dead_code(&mut f);
+        assert!(removed >= 1);
+        assert!(!f.values().any(|v| f.kind(f.def(v)).is_phi()));
+        assert_verifies(&f);
+    }
+}

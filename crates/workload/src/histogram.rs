@@ -1,0 +1,113 @@
+//! Improvement histograms, matching the presentation of the paper's
+//! Figures 10–12.
+//!
+//! The paper plots, for each strength measure, the number of routines at
+//! each absolute improvement ("the practical algorithm discovered 100 more
+//! unreachable values … in 1 routine", with the 0-improvement count in the
+//! legend). [`Histogram`] collects improvement deltas per routine and
+//! renders that distribution as text.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A distribution of per-routine improvements.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<i64, usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one routine's improvement `delta`.
+    pub fn add(&mut self, delta: i64) {
+        *self.counts.entry(delta).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total routines recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Routines with exactly zero improvement (the paper's legend value).
+    pub fn zeros(&self) -> usize {
+        self.counts.get(&0).copied().unwrap_or(0)
+    }
+
+    /// Routines with strictly positive improvement.
+    pub fn improved(&self) -> usize {
+        self.counts.range(1..).map(|(_, &c)| c).sum()
+    }
+
+    /// Routines with strictly negative improvement (the paper reports 6
+    /// such routines against Click's algorithm, due to value inference).
+    pub fn regressed(&self) -> usize {
+        self.counts.range(..0).map(|(_, &c)| c).sum()
+    }
+
+    /// Sum of all improvements.
+    pub fn total_improvement(&self) -> i64 {
+        self.counts.iter().map(|(&d, &c)| d * c as i64).sum()
+    }
+
+    /// Iterates over `(improvement, routine count)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, usize)> + '_ {
+        self.counts.iter().map(|(&d, &c)| (d, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  0x {} routines; improved {}; regressed {}; net improvement {:+}",
+            self.zeros(),
+            self.improved(),
+            self.regressed(),
+            self.total_improvement()
+        )?;
+        for (delta, count) in self.iter() {
+            if delta == 0 {
+                continue;
+            }
+            let bar = "#".repeat(count.min(60));
+            writeln!(f, "  {delta:>6}x {count:>6} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_summaries() {
+        let mut h = Histogram::new();
+        for d in [0, 0, 0, 1, 2, 2, -1] {
+            h.add(d);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.zeros(), 3);
+        assert_eq!(h.improved(), 3);
+        assert_eq!(h.regressed(), 1);
+        assert_eq!(h.total_improvement(), 4);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(-1, 1), (0, 3), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(5);
+        let s = h.to_string();
+        assert!(s.contains("0x 1 routines"), "{s}");
+        assert!(s.contains("5x"), "{s}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # pgvn-workload — the synthetic evaluation workload
+//!
+//! The paper's measurements run on the SPEC CINT2000 C benchmarks through
+//! HP's PA-RISC compiler. Neither is available to this reproduction, so —
+//! per the substitution policy in `DESIGN.md` — this crate generates a
+//! deterministic, seeded stand-in suite: ten benchmark profiles named and
+//! proportioned after the paper's Table 1 rows, whose routines contain
+//! the same *kinds* of opportunities the paper's analyses exploit
+//! (redundancies, dead branches, inference guards, φ-predication
+//! diamonds, cyclic values).
+//!
+//! ```
+//! use pgvn_workload::{spec_suite, SuiteConfig};
+//!
+//! let suite = spec_suite(SuiteConfig { scale: 0.01, ..Default::default() });
+//! assert_eq!(suite.len(), 10);
+//! let f = suite[0].routine(0);
+//! pgvn_ir::verify(&f)?;
+//! # Ok::<(), pgvn_ir::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod histogram;
+pub mod suite;
+
+pub use gen::{generate_function, generate_routine, GenConfig};
+pub use histogram::Histogram;
+pub use suite::{dump_benchmark, spec_suite, Benchmark, BenchmarkProfile, SuiteConfig, SPEC_CINT2000};

@@ -1,0 +1,57 @@
+//! Quickstart: compile a routine, analyze it, optimize it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pgvn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A routine with a redundancy ((a+b) vs (b+a)), a dead branch, and a
+    // value-inference opportunity.
+    let src = "routine demo(a, b) {
+        x = a + b;
+        y = b + a;
+        if (3 > 5) { x = 99; }
+        if (a == 0) { y = y + a; }
+        return x - y;
+    }";
+
+    // 1. Compile to SSA.
+    let mut func = compile(src, SsaStyle::Pruned)?;
+    println!("== before ==\n{func}");
+
+    // 2. Run the predicated sparse GVN analysis.
+    let results = gvn(&func, &GvnConfig::full());
+    println!(
+        "analysis: {} passes, {} congruence classes, converged: {}",
+        results.stats.passes,
+        results.num_congruence_classes(),
+        results.stats.converged
+    );
+
+    // The return value is provably the constant 0.
+    let ret = func
+        .blocks()
+        .filter_map(|b| func.terminator(b))
+        .find_map(|t| match func.kind(t) {
+            pgvn::ir::InstKind::Return(v) => Some(*v),
+            _ => None,
+        })
+        .expect("routine returns");
+    println!("return value is constant: {:?}", results.constant_value(ret));
+
+    // 3. Apply the optimization pipeline.
+    let report = Pipeline::new(GvnConfig::full()).rounds(2).optimize(&mut func);
+    println!(
+        "pipeline: {} constants propagated, {} redundancies removed, {} dead instructions",
+        report.constants_propagated, report.redundancies_eliminated, report.dead_removed
+    );
+    println!("\n== after ==\n{func}");
+
+    // 4. The optimized routine still computes the same thing.
+    let r = Interpreter::new(&func).run(&[7, -3], &mut HashedOpaques::new(0))?;
+    assert_eq!(r, 0);
+    println!("demo(7, -3) = {r}");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The compile-time / optimization-strength tradeoff (paper §1.3): the
+//! same driver runs as an optimistic, balanced or pessimistic value
+//! numberer, with each unified analysis individually switchable —
+//! "existing algorithms do not offer this flexibility, so they require
+//! the compiler writer to choose between minimizing compile time,
+//! maximizing optimization strength or implementing multiple algorithms."
+//!
+//! Prints one row per configuration over a small generated suite:
+//! analysis time, and the three strength measures.
+//!
+//! ```text
+//! cargo run --release --example tradeoffs
+//! ```
+
+use pgvn::prelude::*;
+use pgvn::workload::{spec_suite, SuiteConfig};
+use std::time::Instant;
+
+fn main() {
+    let suite = spec_suite(SuiteConfig { scale: 0.02, ..Default::default() });
+    let funcs: Vec<_> = suite.iter().flat_map(|b| b.routines().collect::<Vec<_>>()).collect();
+    println!("suite: {} routines\n", funcs.len());
+
+    let mut rows: Vec<(&str, GvnConfig)> = vec![
+        ("full optimistic (strongest)", GvnConfig::full()),
+        ("full balanced", GvnConfig::full().mode(Mode::Balanced)),
+        ("full pessimistic (fastest)", GvnConfig::full().mode(Mode::Pessimistic)),
+        ("complete variant", GvnConfig::full().variant(Variant::Complete)),
+        ("+ φ-distribution (§6 extension)", GvnConfig::extended()),
+        ("dense (sparseness off)", GvnConfig::full().sparse(false)),
+        ("basic (click emulation)", GvnConfig::click()),
+        ("sccp emulation", GvnConfig::sccp()),
+        ("awz/simpson emulation", GvnConfig::awz()),
+    ];
+    let mut c = GvnConfig::full();
+    c.value_inference_constants_only = true;
+    rows.push(("value inference: constants only", c));
+
+    println!(
+        "{:<34} {:>9} {:>12} {:>10} {:>9}",
+        "configuration", "time(ms)", "unreachable", "constants", "classes"
+    );
+    for (name, cfg) in rows {
+        let t0 = Instant::now();
+        let mut unreachable = 0usize;
+        let mut constants = 0usize;
+        let mut classes = 0usize;
+        for f in &funcs {
+            let s = gvn(f, &cfg).strength();
+            unreachable += s.unreachable_values;
+            constants += s.constant_values;
+            classes += s.congruence_classes;
+        }
+        let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{name:<34} {elapsed:>9.2} {unreachable:>12} {constants:>10} {classes:>9}");
+    }
+    println!("\n(more unreachable/constants is stronger; fewer classes is stronger)");
+}

@@ -1,0 +1,213 @@
+//! `pgvn` — command-line driver for the predicated sparse GVN optimizer.
+//!
+//! ```text
+//! pgvn <file> [options]
+//! pgvn - [options]                 # read source from stdin
+//!
+//! options:
+//!   --config  full|extended|click|sccp|awz|basic   (default: full)
+//!   --mode    optimistic|balanced|pessimistic      (default: optimistic)
+//!   --variant practical|complete                   (default: practical)
+//!   --ssa     minimal|semi-pruned|pruned           (default: pruned)
+//!   --dense                                        disable sparseness
+//!   --emit    ir|analysis|optimized|all            (default: optimized)
+//!   --run     a,b,c                                execute with arguments
+//!   --stats                                        print analysis counters
+//! ```
+
+use pgvn::prelude::*;
+use pgvn::core::run as gvn_run;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    config: GvnConfig,
+    style: SsaStyle,
+    emit: Vec<String>,
+    run_args: Option<Vec<i64>>,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgvn <file|-> [--config full|extended|click|sccp|awz|basic]\n\
+         \x20           [--mode optimistic|balanced|pessimistic] [--variant practical|complete]\n\
+         \x20           [--ssa minimal|semi-pruned|pruned] [--dense]\n\
+         \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut config = GvnConfig::full();
+    let mut mode = Mode::Optimistic;
+    let mut variant = Variant::Practical;
+    let mut dense = false;
+    let mut style = SsaStyle::Pruned;
+    let mut emit = Vec::new();
+    let mut run_args = None;
+    let mut stats = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => {
+                config = match args.next().as_deref() {
+                    Some("full") => GvnConfig::full(),
+                    Some("extended") => GvnConfig::extended(),
+                    Some("click") => GvnConfig::click(),
+                    Some("sccp") => GvnConfig::sccp(),
+                    Some("awz") => GvnConfig::awz(),
+                    Some("basic") => GvnConfig::basic(),
+                    _ => usage(),
+                };
+            }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("optimistic") => Mode::Optimistic,
+                    Some("balanced") => Mode::Balanced,
+                    Some("pessimistic") => Mode::Pessimistic,
+                    _ => usage(),
+                };
+            }
+            "--variant" => {
+                variant = match args.next().as_deref() {
+                    Some("practical") => Variant::Practical,
+                    Some("complete") => Variant::Complete,
+                    _ => usage(),
+                };
+            }
+            "--ssa" => {
+                style = match args.next().as_deref() {
+                    Some("minimal") => SsaStyle::Minimal,
+                    Some("semi-pruned") => SsaStyle::SemiPruned,
+                    Some("pruned") => SsaStyle::Pruned,
+                    _ => usage(),
+                };
+            }
+            "--dense" => dense = true,
+            "--emit" => match args.next() {
+                Some(e) => emit.push(e),
+                None => usage(),
+            },
+            "--run" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                let parsed: Result<Vec<i64>, _> =
+                    list.split(',').filter(|s| !s.is_empty()).map(str::parse).collect();
+                match parsed {
+                    Ok(v) => run_args = Some(v),
+                    Err(_) => usage(),
+                }
+            }
+            "--stats" => stats = true,
+            _ if path.is_none() && !a.starts_with("--") => path = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    if emit.is_empty() {
+        emit.push("optimized".to_string());
+    }
+    let config = config.mode(mode).variant(variant).sparse(!dense);
+    Options { path, config, style, emit, run_args, stats }
+}
+
+fn wants_source(emit: &[String]) -> bool {
+    emit.iter().any(|e| e == "source" || e == "all")
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let source = if opts.path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("pgvn: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&opts.path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pgvn: cannot read {}: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if wants_source(&opts.emit) {
+        match pgvn::lang::parse(&source) {
+            Ok(r) => println!("== source (pretty-printed) ==\n{}", pgvn::lang::print_routine(&r)),
+            Err(e) => {
+                eprintln!("pgvn: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let func = match compile(&source, opts.style) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pgvn: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wants = |w: &str| opts.emit.iter().any(|e| e == w || e == "all");
+
+    if wants("ir") {
+        println!("== ssa ==\n{func}");
+    }
+
+    let results = gvn_run(&func, &opts.config);
+    if wants("analysis") {
+        let s = results.strength();
+        println!("== analysis ==");
+        println!("passes:              {}", results.stats.passes);
+        println!("unreachable values:  {}", s.unreachable_values);
+        println!("constant values:     {}", s.constant_values);
+        println!("congruence classes:  {}", s.congruence_classes);
+        for b in func.blocks() {
+            if !results.is_block_reachable(b) {
+                println!("unreachable block:   {b}");
+            }
+        }
+        println!("\n{}", pgvn::core::annotated(&func, &results));
+        println!("{}", pgvn::core::class_report(&func, &results));
+    }
+
+    let mut optimized = func.clone();
+    let report = Pipeline::new(opts.config.clone()).rounds(2).optimize(&mut optimized);
+    if wants("optimized") {
+        println!("== optimized ==\n{optimized}");
+    }
+    if opts.stats {
+        println!("== stats ==");
+        println!("gvn passes:            {}", report.gvn_stats.passes);
+        println!("branches folded:       {}", report.uce.branches_folded);
+        println!("blocks removed:        {}", report.uce.blocks_removed);
+        println!("constants propagated:  {}", report.constants_propagated);
+        println!("redundancies removed:  {}", report.redundancies_eliminated);
+        println!("dead insts removed:    {}", report.dead_removed);
+    }
+
+    if let Some(args) = opts.run_args {
+        let mut o1 = HashedOpaques::new(0);
+        let mut o2 = HashedOpaques::new(0);
+        let original = Interpreter::new(&func).run(&args, &mut o1);
+        let opt = Interpreter::new(&optimized).run(&args, &mut o2);
+        match (original, opt) {
+            (Ok(a), Ok(b)) if a == b => println!("result: {a}"),
+            (Ok(a), Ok(b)) => {
+                eprintln!("pgvn: INTERNAL ERROR: optimization changed result ({a} vs {b})");
+                return ExitCode::FAILURE;
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("pgvn: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `pgvn` command-line driver.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn pgvn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pgvn"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pgvn-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write source");
+    path
+}
+
+#[test]
+fn optimizes_and_runs_a_file() {
+    let path = write_temp(
+        "basic.pg",
+        "routine f(a, b) { x = a + b; y = b + a; return x - y; }",
+    );
+    let out = pgvn()
+        .arg(&path)
+        .args(["--emit", "all", "--run", "3,4", "--stats"])
+        .output()
+        .expect("spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("== ssa =="), "{stdout}");
+    assert!(stdout.contains("== analysis =="), "{stdout}");
+    assert!(stdout.contains("== optimized =="), "{stdout}");
+    assert!(stdout.contains("result: 0"), "{stdout}");
+    assert!(stdout.contains("constants propagated"), "{stdout}");
+}
+
+#[test]
+fn reads_from_stdin() {
+    let mut child = pgvn()
+        .args(["-", "--emit", "analysis"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"routine g() { if (1 > 2) { return 5; } return 7; }")
+        .expect("writes");
+    let out = child.wait_with_output().expect("completes");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("unreachable block"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    let path = write_temp("broken.pg", "routine f( { return 0; }");
+    let out = pgvn().arg(&path).output().expect("spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = pgvn().arg("/nonexistent/nope.pg").output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn config_and_mode_flags_accepted() {
+    let path = write_temp("cfg.pg", "routine f(a) { return a - a; }");
+    for cfg in ["full", "extended", "click", "sccp", "awz", "basic"] {
+        let out = pgvn()
+            .arg(&path)
+            .args(["--config", cfg, "--mode", "balanced", "--variant", "complete", "--run", "9"])
+            .output()
+            .expect("spawns");
+        assert!(out.status.success(), "--config {cfg}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("result: 0"));
+    }
+}
+
+#[test]
+fn dense_and_ssa_flags_accepted() {
+    let path = write_temp("flags.pg", "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }");
+    for ssa in ["minimal", "semi-pruned", "pruned"] {
+        let out = pgvn().arg(&path).args(["--ssa", ssa, "--dense", "--run", "5"]).output().expect("spawns");
+        assert!(out.status.success(), "--ssa {ssa}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("result: 10"));
+    }
+}
+
+#[test]
+fn figure1_via_cli_collapses_to_one() {
+    let path = write_temp("figure1.pg", pgvn_lang::fixtures::FIGURE1);
+    let out = pgvn().arg(&path).args(["--run", "5,5,9"]).output().expect("spawns");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("result: 1"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    let out = pgvn().args(["file.pg", "--config", "bogus"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
