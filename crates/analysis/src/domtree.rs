@@ -213,7 +213,9 @@ impl PostDomTree {
             .order()
             .iter()
             .copied()
-            .filter(|&b| matches!(func.terminator(b).map(|t| func.kind(t)), Some(InstKind::Return(_))))
+            .filter(|&b| {
+                matches!(func.terminator(b).map(|t| func.kind(t)), Some(InstKind::Return(_)))
+            })
             .collect();
         let mut postorder = Vec::new();
         for &x in &exit_blocks {

@@ -138,11 +138,7 @@ impl GenericDomTree {
 
     /// Children of `u` in the dominator tree, in RPO order.
     pub fn children(&self, u: usize) -> Vec<usize> {
-        self.order
-            .iter()
-            .copied()
-            .filter(|&c| c != u && self.idom[c] == u)
-            .collect()
+        self.order.iter().copied().filter(|&c| c != u && self.idom[c] == u).collect()
     }
 
     /// Dominance frontiers of every node (Cytron's algorithm).
@@ -192,7 +188,10 @@ mod tests {
         (6, succs)
     }
 
-    fn closures(succs: &[Vec<usize>]) -> (impl Fn(usize, &mut Vec<usize>) + '_, impl Fn(usize, &mut Vec<usize>) + '_) {
+    #[allow(clippy::type_complexity)]
+    fn closures(
+        succs: &[Vec<usize>],
+    ) -> (impl Fn(usize, &mut Vec<usize>) + '_, impl Fn(usize, &mut Vec<usize>) + '_) {
         let s = move |u: usize, out: &mut Vec<usize>| out.extend(succs[u].iter().copied());
         let p = move |u: usize, out: &mut Vec<usize>| {
             for (v, ss) in succs.iter().enumerate() {

@@ -37,8 +37,8 @@
 #![forbid(unsafe_code)]
 
 pub mod domtree;
-pub mod graph;
 pub mod frontiers;
+pub mod graph;
 pub mod loops;
 pub mod order;
 pub mod reachable_dom;

@@ -171,10 +171,7 @@ mod tests {
     fn back_edge_detected() {
         let (f, head, body, _exit) = looped();
         let rpo = Rpo::compute(&f);
-        let back = f
-            .edges()
-            .find(|&e| f.edge_from(e) == body && f.edge_to(e) == head)
-            .unwrap();
+        let back = f.edges().find(|&e| f.edge_from(e) == body && f.edge_to(e) == head).unwrap();
         assert!(rpo.is_back_edge(back));
         assert_eq!(rpo.back_edges().len(), 1);
         for e in f.edges() {

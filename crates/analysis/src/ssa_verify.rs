@@ -10,7 +10,14 @@ use crate::domtree::DomTree;
 use crate::order::Rpo;
 use pgvn_ir::{Block, Function, Inst, InstKind, Value};
 
-fn defined_before(func: &Function, rpo: &Rpo, domtree: &DomTree, def: Inst, use_inst: Inst, in_block: Block) -> bool {
+fn defined_before(
+    func: &Function,
+    rpo: &Rpo,
+    domtree: &DomTree,
+    def: Inst,
+    use_inst: Inst,
+    in_block: Block,
+) -> bool {
     let def_block = func.inst_block(def);
     if def_block == in_block {
         // Same block: definition must come first; φs define "at the top".
@@ -48,13 +55,16 @@ pub fn verify_ssa(func: &Function) -> Result<(), String> {
                         }
                         let def = func.def(arg);
                         let def_block = func.inst_block(def);
-                        let ok = def_block == pred || domtree.strictly_dominates(def_block, pred) || {
-                            // φ defined in the same block as its own use
-                            // through a back edge is fine if def dominates
-                            // pred (covered above); self-block check:
-                            def_block == b && func.kind(def).is_phi() && domtree.dominates(b, pred)
-                        };
-                        if !ok && !(def_block == b && domtree.dominates(b, pred)) {
+                        let ok =
+                            def_block == pred || domtree.strictly_dominates(def_block, pred) || {
+                                // φ defined in the same block as its own use
+                                // through a back edge is fine if def dominates
+                                // pred (covered above); self-block check:
+                                def_block == b
+                                    && func.kind(def).is_phi()
+                                    && domtree.dominates(b, pred)
+                            };
+                        if !(ok || (def_block == b && domtree.dominates(b, pred))) {
                             return Err(format!(
                                 "φ {inst} in {b}: argument {arg} (defined in {def_block}) \
                                  does not dominate predecessor {pred}"
@@ -65,12 +75,16 @@ pub fn verify_ssa(func: &Function) -> Result<(), String> {
                 kind => {
                     let mut bad: Option<Value> = None;
                     kind.visit_args(|v| {
-                        if bad.is_none() && !defined_before(func, &rpo, &domtree, func.def(v), inst, b) {
+                        if bad.is_none()
+                            && !defined_before(func, &rpo, &domtree, func.def(v), inst, b)
+                        {
                             bad = Some(v);
                         }
                     });
                     if let Some(v) = bad {
-                        return Err(format!("{inst} in {b} uses {v} before its definition dominates it"));
+                        return Err(format!(
+                            "{inst} in {b} uses {v} before its definition dominates it"
+                        ));
                     }
                 }
             }

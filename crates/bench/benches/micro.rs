@@ -1,10 +1,16 @@
 //! Microbenchmarks of the substrates: RPO + dominators, postdominators,
-//! SSA construction and the front end.
+//! SSA construction, the front end, and the telemetry guardrail (an
+//! untraced `run` vs `run_traced` with a disabled handle must be within
+//! noise of each other — the `gvn_untraced`/`gvn_telemetry_off` pair
+//! below is the check behind the "<2% overhead" claim in
+//! `docs/OBSERVABILITY.md`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgvn_analysis::{DomTree, PostDomTree, Rpo};
+use pgvn_core::{run, run_traced, GvnConfig};
 use pgvn_lang::{lower, parse};
 use pgvn_ssa::{build_ssa, SsaStyle};
+use pgvn_telemetry::Telemetry;
 use pgvn_workload::{generate_routine, GenConfig};
 
 fn bench_analyses(c: &mut Criterion) {
@@ -40,5 +46,22 @@ fn bench_frontend(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyses, bench_frontend);
+fn bench_telemetry_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for stmts in [200usize, 800] {
+        let gen = GenConfig { seed: 23, target_stmts: stmts, ..Default::default() };
+        let routine = generate_routine("t", &gen);
+        let f = build_ssa(&lower(&routine), SsaStyle::Pruned).expect("builds");
+        let cfg = GvnConfig::full();
+        group.bench_with_input(BenchmarkId::new("gvn_untraced", stmts), &f, |bencher, f| {
+            bencher.iter(|| run(f, &cfg).stats.passes);
+        });
+        group.bench_with_input(BenchmarkId::new("gvn_telemetry_off", stmts), &f, |bencher, f| {
+            bencher.iter(|| run_traced(f, &cfg, &mut Telemetry::off()).stats.passes);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyses, bench_frontend, bench_telemetry_off);
 criterion_main!(benches);

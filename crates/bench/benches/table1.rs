@@ -11,7 +11,9 @@ use pgvn_core::{run, GvnConfig, Mode};
 fn bench_modes(c: &mut Criterion) {
     let suite = standard_suite(0.02);
     let mut group = c.benchmark_group("table1_modes");
-    for bench in suite.iter().filter(|b| matches!(b.profile.name, "164.gzip" | "176.gcc" | "300.twolf")) {
+    for bench in
+        suite.iter().filter(|b| matches!(b.profile.name, "164.gzip" | "176.gcc" | "300.twolf"))
+    {
         let funcs: Vec<_> = bench.routines().collect();
         for (label, cfg) in [
             ("optimistic", GvnConfig::full()),

@@ -9,12 +9,12 @@
 //! suite has ~5800); `--scale 1.0` reproduces the full size.
 
 use pgvn_bench::{
-    collect_stats, compare_strength, standard_suite, table1_timings, table2_timings,
+    collect_distributions, compare_strength, standard_suite, table1_timings, table2_timings,
     total_strength, Improvements,
 };
 use pgvn_core::{GvnConfig, Mode, Variant};
 use pgvn_ssa::SsaStyle;
-use pgvn_workload::{spec_suite, Benchmark, SuiteConfig};
+use pgvn_workload::{spec_suite, Benchmark, Histogram, SuiteConfig};
 
 fn ms(nanos: u128) -> f64 {
     nanos as f64 / 1.0e6
@@ -35,7 +35,18 @@ fn print_table1(suite: &[Benchmark]) {
     println!();
     println!(
         "{:<14} {:>9} {:>9} {:>6} {:>9} {:>9} {:>6} {:>6} {:>9} {:>9} {:>6} {:>6}",
-        "Benchmark", "HLO(opt)", "GVN(opt)", "B/A%", "HLO(bal)", "GVN(bal)", "E/D%", "B/E", "HLO(pes)", "GVN(pes)", "I/H%", "E/I"
+        "Benchmark",
+        "HLO(opt)",
+        "GVN(opt)",
+        "B/A%",
+        "HLO(bal)",
+        "GVN(bal)",
+        "E/D%",
+        "B/E",
+        "HLO(pes)",
+        "GVN(pes)",
+        "I/H%",
+        "E/I"
     );
     let rows = table1_timings(suite);
     let mut tot_a = 0u128;
@@ -140,12 +151,38 @@ fn print_figure(title: &str, note: &str, imp: &Improvements) {
     println!();
 }
 
+/// Renders a per-routine count histogram. Counts up to `exact_to` get
+/// their own row; the tail is folded into power-of-two buckets so
+/// long-tailed visit distributions stay readable.
+fn print_count_histogram(title: &str, h: &Histogram, exact_to: i64) {
+    println!("{title} (routines at each count):");
+    let mut bucketed: Vec<(i64, i64, usize)> = Vec::new();
+    for (count, routines) in h.iter() {
+        let (lo, hi) = if count <= exact_to {
+            (count, count)
+        } else {
+            // Power-of-two bucket [2^k, 2^(k+1)) above the exact range.
+            let k = 63 - (count as u64).leading_zeros();
+            (1i64 << k, (1i64 << (k + 1)) - 1)
+        };
+        match bucketed.last_mut() {
+            Some((l, _, n)) if *l == lo => *n += routines,
+            _ => bucketed.push((lo, hi, routines)),
+        }
+    }
+    for (lo, hi, routines) in bucketed {
+        let label = if lo == hi { format!("{lo}") } else { format!("{lo}-{hi}") };
+        let bar = "#".repeat(routines.min(60));
+        println!("  {label:>11}x {routines:>6} {bar}");
+    }
+}
+
 fn print_stats(suite: &[Benchmark]) {
     println!("## §4/§5 scalar statistics (full algorithm, optimistic)");
     println!("(paper: 1.98 passes/routine; 0.91 / 0.38 / 0.16 blocks visited per");
     println!(" instruction by value inference / predicate inference / φ-predication)");
     println!();
-    let s = collect_stats(suite, &GvnConfig::full());
+    let (s, dist) = collect_distributions(suite, &GvnConfig::full());
     println!("routines:                      {}", s.routines);
     println!("instructions:                  {}", s.insts);
     println!("passes per routine:            {:.2}", s.passes_per_routine());
@@ -153,15 +190,17 @@ fn print_stats(suite: &[Benchmark]) {
     println!("predicate-inference visits/inst: {:.2}", s.pi_per_inst());
     println!("phi-predication visits/inst:   {:.2}", s.pp_per_inst());
     println!();
+    print_count_histogram("RPO passes per routine", &dist.passes, 16);
+    print_count_histogram("Value-inference visits per routine", &dist.vi_visits, 8);
+    print_count_histogram("Predicate-inference visits per routine", &dist.pi_visits, 8);
+    print_count_histogram("Phi-predication visits per routine", &dist.pp_visits, 8);
+    println!();
 }
 
 fn print_ablations(suite: &[Benchmark]) {
     println!("## Ablations (suite-wide strength totals; DESIGN.md E13)");
     println!();
-    println!(
-        "{:<38} {:>12} {:>10} {:>10}",
-        "Configuration", "unreachable", "constants", "classes"
-    );
+    println!("{:<38} {:>12} {:>10} {:>10}", "Configuration", "unreachable", "constants", "classes");
     let show = |name: &str, cfg: &GvnConfig| {
         let s = total_strength(suite, cfg);
         println!(
@@ -222,10 +261,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale takes a number");
+                scale = it.next().and_then(|s| s.parse().ok()).expect("--scale takes a number");
             }
             other => what.push(other.to_string()),
         }
@@ -266,11 +302,8 @@ fn main() {
         );
     }
     if wants("figure12") {
-        let imp = compare_strength(
-            &suite,
-            &GvnConfig::full(),
-            &GvnConfig::full().mode(Mode::Balanced),
-        );
+        let imp =
+            compare_strength(&suite, &GvnConfig::full(), &GvnConfig::full().mode(Mode::Balanced));
         print_figure(
             "Figure 12 — optimistic vs balanced value numbering",
             "paper shape: balanced is almost as strong; small positive tail only",

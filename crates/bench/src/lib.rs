@@ -164,6 +164,42 @@ pub fn collect_stats(suite: &[Benchmark], cfg: &GvnConfig) -> SuiteStats {
     out
 }
 
+/// Per-routine distributions behind the §4/§5 averages: the scalar
+/// "1.98 passes per routine" hides the shape, these histograms show it.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteDistributions {
+    /// RPO passes per routine.
+    pub passes: Histogram,
+    /// Value-inference block visits per routine.
+    pub vi_visits: Histogram,
+    /// Predicate-inference block visits per routine.
+    pub pi_visits: Histogram,
+    /// φ-predication block visits per routine.
+    pub pp_visits: Histogram,
+}
+
+/// Collects both the suite-wide scalars and the per-routine
+/// distributions in one sweep under `cfg`.
+pub fn collect_distributions(
+    suite: &[Benchmark],
+    cfg: &GvnConfig,
+) -> (SuiteStats, SuiteDistributions) {
+    let mut stats = SuiteStats::default();
+    let mut dist = SuiteDistributions::default();
+    for bench in suite {
+        for i in 0..bench.len() {
+            let f = bench.routine(i);
+            let s = run(&f, cfg).stats;
+            stats.absorb(&s);
+            dist.passes.add(i64::from(s.passes));
+            dist.vi_visits.add(s.value_inference_visits as i64);
+            dist.pi_visits.add(s.predicate_inference_visits as i64);
+            dist.pp_visits.add(s.phi_predication_visits as i64);
+        }
+    }
+    (stats, dist)
+}
+
 /// Builds the standard evaluation suite at the given scale.
 pub fn standard_suite(scale: f64) -> Vec<Benchmark> {
     spec_suite(SuiteConfig { scale, ..Default::default() })
@@ -272,6 +308,24 @@ mod tests {
         assert!(s.routines > 0);
         assert!(s.passes_per_routine() >= 1.0);
         assert!(s.vi_per_inst() >= 0.0);
+    }
+
+    #[test]
+    fn distributions_cover_all_routines_and_match_scalars() {
+        let suite = tiny_suite();
+        let total: usize = suite.iter().map(Benchmark::len).sum();
+        let (stats, dist) = collect_distributions(&suite, &GvnConfig::full());
+        assert_eq!(stats.routines as usize, total);
+        for h in [&dist.passes, &dist.vi_visits, &dist.pi_visits, &dist.pp_visits] {
+            assert_eq!(h.total(), total);
+        }
+        // The histograms must sum back to the scalar totals.
+        assert_eq!(dist.passes.total_improvement() as u64, stats.passes);
+        assert_eq!(dist.vi_visits.total_improvement() as u64, stats.vi_visits);
+        assert_eq!(dist.pi_visits.total_improvement() as u64, stats.pi_visits);
+        assert_eq!(dist.pp_visits.total_improvement() as u64, stats.pp_visits);
+        // Every routine makes at least one pass.
+        assert_eq!(dist.passes.zeros(), 0);
     }
 
     #[test]

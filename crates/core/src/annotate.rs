@@ -17,7 +17,13 @@ use std::fmt::Write;
 /// ```
 pub fn annotated(func: &Function, results: &GvnResults) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "routine {} — {} passes, {} classes", func.name(), results.stats.passes, results.num_congruence_classes());
+    let _ = writeln!(
+        out,
+        "routine {} — {} passes, {} classes",
+        func.name(),
+        results.stats.passes,
+        results.num_congruence_classes()
+    );
     for b in func.blocks() {
         let marker = if results.is_block_reachable(b) { "" } else { "    [unreachable]" };
         let _ = writeln!(out, "{b}:{marker}");

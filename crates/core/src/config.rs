@@ -209,7 +209,12 @@ mod tests {
     fn click_disables_new_analyses_only() {
         let c = GvnConfig::click();
         assert!(c.constant_folding && c.algebraic_simplification && c.unreachable_code_elim);
-        assert!(!c.global_reassociation && !c.predicate_inference && !c.value_inference && !c.phi_predication);
+        assert!(
+            !c.global_reassociation
+                && !c.predicate_inference
+                && !c.value_inference
+                && !c.phi_predication
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use super::*;
 
-impl Run<'_> {
+impl Run<'_, '_, '_> {
     /// The leader of `v`'s class as an expression; `None` while ⊥.
     pub(super) fn leader_expr(&mut self, v: Value) -> Option<ExprId> {
         match self.classes.leader(self.classes.class_of(v)) {
@@ -95,7 +95,9 @@ impl Run<'_> {
                 Some(self.apply_predicate_inference(cmp, b))
             }
             InstKind::Phi(ref args) => self.eval_phi(v, b, args),
-            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) | InstKind::Return(_) => unreachable!(),
+            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) | InstKind::Return(_) => {
+                unreachable!()
+            }
         };
         // SCCP emulation: non-constants are bottom (§2.9).
         match result {
@@ -164,7 +166,13 @@ impl Run<'_> {
     /// `φ(a₁ op b₁, …)`, which is exactly what a real φ over the
     /// per-edge results would compute — so values built either way become
     /// congruent (Figure 14).
-    pub(super) fn try_phi_distribution(&mut self, op: PhiOp, ae: ExprId, be: ExprId, depth: u32) -> Option<ExprId> {
+    pub(super) fn try_phi_distribution(
+        &mut self,
+        op: PhiOp,
+        ae: ExprId,
+        be: ExprId,
+        depth: u32,
+    ) -> Option<ExprId> {
         const MAX_DEPTH: u32 = 4;
         if depth > MAX_DEPTH {
             return None;
@@ -179,16 +187,24 @@ impl Run<'_> {
         };
         let scalar = |run: &Self, e: ExprId| -> bool {
             run.interner.as_const(e).is_some()
-                || matches!(run.interner.kind(e), ExprKind::Leader(_) | ExprKind::Unique(_) | ExprKind::Opaque(_))
+                || matches!(
+                    run.interner.kind(e),
+                    ExprKind::Leader(_) | ExprKind::Unique(_) | ExprKind::Opaque(_)
+                )
         };
-        let (key, pairs): (PhiKey, Vec<(ExprId, ExprId)>) = match (phi_parts(self, ae), phi_parts(self, be)) {
-            (Some((ka, aa)), Some((kb, ba))) if ka == kb && aa.len() == ba.len() => {
-                (ka, aa.into_iter().zip(ba).collect())
-            }
-            (Some((ka, aa)), None) if scalar(self, be) => (ka, aa.into_iter().map(|a| (a, be)).collect()),
-            (None, Some((kb, ba))) if scalar(self, ae) => (kb, ba.into_iter().map(|b| (ae, b)).collect()),
-            _ => return None,
-        };
+        let (key, pairs): (PhiKey, Vec<(ExprId, ExprId)>) =
+            match (phi_parts(self, ae), phi_parts(self, be)) {
+                (Some((ka, aa)), Some((kb, ba))) if ka == kb && aa.len() == ba.len() => {
+                    (ka, aa.into_iter().zip(ba).collect())
+                }
+                (Some((ka, aa)), None) if scalar(self, be) => {
+                    (ka, aa.into_iter().map(|a| (a, be)).collect())
+                }
+                (None, Some((kb, ba))) if scalar(self, ae) => {
+                    (kb, ba.into_iter().map(|b| (ae, b)).collect())
+                }
+                _ => return None,
+            };
         if pairs.is_empty() || pairs.len() > 8 {
             return None;
         }
@@ -199,7 +215,9 @@ impl Run<'_> {
                     // Recurse through nested φs of the arguments.
                     if let Some(e) = self.try_phi_distribution(op, a, b, depth + 1) {
                         e
-                    } else if self.interner.as_const(a).is_some() && self.interner.as_const(b).is_some() {
+                    } else if self.interner.as_const(a).is_some()
+                        && self.interner.as_const(b).is_some()
+                    {
                         self.eval_binary(bop, a, b)
                     } else if self.cfg.global_reassociation
                         && matches!(bop, BinOp::Add | BinOp::Sub | BinOp::Mul)
@@ -212,9 +230,7 @@ impl Run<'_> {
                 }
                 PhiOp::Compare(cop) => {
                     let e = self.eval_cmp(cop, a, b);
-                    if self.interner.as_const(e).is_none() {
-                        return None;
-                    }
+                    self.interner.as_const(e)?;
                     e
                 }
             };
@@ -256,7 +272,12 @@ impl Run<'_> {
     }
 
     /// Reassociation of +, −, ×, and shifts by constants (§2.2).
-    pub(super) fn eval_reassociated(&mut self, op: BinOp, ae: ExprId, be: ExprId) -> Option<ExprId> {
+    pub(super) fn eval_reassociated(
+        &mut self,
+        op: BinOp,
+        ae: ExprId,
+        be: ExprId,
+    ) -> Option<ExprId> {
         let folded = match op {
             BinOp::Add | BinOp::Sub | BinOp::Mul => self.combine_linear(op, ae, be),
             BinOp::Shl => {
@@ -272,7 +293,12 @@ impl Run<'_> {
         Some(self.finish_linear(folded))
     }
 
-    pub(super) fn combine_linear(&mut self, op: BinOp, ae: ExprId, be: ExprId) -> Option<LinearExpr> {
+    pub(super) fn combine_linear(
+        &mut self,
+        op: BinOp,
+        ae: ExprId,
+        be: ExprId,
+    ) -> Option<LinearExpr> {
         let limit = self.cfg.forward_propagation_limit;
         let la = self.linear_of(ae);
         let lb = self.linear_of(be);
@@ -288,6 +314,7 @@ impl Run<'_> {
         }
         // Forward propagation cancelled (§2.2 footnote 4): retry with the
         // operands as atoms instead of their defining expressions.
+        self.stats.reassoc_cap_hits += 1;
         let la = atomic_linear(&self.interner, ae)?;
         let lb = atomic_linear(&self.interner, be)?;
         let out = apply(&la, &lb, &self.rank_of);
@@ -295,7 +322,13 @@ impl Run<'_> {
     }
 
     /// Local algebraic identities for non-reassociable operators.
-    pub(super) fn eval_identities(&mut self, op: BinOp, ae: ExprId, be: ExprId, consts: (Option<i64>, Option<i64>)) -> Option<ExprId> {
+    pub(super) fn eval_identities(
+        &mut self,
+        op: BinOp,
+        ae: ExprId,
+        be: ExprId,
+        consts: (Option<i64>, Option<i64>),
+    ) -> Option<ExprId> {
         let (ca, cb) = consts;
         let e = match (op, ca, cb) {
             (BinOp::Add, Some(0), _) => be,
@@ -390,4 +423,3 @@ pub(super) enum PhiOp {
     Bin(BinOp),
     Compare(CmpOp),
 }
-

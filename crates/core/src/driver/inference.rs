@@ -13,7 +13,7 @@ use super::*;
 /// Maximum nesting of joint-domination recursion.
 const MAX_JOIN_DEPTH: u32 = 4;
 
-impl Run<'_> {
+impl Run<'_, '_, '_> {
     /// Figure 4 lines 28–29: if the evaluated expression is a predicate,
     /// try to decide it from a dominating edge (Figure 7, lines 1–16).
     pub(super) fn apply_predicate_inference(&mut self, e: ExprId, b: Block) -> ExprId {
@@ -26,24 +26,33 @@ impl Run<'_> {
         // §3: a query predicate that shares no operand with any edge
         // predicate can never be decided — skip the walk.
         if !self.pred_operands.contains(&lhs) && !self.pred_operands.contains(&rhs) {
+            self.stats.pi_gate_skips += 1;
             return e;
         }
         if let Some(&hit) = self.pi_cache.get(&(b, op, lhs, rhs)) {
+            self.stats.pi_cache_hits += 1;
             return hit;
         }
         let query = Pred { op, lhs, rhs };
         let join_depth = if self.cfg.joint_domination { MAX_JOIN_DEPTH } else { 0 };
+        let t0 = self.tel.clock();
         let out = match self.decide_predicate(Some(b), query, join_depth) {
             Some(truth) => self.interner.constant(truth as i64),
             None => e,
         };
+        self.tel.record(Phase::PredicateInference, t0);
         self.pi_cache.insert((b, op, lhs, rhs), out);
         out
     }
 
     /// The dominating-edge walk for predicate queries (Figure 7 lines
     /// 1–16), with joint-domination recursion.
-    fn decide_predicate(&mut self, start: Option<Block>, query: Pred, join_depth: u32) -> Option<bool> {
+    fn decide_predicate(
+        &mut self,
+        start: Option<Block>,
+        query: Pred,
+        join_depth: u32,
+    ) -> Option<bool> {
         let mut block = start;
         while let Some(cur) = block {
             self.stats.predicate_inference_visits += 1;
@@ -63,7 +72,9 @@ impl Run<'_> {
                 }
                 EdgeSearch::Joint(edges) => {
                     if join_depth > 0 {
-                        if let Some(truth) = self.joint_predicate_decision(&edges, query, join_depth - 1) {
+                        if let Some(truth) =
+                            self.joint_predicate_decision(&edges, query, join_depth - 1)
+                        {
                             return Some(truth);
                         }
                     }
@@ -76,15 +87,19 @@ impl Run<'_> {
 
     /// §7: decides `query` when every reachable incoming edge decides it
     /// identically — by its own predicate, or by its own upward walk.
-    fn joint_predicate_decision(&mut self, edges: &[Edge], query: Pred, join_depth: u32) -> Option<bool> {
+    fn joint_predicate_decision(
+        &mut self,
+        edges: &[Edge],
+        query: Pred,
+        join_depth: u32,
+    ) -> Option<bool> {
         let mut agreed: Option<bool> = None;
         for &e in edges {
             if self.cfg.variant == Variant::Practical && self.rpo.is_back_edge(e) {
                 return None;
             }
-            let own = self
-                .edge_pred[e.index()]
-                .and_then(|known| implies(&self.interner, known, query));
+            let own =
+                self.edge_pred[e.index()].and_then(|known| implies(&self.interner, known, query));
             let t = match own {
                 Some(t) => t,
                 None => self.decide_predicate(Some(self.func.edge_from(e)), query, join_depth)?,
@@ -155,24 +170,33 @@ impl Run<'_> {
         // §3: only members of classes with an inferenceable value can be
         // refined; everything else skips the dominator walk entirely.
         if !self.inferenceable_classes.contains(&self.classes.class_of(v)) {
+            self.stats.vi_gate_skips += 1;
             return Some(cur_expr);
         }
         if let Some(&hit) = self.vi_cache.get(&(b, v)) {
+            self.stats.vi_cache_hits += 1;
             return Some(hit);
         }
         let join_depth = if self.cfg.joint_domination { MAX_JOIN_DEPTH } else { 0 };
+        let t0 = self.tel.clock();
         while self.interner.as_value(cur_expr).is_some() {
             match self.find_replacement(Some(b), cur_expr, join_depth) {
                 Some(repl) => cur_expr = repl,
                 None => break,
             }
         }
+        self.tel.record(Phase::ValueInference, t0);
         self.vi_cache.insert((b, v), cur_expr);
         Some(cur_expr)
     }
 
     /// One upward walk looking for an equality replacement of `cur`.
-    fn find_replacement(&mut self, start: Option<Block>, cur: ExprId, join_depth: u32) -> Option<ExprId> {
+    fn find_replacement(
+        &mut self,
+        start: Option<Block>,
+        cur: ExprId,
+        join_depth: u32,
+    ) -> Option<ExprId> {
         let mut block = start;
         while let Some(b) = block {
             self.stats.value_inference_visits += 1;
@@ -203,7 +227,12 @@ impl Run<'_> {
 
     /// §7: all reachable incoming edges must produce the *same*
     /// replacement, each via its own predicate or its own walk.
-    fn joint_replacement(&mut self, edges: &[Edge], cur: ExprId, join_depth: u32) -> Option<ExprId> {
+    fn joint_replacement(
+        &mut self,
+        edges: &[Edge],
+        cur: ExprId,
+        join_depth: u32,
+    ) -> Option<ExprId> {
         let mut agreed: Option<ExprId> = None;
         for &e in edges {
             if self.cfg.variant == Variant::Practical && self.rpo.is_back_edge(e) {

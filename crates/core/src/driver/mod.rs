@@ -21,14 +21,20 @@ use crate::expr::{ExprId, ExprKind, Interner, PhiKey};
 use crate::linear::LinearExpr;
 use crate::predicate::{implies, Pred};
 use crate::results::{GvnResults, GvnStats};
+use pgvn_analysis::{DomTree, PostDomTree, Ranks, ReachableDomTree, Rpo};
 use pgvn_ir::{
     BinOp, Block, CmpOp, DefUse, Edge, EntityRef, EntitySet, Function, Inst, InstKind, UnOp, Value,
 };
-use pgvn_analysis::{DomTree, PostDomTree, Ranks, ReachableDomTree, Rpo};
+use pgvn_telemetry::{Phase, Telemetry, TextSink, TraceEvent};
 
 /// Hard cap on RPO passes; hit only on non-convergence bugs (the stats
 /// carry a `converged` flag that tests assert).
 const MAX_PASSES: u32 = 10_000;
+
+/// Pass count beyond which class movement is reported as a potential
+/// oscillation (a converging run is expected to settle in a handful of
+/// passes; see `GvnStats::passes`).
+const OSC_PASS_THRESHOLD: u32 = 64;
 
 /// Entry point for the analysis.
 ///
@@ -53,10 +59,27 @@ const MAX_PASSES: u32 = 10_000;
 /// assert!(results.congruent(a, c));
 /// ```
 pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
-    Run::new(func, cfg.clone()).execute()
+    // Back-compat: `PGVN_DEBUG_OSC` predates the telemetry layer and used
+    // to switch on an ad-hoc stderr dump of late-pass class movement. It
+    // now enables the text trace sink, whose `oscillation` events carry
+    // the same information.
+    if std::env::var_os("PGVN_DEBUG_OSC").is_some() {
+        let mut sink = TextSink::stderr();
+        let mut tel = Telemetry::with_sink(&mut sink);
+        return run_traced(func, cfg, &mut tel);
+    }
+    run_traced(func, cfg, &mut Telemetry::off())
 }
 
-struct Run<'f> {
+/// Entry point with observability: per-pass [`TraceEvent`]s go to the
+/// handle's sink and phase timings accumulate in its profiler. With
+/// [`Telemetry::off`] this is exactly [`run`].
+pub fn run_traced(func: &Function, cfg: &GvnConfig, tel: &mut Telemetry<'_>) -> GvnResults {
+    Run::new(func, cfg.clone(), tel).execute()
+}
+
+struct Run<'f, 't, 's> {
+    tel: &'t mut Telemetry<'s>,
     func: &'f Function,
     cfg: GvnConfig,
     rpo: Rpo,
@@ -97,17 +120,23 @@ struct Run<'f> {
     any_change: bool,
 }
 
-impl<'f> Run<'f> {
-    fn new(func: &'f Function, cfg: GvnConfig) -> Self {
+impl<'f, 't, 's> Run<'f, 't, 's> {
+    fn new(func: &'f Function, cfg: GvnConfig, tel: &'t mut Telemetry<'s>) -> Self {
+        let t0 = tel.clock();
         let rpo = Rpo::compute(func);
         let ranks = Ranks::assign(func, &rpo);
-        let rank_of: Vec<u32> = (0..func.value_capacity()).map(|i| ranks.rank(Value::new(i))).collect();
+        let rank_of: Vec<u32> =
+            (0..func.value_capacity()).map(|i| ranks.rank(Value::new(i))).collect();
+        let defuse = DefUse::compute(func);
+        tel.record_phase(Phase::Cfg, t0);
+        let t0 = tel.clock();
         let domtree = DomTree::compute(func, &rpo);
         let postdom = PostDomTree::compute(func, &rpo);
-        let defuse = DefUse::compute(func);
         let rdt = (cfg.variant == Variant::Complete).then(|| ReachableDomTree::new(func));
+        tel.record_phase(Phase::DomTree, t0);
         let classes = Classes::new(func.value_capacity());
         Run {
+            tel,
             func,
             cfg,
             rpo,
@@ -162,7 +191,14 @@ impl<'f> Run<'f> {
 
     fn execute(mut self) -> GvnResults {
         self.stats.num_insts = self.func.num_insts() as u64;
-        let start_everywhere = !self.cfg.unreachable_code_elim || self.cfg.mode == Mode::Pessimistic;
+        let func = self.func;
+        self.tel.emit(|| TraceEvent::RunStart {
+            routine: func.name().to_string(),
+            num_insts: func.num_insts() as u64,
+            num_blocks: func.num_blocks() as u64,
+        });
+        let start_everywhere =
+            !self.cfg.unreachable_code_elim || self.cfg.mode == Mode::Pessimistic;
         if start_everywhere {
             let order: Vec<Block> = self.rpo.order().to_vec();
             for b in order {
@@ -188,6 +224,15 @@ impl<'f> Run<'f> {
         loop {
             self.stats.passes += 1;
             self.any_change = false;
+            let pass = self.stats.passes;
+            let (ti0, tb0) = (self.touched_insts.len() as u64, self.touched_blocks.len() as u64);
+            self.tel.emit(|| TraceEvent::PassStart {
+                pass,
+                touched_insts: ti0,
+                touched_blocks: tb0,
+            });
+            let snap = self.stats;
+            let pass_t0 = self.tel.clock();
             for bi in 0..self.rpo.order().len() {
                 let b = self.rpo.order()[bi];
                 self.vi_cache.clear();
@@ -196,29 +241,44 @@ impl<'f> Run<'f> {
                     && self.reach_blocks.contains(b)
                     && self.cfg.phi_predication
                 {
+                    let t0 = self.tel.clock();
                     self.compute_block_predicate(b);
+                    self.tel.record(Phase::PhiPredication, t0);
                 }
                 let insts = self.func.block_insts(b).to_vec();
                 for inst in insts {
                     if self.touched_insts.remove(inst) && self.reach_blocks.contains(b) {
                         self.stats.insts_processed += 1;
-                        #[cfg(debug_assertions)]
-                        if self.stats.passes > 64 && std::env::var_os("PGVN_DEBUG_OSC").is_some() {
-                            let before = self.func.inst_result(inst).map(|v| self.classes.class_of(v));
+                        if pass > OSC_PASS_THRESHOLD && self.tel.is_tracing() {
+                            self.process_inst_watching_oscillation(inst, b);
+                        } else {
                             self.process_inst(inst, b);
-                            let after = self.func.inst_result(inst).map(|v| self.classes.class_of(v));
-                            if before != after {
-                                eprintln!(
-                                    "pass {}: {inst} in {b} moved {:?} -> {:?} ({:?})",
-                                    self.stats.passes, before, after, self.func.kind(inst)
-                                );
-                            }
-                            continue;
                         }
-                        self.process_inst(inst, b);
                     }
                 }
             }
+            let nanos = pass_t0
+                .map(|t0| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            self.tel.record(Phase::Passes, pass_t0);
+            let stats = self.stats;
+            let (rb, re) = (self.reach_blocks.len() as u64, self.reach_edges.len() as u64);
+            let (ti, tb) = (self.touched_insts.len() as u64, self.touched_blocks.len() as u64);
+            let changed_values = self.changed.len() as u64;
+            let any_change = self.any_change;
+            self.tel.emit(|| TraceEvent::PassEnd {
+                pass,
+                insts_processed: stats.insts_processed - snap.insts_processed,
+                touches: stats.touches - snap.touches,
+                class_merges: stats.class_merges - snap.class_merges,
+                reachable_blocks: rb,
+                reachable_edges: re,
+                touched_insts: ti,
+                touched_blocks: tb,
+                changed_values,
+                any_change,
+                nanos,
+            });
             if self.cfg.mode != Mode::Optimistic {
                 break;
             }
@@ -248,8 +308,14 @@ impl<'f> Run<'f> {
     fn finish(self, converged: bool) -> GvnResults {
         let mut stats = self.stats;
         stats.converged = converged;
+        stats.hash_cons_hits = self.interner.hits();
+        stats.hash_cons_misses = self.interner.misses();
+        stats.interned_exprs = self.interner.len() as u64;
+        self.tel.emit(|| TraceEvent::RunEnd { passes: stats.passes, converged });
+        self.tel.flush();
         let nvals = self.func.value_capacity();
-        let class_of: Vec<ClassId> = (0..nvals).map(|i| self.classes.class_of(Value::new(i))).collect();
+        let class_of: Vec<ClassId> =
+            (0..nvals).map(|i| self.classes.class_of(Value::new(i))).collect();
         let leaders: Vec<Leader> = (0..self.classes.num_class_slots())
             .map(|i| self.classes.leader(ClassId::from_raw(i as u32)))
             .collect();
@@ -268,12 +334,21 @@ impl<'f> Run<'f> {
 
     fn process_inst(&mut self, inst: Inst, b: Block) {
         match self.func.kind(inst) {
-            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) => self.process_outgoing_edges(b),
+            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) => {
+                let t0 = self.tel.clock();
+                self.process_outgoing_edges(b);
+                self.tel.record(Phase::EdgeProcessing, t0);
+            }
             InstKind::Return(_) => {}
             _ => {
                 let v = self.func.inst_result(inst).expect("value-defining instruction");
+                let t0 = self.tel.clock();
                 let e = self.evaluate(inst, b);
-                if self.congruence_finding(v, e) {
+                self.tel.record(Phase::SymbolicEval, t0);
+                let t0 = self.tel.clock();
+                let moved = self.congruence_finding(v, e);
+                self.tel.record(Phase::CongruenceMerge, t0);
+                if moved {
                     self.any_change = true;
                     let users = self.defuse.uses(v).to_vec();
                     for u in users {
@@ -281,6 +356,44 @@ impl<'f> Run<'f> {
                     }
                 }
             }
+        }
+    }
+
+    /// [`Run::process_inst`], but reporting any class movement as an
+    /// [`TraceEvent::Oscillation`]. Used for every re-evaluation once
+    /// the pass count exceeds [`OSC_PASS_THRESHOLD`] while tracing: a
+    /// run that deep is either a pathological chain or a convergence
+    /// bug, and the before/after expressions identify the values that
+    /// keep moving.
+    fn process_inst_watching_oscillation(&mut self, inst: Inst, b: Block) {
+        let result = self.func.inst_result(inst);
+        let before = result.map(|v| self.describe_value(v));
+        self.process_inst(inst, b);
+        let after = result.map(|v| self.describe_value(v));
+        if before != after {
+            let pass = self.stats.passes;
+            self.tel.emit(|| TraceEvent::Oscillation {
+                pass,
+                inst: inst.to_string(),
+                block: b.to_string(),
+                before: before.unwrap_or_default(),
+                after: after.unwrap_or_default(),
+            });
+        }
+    }
+
+    /// `"c3=v1"`-style description of a value's congruence class, its
+    /// leader, and (when present) the class's defining expression.
+    fn describe_value(&self, v: Value) -> String {
+        let c = self.classes.class_of(v);
+        let leader = match self.classes.leader(c) {
+            Leader::Undetermined => "⊥".to_string(),
+            Leader::Const(k) => k.to_string(),
+            Leader::Value(l) => l.to_string(),
+        };
+        match self.classes.expression(c) {
+            Some(e) => format!("{c}={leader} [{}]", self.interner.display(e)),
+            None => format!("{c}={leader}"),
         }
     }
 
@@ -303,6 +416,4 @@ impl<'f> Run<'f> {
     // -----------------------------------------------------------------
     // φ-predication (Figure 8)
     // -----------------------------------------------------------------
-
 }
-

@@ -3,7 +3,7 @@
 
 use super::*;
 
-impl Run<'_> {
+impl Run<'_, '_, '_> {
     pub(super) fn eval_phi(&mut self, v: Value, b: Block, args: &[Value]) -> Option<ExprId> {
         let preds = self.func.preds(b).to_vec();
         if self.cfg.mode != Mode::Optimistic && preds.iter().any(|&e| self.rpo.is_back_edge(e)) {
@@ -93,10 +93,14 @@ impl Run<'_> {
             return was_changed;
         }
         self.classes.move_value(v, target);
+        self.stats.class_merges += 1;
         // Class movement can invalidate memoized inference results.
         self.vi_cache.clear();
         self.pi_cache.clear();
-        if c0 != ClassId::INITIAL && self.classes.size(c0) > 0 && self.classes.leader(c0) == Leader::Value(v) {
+        if c0 != ClassId::INITIAL
+            && self.classes.size(c0) > 0
+            && self.classes.leader(c0) == Leader::Value(v)
+        {
             // Leader departure (Figure 4 lines 52–56): elect the lowest-
             // ranked member, mark the class changed, re-evaluate members.
             let members: Vec<Value> = self.classes.members(c0).collect();

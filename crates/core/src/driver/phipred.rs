@@ -4,7 +4,7 @@
 
 use super::*;
 
-impl Run<'_> {
+impl Run<'_, '_, '_> {
     pub(super) fn compute_block_predicate(&mut self, b0: Block) {
         if self.nullified_blocks.contains(b0) {
             return; // §3: permanently nullified after an aborted traversal
@@ -18,7 +18,9 @@ impl Run<'_> {
         let new_pred;
         let mut new_canon = Vec::new();
         match d0 {
-            Some(d0) if d0 != b0 && self.postdom.postdominates(b0, d0) && reachable_incoming >= 1 => {
+            Some(d0)
+                if d0 != b0 && self.postdom.postdominates(b0, d0) && reachable_incoming >= 1 =>
+            {
                 let mut ctx = PredCtx {
                     b0,
                     aborted: false,
@@ -62,7 +64,13 @@ impl Run<'_> {
         }
     }
 
-    pub(super) fn compute_partial(&mut self, b: Block, pp: Option<ExprId>, ignore_incoming: bool, ctx: &mut PredCtx) {
+    pub(super) fn compute_partial(
+        &mut self,
+        b: Block,
+        pp: Option<ExprId>,
+        ignore_incoming: bool,
+        ctx: &mut PredCtx,
+    ) {
         if ctx.aborted {
             return;
         }
@@ -126,7 +134,9 @@ impl Run<'_> {
                 match (partial, edge_p) {
                     (None, ep) => ep,
                     (pp2, None) => pp2,
-                    (Some(a), Some(b2)) => Some(self.interner.intern(ExprKind::PredAnd(vec![a, b2]))),
+                    (Some(a), Some(b2)) => {
+                        Some(self.interner.intern(ExprKind::PredAnd(vec![a, b2])))
+                    }
                 }
             };
             let dest = self.func.edge_to(e);
@@ -155,7 +165,6 @@ impl Run<'_> {
         }
         succs
     }
-
 }
 
 pub(super) struct PredCtx {
@@ -165,4 +174,3 @@ pub(super) struct PredCtx {
     or_ops: Vec<Option<Vec<ExprId>>>,
     result: Vec<Option<ExprId>>,
 }
-

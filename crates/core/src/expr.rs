@@ -81,6 +81,8 @@ pub enum ExprKind {
 pub struct Interner {
     map: HashMap<ExprKind, ExprId>,
     kinds: Vec<ExprKind>,
+    hits: u64,
+    misses: u64,
 }
 
 impl Interner {
@@ -92,12 +94,24 @@ impl Interner {
     /// Interns `kind`, returning its stable id.
     pub fn intern(&mut self, kind: ExprKind) -> ExprId {
         if let Some(&id) = self.map.get(&kind) {
+            self.hits += 1;
             return id;
         }
+        self.misses += 1;
         let id = ExprId(self.kinds.len() as u32);
         self.kinds.push(kind.clone());
         self.map.insert(kind, id);
         id
+    }
+
+    /// Lookups answered by the hash-cons table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that interned a fresh expression (equals [`Self::len`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// The expression for `id`.
@@ -175,7 +189,9 @@ impl Interner {
                 format!("({op} {})", parts.join(" "))
             }
             ExprKind::Un(op, a) => format!("({op} {})", self.display(*a)),
-            ExprKind::Cmp(op, a, b) => format!("({} {} {})", self.display(*a), op.symbol(), self.display(*b)),
+            ExprKind::Cmp(op, a, b) => {
+                format!("({} {} {})", self.display(*a), op.symbol(), self.display(*b))
+            }
             ExprKind::Phi(key, args) => {
                 let k = match key {
                     PhiKey::Block(b) => b.to_string(),

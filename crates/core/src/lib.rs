@@ -47,7 +47,7 @@ pub mod results;
 pub use annotate::{annotated, class_report};
 pub use classes::{ClassId, Classes, Leader};
 pub use config::{GvnConfig, Mode, Variant};
-pub use driver::run;
+pub use driver::{run, run_traced};
 pub use expr::{ExprId, ExprKind, Interner, PhiKey};
 pub use linear::{LinearExpr, Term};
 pub use predicate::{implies, Pred};

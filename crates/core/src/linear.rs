@@ -132,10 +132,16 @@ impl LinearExpr {
         let mut acc = LinearExpr::from_const(self.constant.wrapping_mul(other.constant));
         // constant × other.terms and self.terms × constant
         for t in &other.terms {
-            acc.terms.push(Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_mul(self.constant) });
+            acc.terms.push(Term {
+                factors: t.factors.clone(),
+                coeff: t.coeff.wrapping_mul(self.constant),
+            });
         }
         for t in &self.terms {
-            acc.terms.push(Term { factors: t.factors.clone(), coeff: t.coeff.wrapping_mul(other.constant) });
+            acc.terms.push(Term {
+                factors: t.factors.clone(),
+                coeff: t.coeff.wrapping_mul(other.constant),
+            });
         }
         for a in &self.terms {
             for b in &other.terms {
@@ -201,7 +207,11 @@ mod tests {
 
     #[test]
     fn addition_is_associative() {
-        let (x, y, z) = (LinearExpr::from_value(v(1)), LinearExpr::from_value(v(2)), LinearExpr::from_value(v(3)));
+        let (x, y, z) = (
+            LinearExpr::from_value(v(1)),
+            LinearExpr::from_value(v(2)),
+            LinearExpr::from_value(v(3)),
+        );
         assert_eq!(x.add(&y).add(&z), x.add(&y.add(&z)));
     }
 
@@ -251,7 +261,11 @@ mod tests {
     #[test]
     fn eval_matches_structure() {
         // 2*x*y - 3*z + 7 at x=2,y=5,z=1 → 20 - 3 + 7 = 24
-        let (x, y, z) = (LinearExpr::from_value(v(1)), LinearExpr::from_value(v(2)), LinearExpr::from_value(v(3)));
+        let (x, y, z) = (
+            LinearExpr::from_value(v(1)),
+            LinearExpr::from_value(v(2)),
+            LinearExpr::from_value(v(3)),
+        );
         let e = x.mul(&y, &id_rank).scale(2).sub(&z.scale(3)).add(&LinearExpr::from_const(7));
         let assign = |w: Value| match w.index() {
             1 => 2,
@@ -292,10 +306,8 @@ mod proptests {
 
     /// A small random linear expression over values v0..v4.
     fn arb_linear() -> impl Strategy<Value = LinearExpr> {
-        let term = (0usize..5, 1usize..3, -4i64..5).prop_map(|(v, reps, coeff)| Term {
-            factors: vec![Value::new(v); reps],
-            coeff,
-        });
+        let term = (0usize..5, 1usize..3, -4i64..5)
+            .prop_map(|(v, reps, coeff)| Term { factors: vec![Value::new(v); reps], coeff });
         (proptest::collection::vec(term, 0..4), -100i64..100).prop_map(|(terms, constant)| {
             LinearExpr { terms, constant }.add(&LinearExpr::from_const(0)) // normalize
         })

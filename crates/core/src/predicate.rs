@@ -148,10 +148,8 @@ pub fn implies(interner: &Interner, known: Pred, query: Pred) -> Option<bool> {
         if let Some(c) = interner.as_const(p.lhs) {
             // c op x  ⇔  x op.swapped() c
             Some((p.rhs, p.op.swapped(), c))
-        } else if let Some(c) = interner.as_const(p.rhs) {
-            Some((p.lhs, p.op, c))
         } else {
-            None
+            interner.as_const(p.rhs).map(|c| (p.lhs, p.op, c))
         }
     };
     if let (Some((kx, kop, kc)), Some((qx, qop, qc))) = (norm(known), norm(query)) {

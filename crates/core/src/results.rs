@@ -2,6 +2,7 @@
 
 use crate::classes::{ClassId, Leader};
 use pgvn_ir::{Block, Edge, EntityRef, EntitySet, Value};
+use pgvn_telemetry::json::{self, JsonWriter};
 
 /// Counters collected during a GVN run (§4 and §5 report these).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,6 +23,27 @@ pub struct GvnStats {
     pub phi_predication_visits: u64,
     /// Live instructions in the routine, for per-instruction averages.
     pub num_insts: u64,
+    /// Expression lookups answered by the hash-cons table.
+    pub hash_cons_hits: u64,
+    /// Expression lookups that interned a fresh expression.
+    pub hash_cons_misses: u64,
+    /// Distinct expressions in the interner when the run finished.
+    pub interned_exprs: u64,
+    /// Values moved between congruence classes.
+    pub class_merges: u64,
+    /// Reassociations abandoned because the combined linear form would
+    /// exceed the operand cap.
+    pub reassoc_cap_hits: u64,
+    /// Value-inference queries skipped by the inferenceable-classes
+    /// gate before any dominator walk.
+    pub vi_gate_skips: u64,
+    /// Predicate-inference queries skipped by the shared-operand gate
+    /// before any dominator walk.
+    pub pi_gate_skips: u64,
+    /// Value-inference queries answered from the per-block memo.
+    pub vi_cache_hits: u64,
+    /// Predicate-inference queries answered from the per-block memo.
+    pub pi_cache_hits: u64,
     /// `false` if the pass cap was hit before the fixed point (should
     /// never happen; monitored by tests).
     pub converged: bool,
@@ -42,6 +64,62 @@ impl GvnStats {
     pub fn phi_predication_per_inst(&self) -> f64 {
         self.phi_predication_visits as f64 / (self.num_insts.max(1)) as f64
     }
+
+    /// Renders every counter as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_u64("passes", u64::from(self.passes))
+            .field_u64("insts_processed", self.insts_processed)
+            .field_u64("touches", self.touches)
+            .field_u64("value_inference_visits", self.value_inference_visits)
+            .field_u64("predicate_inference_visits", self.predicate_inference_visits)
+            .field_u64("phi_predication_visits", self.phi_predication_visits)
+            .field_u64("num_insts", self.num_insts)
+            .field_u64("hash_cons_hits", self.hash_cons_hits)
+            .field_u64("hash_cons_misses", self.hash_cons_misses)
+            .field_u64("interned_exprs", self.interned_exprs)
+            .field_u64("class_merges", self.class_merges)
+            .field_u64("reassoc_cap_hits", self.reassoc_cap_hits)
+            .field_u64("vi_gate_skips", self.vi_gate_skips)
+            .field_u64("pi_gate_skips", self.pi_gate_skips)
+            .field_u64("vi_cache_hits", self.vi_cache_hits)
+            .field_u64("pi_cache_hits", self.pi_cache_hits)
+            .field_bool("converged", self.converged);
+        w.finish()
+    }
+
+    /// Parses the output of [`GvnStats::to_json`]. Every field must be
+    /// present with the right type.
+    pub fn from_json(text: &str) -> Result<GvnStats, String> {
+        let v = json::parse(text)?;
+        let u = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("missing or non-integer field `{name}`"))
+        };
+        Ok(GvnStats {
+            passes: u32::try_from(u("passes")?).map_err(|_| "passes out of range".to_string())?,
+            insts_processed: u("insts_processed")?,
+            touches: u("touches")?,
+            value_inference_visits: u("value_inference_visits")?,
+            predicate_inference_visits: u("predicate_inference_visits")?,
+            phi_predication_visits: u("phi_predication_visits")?,
+            num_insts: u("num_insts")?,
+            hash_cons_hits: u("hash_cons_hits")?,
+            hash_cons_misses: u("hash_cons_misses")?,
+            interned_exprs: u("interned_exprs")?,
+            class_merges: u("class_merges")?,
+            reassoc_cap_hits: u("reassoc_cap_hits")?,
+            vi_gate_skips: u("vi_gate_skips")?,
+            pi_gate_skips: u("pi_gate_skips")?,
+            vi_cache_hits: u("vi_cache_hits")?,
+            pi_cache_hits: u("pi_cache_hits")?,
+            converged: v
+                .get("converged")
+                .and_then(|f| f.as_bool())
+                .ok_or_else(|| "missing or non-boolean field `converged`".to_string())?,
+        })
+    }
 }
 
 /// The per-routine strength measures compared in the paper's Figures
@@ -59,6 +137,17 @@ pub struct Strength {
     pub constant_values: usize,
     /// Congruence classes among reachable values.
     pub congruence_classes: usize,
+}
+
+impl Strength {
+    /// Renders the three measures as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_u64("unreachable_values", self.unreachable_values as u64)
+            .field_u64("constant_values", self.constant_values as u64)
+            .field_u64("congruence_classes", self.congruence_classes as u64);
+        w.finish()
+    }
 }
 
 /// The outcome of running the GVN algorithm on a routine.
@@ -133,7 +222,9 @@ impl GvnResults {
         let constants = self
             .class_of
             .iter()
-            .filter(|&&c| c == ClassId::INITIAL || matches!(self.leaders[c.index()], Leader::Const(_)))
+            .filter(|&&c| {
+                c == ClassId::INITIAL || matches!(self.leaders[c.index()], Leader::Const(_))
+            })
             .count();
         Strength {
             unreachable_values: unreachable,

@@ -74,7 +74,10 @@ fn awz_mode_does_not_fold() {
 #[test]
 fn reassociation_exposes_congruences() {
     // (a + b) - (b + a) == 0 needs commutativity.
-    assert_eq!(ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::full()), Some(0));
+    assert_eq!(
+        ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::full()),
+        Some(0)
+    );
     // ((a + 1) + b) - ((b + 1) + a) == 0 needs associativity.
     assert_eq!(
         ret_const("routine f(a, b) { return ((a + 1) + b) - ((b + 1) + a); }", &GvnConfig::full()),
@@ -86,12 +89,18 @@ fn reassociation_exposes_congruences() {
         Some(0)
     );
     // Click emulation cannot do any of these.
-    assert_eq!(ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::click()), None);
+    assert_eq!(
+        ret_const("routine f(a, b) { return (a + b) - (b + a); }", &GvnConfig::click()),
+        None
+    );
 }
 
 #[test]
 fn shift_by_constant_reassociates() {
-    assert_eq!(ret_const("routine f(x) { return (x << 1) - (x + x); }", &GvnConfig::full()), Some(0));
+    assert_eq!(
+        ret_const("routine f(x) { return (x << 1) - (x + x); }", &GvnConfig::full()),
+        Some(0)
+    );
 }
 
 #[test]
@@ -487,7 +496,9 @@ fn sparse_and_dense_agree() {
 
 #[test]
 fn practical_and_complete_agree_on_paper_programs() {
-    for src in [pgvn_lang::fixtures::FIGURE1, pgvn_lang::fixtures::FIGURE6, pgvn_lang::fixtures::FIGURE13] {
+    for src in
+        [pgvn_lang::fixtures::FIGURE1, pgvn_lang::fixtures::FIGURE6, pgvn_lang::fixtures::FIGURE13]
+    {
         let f = build(src);
         let p = run(&f, &GvnConfig::full());
         let c = run(&f, &GvnConfig::full().variant(Variant::Complete));
@@ -502,20 +513,18 @@ fn figure9_ladder_converges_and_infers() {
     // The value-inference worst case: J = I_n + 1 where a ladder of
     // guards makes I_n ≅ I_1. Check the chain is actually followed.
     let src_ladder = pgvn_lang::fixtures::figure9(6);
-    let twin = format!(
-        "routine fig9t(I1, I2, I3, I4, I5, I6) {{
-            if (I1 == I2) {{ if (I2 == I3) {{ if (I3 == I4) {{
-            if (I4 == I5) {{ if (I5 == I6) {{
+    let twin = "routine fig9t(I1, I2, I3, I4, I5, I6) {
+            if (I1 == I2) { if (I2 == I3) { if (I3 == I4) {
+            if (I4 == I5) { if (I5 == I6) {
                 return (I6 + 1) - (I1 + 1);
-            }} }} }} }} }}
+            } } } } }
             return 0;
-        }}"
-    );
+        }";
     let f = build(&src_ladder);
     let r = run(&f, &GvnConfig::full());
     assert!(r.stats.converged);
     assert!(r.stats.value_inference_visits > 0);
-    assert_eq!(ret_const(&twin, &GvnConfig::full()), Some(0));
+    assert_eq!(ret_const(twin, &GvnConfig::full()), Some(0));
 }
 
 #[test]
@@ -760,12 +769,14 @@ fn figure1_walkthrough_intermediate_facts() {
     // those chains' links.)
     let phis: Vec<(Value, pgvn_ir::Block)> = f
         .values()
-        .filter(|&v| f.kind(f.def(v)).is_phi() && !r.is_value_unreachable(v) && r.constant_value(v).is_none())
+        .filter(|&v| {
+            f.kind(f.def(v)).is_phi() && !r.is_value_unreachable(v) && r.constant_value(v).is_none()
+        })
         .map(|v| (v, f.def_block(v)))
         .collect();
-    let cross_block_congruent = phis.iter().any(|&(a, ba)| {
-        phis.iter().any(|&(b, bb)| a != b && ba != bb && r.congruent(a, b))
-    });
+    let cross_block_congruent = phis
+        .iter()
+        .any(|&(a, ba)| phis.iter().any(|&(b, bb)| a != b && ba != bb && r.congruent(a, b)));
     assert!(
         cross_block_congruent,
         "P and Q φs should share a class via φ-predication:\n{}",
@@ -777,8 +788,6 @@ fn figure1_walkthrough_intermediate_facts() {
     assert_eq!(r.stats.passes, 3, "§2.10 reports exactly 3 passes");
 
     // The loop-carried I φ is congruent to the constant 1.
-    let one_phi = f
-        .values()
-        .any(|v| f.kind(f.def(v)).is_phi() && r.constant_value(v) == Some(1));
+    let one_phi = f.values().any(|v| f.kind(f.def(v)).is_phi() && r.constant_value(v) == Some(1));
     assert!(one_phi, "I2 = φ(1, I17) must be the constant 1");
 }

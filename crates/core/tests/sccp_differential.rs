@@ -14,7 +14,7 @@
 //! and any extra strength flows only in the stronger direction.
 
 use pgvn_core::{run, GvnConfig};
-use pgvn_ir::{Block, Edge, EntityRef, Function, InstKind, Value};
+use pgvn_ir::{Edge, EntityRef, Function, InstKind, Value};
 use pgvn_workload::{generate_function, GenConfig};
 use std::collections::VecDeque;
 
@@ -196,12 +196,18 @@ fn check(f: &Function, seed: u64) {
     // Reachability: the emulation proves at least as much unreachable.
     for b in f.blocks() {
         if gvn.is_block_reachable(b) {
-            assert!(ref_blocks[b.index()], "seed {seed}: emulation reaches {b}, reference does not\n{f}");
+            assert!(
+                ref_blocks[b.index()],
+                "seed {seed}: emulation reaches {b}, reference does not\n{f}"
+            );
         }
     }
     for e in f.edges() {
         if gvn.is_edge_reachable(e) {
-            assert!(ref_edges[e.index()], "seed {seed}: emulation reaches {e}, reference does not\n{f}");
+            assert!(
+                ref_edges[e.index()],
+                "seed {seed}: emulation reaches {e}, reference does not\n{f}"
+            );
         }
     }
     for v in f.values() {

@@ -424,7 +424,8 @@ mod tests {
 
     #[test]
     fn entity_set_from_iter() {
-        let s: EntitySet<Block> = [Block::new(1), Block::new(3), Block::new(1)].into_iter().collect();
+        let s: EntitySet<Block> =
+            [Block::new(1), Block::new(3), Block::new(1)].into_iter().collect();
         assert_eq!(s.len(), 2);
         assert!(s.contains(Block::new(3)));
     }

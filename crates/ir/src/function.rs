@@ -331,7 +331,13 @@ impl Function {
     /// # Panics
     ///
     /// Panics if `b` is already terminated.
-    pub fn set_branch(&mut self, b: Block, cond: Value, then_target: Block, else_target: Block) -> (Edge, Edge) {
+    pub fn set_branch(
+        &mut self,
+        b: Block,
+        cond: Value,
+        then_target: Block,
+        else_target: Block,
+    ) -> (Edge, Edge) {
         self.set_terminator(b, InstKind::Branch(cond));
         let t = self.add_edge(b, then_target);
         let e = self.add_edge(b, else_target);
@@ -355,7 +361,14 @@ impl Function {
     ///
     /// Panics if `b` is already terminated, `cases` and `targets` have
     /// different lengths, or `cases` contains duplicates.
-    pub fn set_switch(&mut self, b: Block, arg: Value, cases: &[i64], targets: &[Block], default: Block) -> Vec<Edge> {
+    pub fn set_switch(
+        &mut self,
+        b: Block,
+        arg: Value,
+        cases: &[i64],
+        targets: &[Block],
+        default: Block,
+    ) -> Vec<Edge> {
         assert_eq!(cases.len(), targets.len(), "one target per case value");
         let mut sorted = cases.to_vec();
         sorted.sort_unstable();
@@ -416,7 +429,8 @@ impl Function {
             return;
         }
         let EdgeData { from, to, .. } = self.edges[e];
-        let pred_pos = self.blocks[to].preds.iter().position(|&x| x == e).expect("edge in pred list");
+        let pred_pos =
+            self.blocks[to].preds.iter().position(|&x| x == e).expect("edge in pred list");
         self.blocks[to].preds.remove(pred_pos);
         self.blocks[from].succs.retain(|&x| x != e);
         // Drop the matching φ argument in every φ of `to`.
@@ -439,7 +453,10 @@ impl Function {
     pub fn fold_branch_to(&mut self, b: Block, keep: usize) {
         assert!(keep < 2, "branch edge index must be 0 or 1");
         let term = self.terminator(b).expect("terminated block");
-        assert!(matches!(self.insts[term].kind, InstKind::Branch(_)), "{b} does not end in a branch");
+        assert!(
+            matches!(self.insts[term].kind, InstKind::Branch(_)),
+            "{b} does not end in a branch"
+        );
         let drop_edge = self.blocks[b].succs[1 - keep];
         self.remove_edge(drop_edge);
         self.insts[term].kind = InstKind::Jump;
@@ -453,7 +470,10 @@ impl Function {
     /// Panics if `b` does not end in a switch or `keep` is out of range.
     pub fn fold_switch_to(&mut self, b: Block, keep: usize) {
         let term = self.terminator(b).expect("terminated block");
-        assert!(matches!(self.insts[term].kind, InstKind::Switch(..)), "{b} does not end in a switch");
+        assert!(
+            matches!(self.insts[term].kind, InstKind::Switch(..)),
+            "{b} does not end in a switch"
+        );
         let succs = self.blocks[b].succs.clone();
         assert!(keep < succs.len(), "switch edge index out of range");
         for (i, e) in succs.into_iter().enumerate() {
@@ -537,7 +557,8 @@ pub struct DefUse {
 impl DefUse {
     /// Computes def-use chains for `func`.
     pub fn compute(func: &Function) -> Self {
-        let mut uses: EntityVec<Value, Vec<Inst>> = (0..func.values.len()).map(|_| Vec::new()).collect();
+        let mut uses: EntityVec<Value, Vec<Inst>> =
+            (0..func.values.len()).map(|_| Vec::new()).collect();
         for b in func.blocks() {
             for &inst in func.block_insts(b) {
                 func.kind(inst).visit_args(|v| uses[v].push(inst));

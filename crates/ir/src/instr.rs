@@ -276,7 +276,10 @@ pub enum InstKind {
 impl InstKind {
     /// Returns `true` for jump, branch, switch and return instructions.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) | InstKind::Return(_))
+        matches!(
+            self,
+            InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) | InstKind::Return(_)
+        )
     }
 
     /// Returns `true` if the instruction defines a result value.
@@ -394,7 +397,11 @@ mod tests {
     fn cmp_eval_and_negation() {
         for op in CmpOp::ALL {
             for (a, b) in [(1, 2), (2, 1), (3, 3), (i64::MIN, i64::MAX)] {
-                assert_eq!(op.eval(a, b), 1 - op.negated().eval(a, b), "{op} vs negation on {a},{b}");
+                assert_eq!(
+                    op.eval(a, b),
+                    1 - op.negated().eval(a, b),
+                    "{op} vs negation on {a},{b}"
+                );
                 assert_eq!(op.eval(a, b), op.swapped().eval(b, a), "{op} vs swap on {a},{b}");
             }
             assert_eq!(op.holds_on_equal(), op.eval(7, 7) == 1);

@@ -139,7 +139,11 @@ impl<'a> Interpreter<'a> {
     /// # Errors
     ///
     /// Same as [`Interpreter::run`].
-    pub fn run_traced(&self, args: &[i64], opaques: &mut dyn OpaqueSource) -> Result<(i64, Trace), InterpError> {
+    pub fn run_traced(
+        &self,
+        args: &[i64],
+        opaques: &mut dyn OpaqueSource,
+    ) -> Result<(i64, Trace), InterpError> {
         let func = self.func;
         let mut env: Vec<Option<i64>> = vec![None; func.value_capacity()];
         let mut trace = Trace {
@@ -159,7 +163,10 @@ impl<'a> Interpreter<'a> {
 
             // Evaluate φs simultaneously from the arrival edge.
             let pred_pos = arrived.map(|e| {
-                func.preds(block).iter().position(|&x| x == e).expect("arrival edge is a predecessor")
+                func.preds(block)
+                    .iter()
+                    .position(|&x| x == e)
+                    .expect("arrival edge is a predecessor")
             });
             let mut phi_updates: Vec<(Value, i64)> = Vec::new();
             for &inst in func.block_insts(block) {
@@ -187,10 +194,14 @@ impl<'a> Interpreter<'a> {
                     return Err(InterpError::OutOfFuel);
                 }
                 fuel -= 1;
-                let get = |v: Value, env: &[Option<i64>]| env[v.index()].ok_or(InterpError::UndefinedValue(v));
+                let get = |v: Value, env: &[Option<i64>]| {
+                    env[v.index()].ok_or(InterpError::UndefinedValue(v))
+                };
                 match func.kind(inst) {
                     InstKind::Phi(_) => unreachable!(),
-                    InstKind::Const(c) => self.define(inst, *c, &mut env, &mut trace, &mut instance),
+                    InstKind::Const(c) => {
+                        self.define(inst, *c, &mut env, &mut trace, &mut instance)
+                    }
                     InstKind::Param(i) => {
                         let v = args.get(*i as usize).copied().unwrap_or(0);
                         self.define(inst, v, &mut env, &mut trace, &mut instance);

@@ -78,7 +78,12 @@ impl Function {
                 InstKind::Branch(c) => {
                     let t = self.succs(b)[0];
                     let e = self.succs(b)[1];
-                    writeln!(f, "branch {c}, {}, {}    ; {t} {e}", self.edge_to(t), self.edge_to(e))?;
+                    writeln!(
+                        f,
+                        "branch {c}, {}, {}    ; {t} {e}",
+                        self.edge_to(t),
+                        self.edge_to(e)
+                    )?;
                 }
                 InstKind::Switch(arg, cases) => {
                     write!(f, "switch {arg}")?;

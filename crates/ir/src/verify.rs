@@ -68,7 +68,10 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
         };
         for (pos, &inst) in insts.iter().enumerate() {
             if func.inst_block(inst) != b {
-                return err(format!("{inst} is listed in {b} but records block {}", func.inst_block(inst)));
+                return err(format!(
+                    "{inst} is listed in {b} but records block {}",
+                    func.inst_block(inst)
+                ));
             }
             let kind = func.kind(inst);
             if kind.is_terminator() && inst != term {
@@ -128,7 +131,10 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
                 return err(format!("{b} lists removed edge {e} as successor"));
             }
             if func.edge_from(e) != b {
-                return err(format!("edge {e} in succs of {b} originates at {}", func.edge_from(e)));
+                return err(format!(
+                    "edge {e} in succs of {b} originates at {}",
+                    func.edge_from(e)
+                ));
             }
             let to = func.edge_to(e);
             if func.is_block_removed(to) {
@@ -210,10 +216,7 @@ mod tests {
     fn phi_arity_mismatch_detected() {
         let mut f = valid_diamond();
         // Find the φ and give it a bogus arg list.
-        let phi = f
-            .values()
-            .find(|&v| f.kind(f.def(v)).is_phi())
-            .expect("diamond has a φ");
+        let phi = f.values().find(|&v| f.kind(f.def(v)).is_phi()).expect("diamond has a φ");
         let x = f.param(0);
         f.set_phi_args(phi, vec![x]);
         let e = verify(&f).unwrap_err();

@@ -52,8 +52,12 @@ impl Lowerer {
             Expr::Int(v) => VarExpr::Const(*v),
             Expr::Var(name) => VarExpr::Var(self.var(name)),
             Expr::Unary(op, a) => VarExpr::Unary(*op, Box::new(self.expr(a))),
-            Expr::Binary(op, a, b) => VarExpr::Binary(*op, Box::new(self.expr(a)), Box::new(self.expr(b))),
-            Expr::Cmp(op, a, b) => VarExpr::Cmp(*op, Box::new(self.expr(a)), Box::new(self.expr(b))),
+            Expr::Binary(op, a, b) => {
+                VarExpr::Binary(*op, Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
+            Expr::Cmp(op, a, b) => {
+                VarExpr::Cmp(*op, Box::new(self.expr(a)), Box::new(self.expr(b)))
+            }
             Expr::LogicalNot(a) => {
                 let av = self.expr(a);
                 VarExpr::Cmp(CmpOp::Eq, Box::new(av), Box::new(VarExpr::Const(0)))
@@ -350,7 +354,9 @@ mod tests {
         // The paper's Figure 1 routine R: it always returns 1 (the GVN
         // algorithm later proves this statically; here we just execute it).
         let src = crate::fixtures::FIGURE1;
-        for args in [[0, 0, 0], [5, 5, 9], [3, 3, -4], [9, 9, 100], [1, 2, 3], [-7, -7, 50], [12, 12, 2]] {
+        for args in
+            [[0, 0, 0], [5, 5, 9], [3, 3, -4], [9, 9, 100], [1, 2, 3], [-7, -7, 50], [12, 12, 2]]
+        {
             assert_eq!(run(src, &args), 1, "args {args:?}");
         }
     }

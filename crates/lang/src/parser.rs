@@ -58,7 +58,10 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.toks.get(self.pos).map(|&(_, l)| l).unwrap_or_else(|| self.toks.last().map(|&(_, l)| l).unwrap_or(0))
+        self.toks
+            .get(self.pos)
+            .map(|&(_, l)| l)
+            .unwrap_or_else(|| self.toks.last().map(|&(_, l)| l).unwrap_or(0))
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -94,7 +97,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Some(Token::Ident(s)) => Ok(s),
-            Some(t) => Err(ParseError { line: self.toks[self.pos - 1].1, message: format!("expected identifier, found `{t}`") }),
+            Some(t) => Err(ParseError {
+                line: self.toks[self.pos - 1].1,
+                message: format!("expected identifier, found `{t}`"),
+            }),
             None => Err(self.error("expected identifier, found end of input")),
         }
     }
@@ -146,7 +152,8 @@ impl Parser {
                 let cond = self.expr()?;
                 self.eat(&Token::RParen)?;
                 let then = self.stmt_or_block()?;
-                let otherwise = if self.at(&Token::Else) { self.stmt_or_block()? } else { Vec::new() };
+                let otherwise =
+                    if self.at(&Token::Else) { self.stmt_or_block()? } else { Vec::new() };
                 Ok(Stmt::If(cond, then, otherwise))
             }
             Some(Token::While) => {
@@ -226,7 +233,9 @@ impl Parser {
                 self.eat(&Token::Semi)?;
                 Ok(Stmt::Return(e))
             }
-            Some(Token::Ident(_)) if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Token::Assign) => {
+            Some(Token::Ident(_))
+                if self.toks.get(self.pos + 1).map(|(t, _)| t) == Some(&Token::Assign) =>
+            {
                 let name = self.ident()?;
                 self.eat(&Token::Assign)?;
                 let e = self.expr()?;
@@ -402,7 +411,11 @@ impl Parser {
                 } else {
                     match self.bump() {
                         Some(Token::Int(v)) if (0..=u32::MAX as i64).contains(&v) => v as u32,
-                        _ => return Err(self.error("opaque() takes a small non-negative integer token")),
+                        _ => {
+                            return Err(
+                                self.error("opaque() takes a small non-negative integer token")
+                            )
+                        }
                     }
                 };
                 self.eat(&Token::RParen)?;
@@ -511,7 +524,8 @@ mod tests {
 
     #[test]
     fn dangling_else_binds_to_nearest_if() {
-        let r = parse("routine f(a,b) { if (a) if (b) return 1; else return 2; return 3; }").unwrap();
+        let r =
+            parse("routine f(a,b) { if (a) if (b) return 1; else return 2; return 3; }").unwrap();
         match &r.body[0] {
             Stmt::If(_, then, outer_else) => {
                 assert!(outer_else.is_empty());
@@ -574,10 +588,14 @@ mod error_tests {
 
     #[test]
     fn switch_error_paths() {
-        assert!(err("routine f(x) { switch (x) { case y: { } } return 0; }").contains("integer case value"));
-        assert!(err("routine f(x) { switch (x) { default: {} default: {} } return 0; }").contains("duplicate default"));
+        assert!(err("routine f(x) { switch (x) { case y: { } } return 0; }")
+            .contains("integer case value"));
+        assert!(err("routine f(x) { switch (x) { default: {} default: {} } return 0; }")
+            .contains("duplicate default"));
         assert!(err("routine f(x) { switch (x) { banana } return 0; }").contains("expected `case`"));
-        assert!(err("routine f(x) { switch (x) { case 1 { } } return 0; }").contains("expected `:`"));
+        assert!(
+            err("routine f(x) { switch (x) { case 1 { } } return 0; }").contains("expected `:`")
+        );
     }
 
     #[test]

@@ -265,7 +265,10 @@ pub fn lex(src: &str) -> Result<Vec<(Token, u32)>, LexError> {
                         '<' => Token::Lt,
                         '>' => Token::Gt,
                         _ => {
-                            return Err(LexError { line, message: format!("unexpected character `{c}`") });
+                            return Err(LexError {
+                                line,
+                                message: format!("unexpected character `{c}`"),
+                            });
                         }
                     };
                     (t, 1)
@@ -290,18 +293,16 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("routine foo if xif"),
-            vec![
-                Token::Routine,
-                Token::Ident("foo".into()),
-                Token::If,
-                Token::Ident("xif".into())
-            ]
+            vec![Token::Routine, Token::Ident("foo".into()), Token::If, Token::Ident("xif".into())]
         );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("0 42 9223372036854775807"), vec![Token::Int(0), Token::Int(42), Token::Int(i64::MAX)]);
+        assert_eq!(
+            toks("0 42 9223372036854775807"),
+            vec![Token::Int(0), Token::Int(42), Token::Int(i64::MAX)]
+        );
         assert!(lex("9223372036854775808").is_err());
     }
 
@@ -309,7 +310,16 @@ mod tests {
     fn two_char_operators() {
         assert_eq!(
             toks("<= >= == != << >> && ||"),
-            vec![Token::Le, Token::Ge, Token::EqEq, Token::NotEq, Token::Shl, Token::Shr, Token::AndAnd, Token::OrOr]
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Shl,
+                Token::Shr,
+                Token::AndAnd,
+                Token::OrOr
+            ]
         );
     }
 

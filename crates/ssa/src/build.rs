@@ -115,13 +115,13 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
 
     // Iterated dominance frontier φ placement.
     let mut needs_phi: Vec<Vec<Var>> = vec![Vec::new(); nb]; // per block, vars in placement order
-    for var_idx in 0..nv {
+    for (var_idx, sites) in def_sites.iter().enumerate().take(nv) {
         let var = Var(var_idx as u32);
         match (style, &liveness) {
             (SsaStyle::SemiPruned, Some(l)) if !l.is_non_local(var) => continue,
             _ => {}
         }
-        let mut work: Vec<usize> = def_sites[var_idx].clone();
+        let mut work: Vec<usize> = sites.clone();
         let mut placed = vec![false; nb];
         while let Some(b) = work.pop() {
             for &d in &df[b] {
@@ -136,7 +136,7 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
                 }
                 placed[d] = true;
                 needs_phi[d].push(var);
-                if !def_sites[var_idx].contains(&d) {
+                if !sites.contains(&d) {
                     work.push(d);
                 }
             }
@@ -147,9 +147,9 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
     let mut func = Function::new(vf.name(), vf.param_vars().len() as u32);
     let mut block_of: Vec<Option<Block>> = vec![None; nb];
     block_of[0] = Some(func.entry());
-    for b in 1..nb {
+    for (b, slot) in block_of.iter_mut().enumerate().skip(1) {
         if dt.is_reachable(b) {
-            block_of[b] = Some(func.add_block());
+            *slot = Some(func.add_block());
         }
     }
 
@@ -194,7 +194,10 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
             Action::Enter(b) => {
                 let fb = block_of[b].expect("renaming visits only reachable blocks");
                 let mut pushes: Vec<(usize, usize)> = Vec::new();
-                let push_def = |var: Var, val: Value, stacks: &mut Vec<Vec<Value>>, pushes: &mut Vec<(usize, usize)>| {
+                let push_def = |var: Var,
+                                val: Value,
+                                stacks: &mut Vec<Vec<Value>>,
+                                pushes: &mut Vec<(usize, usize)>| {
                     stacks[var.0 as usize].push(val);
                     if let Some(entry) = pushes.iter_mut().find(|(v, _)| *v == var.0 as usize) {
                         entry.1 += 1;
@@ -223,12 +226,18 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
                 }
 
                 // Terminator: create edges and record φ arguments.
-                let record = |edge: Edge, dest: usize, stacks: &Vec<Vec<Value>>, phi_args: &mut HashMap<(usize, Var), Vec<(Edge, Value)>>| {
-                    for &var in &needs_phi[dest] {
-                        let cur = *stacks[var.0 as usize].last().expect("stack has the zero sentinel");
-                        phi_args.entry((dest, var)).or_default().push((edge, cur));
-                    }
-                };
+                let record =
+                    |edge: Edge,
+                     dest: usize,
+                     stacks: &Vec<Vec<Value>>,
+                     phi_args: &mut HashMap<(usize, Var), Vec<(Edge, Value)>>| {
+                        for &var in &needs_phi[dest] {
+                            let cur = *stacks[var.0 as usize]
+                                .last()
+                                .expect("stack has the zero sentinel");
+                            phi_args.entry((dest, var)).or_default().push((edge, cur));
+                        }
+                    };
                 match vf.block(b).term.as_ref().expect("validated") {
                     VarTerm::Jump(t) => {
                         let edge = func.set_jump(fb, block_of[*t].expect("target reachable"));
@@ -248,10 +257,17 @@ pub fn build_ssa(vf: &VarFunction, style: SsaStyle) -> Result<Function, BuildErr
                     VarTerm::Switch(e, cases, d) => {
                         let sv = flatten(&mut func, fb, e, &stacks);
                         let case_vals: Vec<i64> = cases.iter().map(|&(c, _)| c).collect();
-                        let targets: Vec<Block> =
-                            cases.iter().map(|&(_, t)| block_of[t].expect("target reachable")).collect();
-                        let edges =
-                            func.set_switch(fb, sv, &case_vals, &targets, block_of[*d].expect("target reachable"));
+                        let targets: Vec<Block> = cases
+                            .iter()
+                            .map(|&(_, t)| block_of[t].expect("target reachable"))
+                            .collect();
+                        let edges = func.set_switch(
+                            fb,
+                            sv,
+                            &case_vals,
+                            &targets,
+                            block_of[*d].expect("target reachable"),
+                        );
                         for (i, &(_, t)) in cases.iter().enumerate() {
                             record(edges[i], t, &stacks, &mut phi_args);
                         }

@@ -31,11 +31,15 @@ fn block_use_def(func: &VarFunction, b: usize, nvars: usize) -> (Vec<bool>, Vec<
                 e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def));
                 defined[dst.0 as usize] = true;
             }
-            VarStmt::Eval(e) => e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def)),
+            VarStmt::Eval(e) => {
+                e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def))
+            }
         }
     }
     match func.block(b).term.as_ref() {
-        Some(VarTerm::Branch(e, _, _)) | Some(VarTerm::Return(e)) | Some(VarTerm::Switch(e, _, _)) => {
+        Some(VarTerm::Branch(e, _, _))
+        | Some(VarTerm::Return(e))
+        | Some(VarTerm::Switch(e, _, _)) => {
             e.visit_vars(&mut |v| record_use(v, &defined, &mut used_before_def));
         }
         _ => {}

@@ -1,0 +1,254 @@
+//! Structured trace events for the sparse GVN fixed point.
+//!
+//! Events are deliberately flat and std-only: entity references are
+//! carried as display strings (`"v3"`, `"b2"`, `"i7"`) and raw counts,
+//! so the telemetry crate sits below `pgvn-ir` in the dependency graph
+//! and any consumer can decode a trace without the compiler's types.
+
+use crate::json::JsonWriter;
+use crate::profile::Phase;
+use std::fmt;
+
+/// One telemetry event from an analysis or transform run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// An analysis run began.
+    RunStart {
+        /// Routine name.
+        routine: String,
+        /// Live instructions.
+        num_insts: u64,
+        /// Blocks in the CFG.
+        num_blocks: u64,
+    },
+    /// An RPO pass over the routine began.
+    PassStart {
+        /// 1-based pass number.
+        pass: u32,
+        /// Instructions on the touched worklist at pass start.
+        touched_insts: u64,
+        /// Blocks on the touched worklist at pass start.
+        touched_blocks: u64,
+    },
+    /// An RPO pass completed; deltas cover only this pass.
+    PassEnd {
+        /// 1-based pass number.
+        pass: u32,
+        /// Touched instructions actually processed this pass.
+        insts_processed: u64,
+        /// Touch operations performed this pass (worklist growth).
+        touches: u64,
+        /// Values that moved between congruence classes this pass.
+        class_merges: u64,
+        /// Blocks proven reachable so far (cumulative).
+        reachable_blocks: u64,
+        /// Edges proven reachable so far (cumulative).
+        reachable_edges: u64,
+        /// Instructions still touched at pass end (next pass's worklist).
+        touched_insts: u64,
+        /// Blocks still touched at pass end.
+        touched_blocks: u64,
+        /// Values currently marked changed.
+        changed_values: u64,
+        /// Whether anything changed during this pass.
+        any_change: bool,
+        /// Wall-clock nanoseconds of the pass (0 unless profiling).
+        nanos: u64,
+    },
+    /// A value's class moved during a late pass (possible oscillation);
+    /// emitted once per re-evaluation that changed a class after the
+    /// pass threshold, with the defining expressions before and after.
+    Oscillation {
+        /// Pass number when the movement happened.
+        pass: u32,
+        /// The re-evaluated instruction.
+        inst: String,
+        /// The instruction's block.
+        block: String,
+        /// Class and leader expression before re-evaluation.
+        before: String,
+        /// Class and leader expression after re-evaluation.
+        after: String,
+    },
+    /// A one-shot phase completed (construction phases, rewrite stages).
+    Phase {
+        /// The completed phase.
+        phase: Phase,
+        /// Wall-clock nanoseconds spent.
+        nanos: u64,
+    },
+    /// An analysis run completed.
+    RunEnd {
+        /// Total RPO passes.
+        passes: u32,
+        /// Whether the fixed point was reached under the pass cap.
+        converged: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag, as used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::PassStart { .. } => "pass_start",
+            TraceEvent::PassEnd { .. } => "pass_end",
+            TraceEvent::Oscillation { .. } => "oscillation",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("event", self.kind());
+        match self {
+            TraceEvent::RunStart { routine, num_insts, num_blocks } => {
+                w.field_str("routine", routine)
+                    .field_u64("num_insts", *num_insts)
+                    .field_u64("num_blocks", *num_blocks);
+            }
+            TraceEvent::PassStart { pass, touched_insts, touched_blocks } => {
+                w.field_u64("pass", u64::from(*pass))
+                    .field_u64("touched_insts", *touched_insts)
+                    .field_u64("touched_blocks", *touched_blocks);
+            }
+            TraceEvent::PassEnd {
+                pass,
+                insts_processed,
+                touches,
+                class_merges,
+                reachable_blocks,
+                reachable_edges,
+                touched_insts,
+                touched_blocks,
+                changed_values,
+                any_change,
+                nanos,
+            } => {
+                w.field_u64("pass", u64::from(*pass))
+                    .field_u64("insts_processed", *insts_processed)
+                    .field_u64("touches", *touches)
+                    .field_u64("class_merges", *class_merges)
+                    .field_u64("reachable_blocks", *reachable_blocks)
+                    .field_u64("reachable_edges", *reachable_edges)
+                    .field_u64("touched_insts", *touched_insts)
+                    .field_u64("touched_blocks", *touched_blocks)
+                    .field_u64("changed_values", *changed_values)
+                    .field_bool("any_change", *any_change)
+                    .field_u64("nanos", *nanos);
+            }
+            TraceEvent::Oscillation { pass, inst, block, before, after } => {
+                w.field_u64("pass", u64::from(*pass))
+                    .field_str("inst", inst)
+                    .field_str("block", block)
+                    .field_str("before", before)
+                    .field_str("after", after);
+            }
+            TraceEvent::Phase { phase, nanos } => {
+                w.field_str("phase", phase.name()).field_u64("nanos", *nanos);
+            }
+            TraceEvent::RunEnd { passes, converged } => {
+                w.field_u64("passes", u64::from(*passes)).field_bool("converged", *converged);
+            }
+        }
+        w.finish()
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// The human-readable one-line form used by the text sink.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::RunStart { routine, num_insts, num_blocks } => {
+                write!(f, "run {routine}: {num_insts} insts, {num_blocks} blocks")
+            }
+            TraceEvent::PassStart { pass, touched_insts, touched_blocks } => {
+                write!(f, "pass {pass}: worklist {touched_insts} insts, {touched_blocks} blocks")
+            }
+            TraceEvent::PassEnd {
+                pass,
+                insts_processed,
+                class_merges,
+                reachable_blocks,
+                reachable_edges,
+                touched_insts,
+                touched_blocks,
+                any_change,
+                ..
+            } => {
+                write!(
+                    f,
+                    "pass {pass} done: processed {insts_processed}, merges {class_merges}, \
+                     reach {reachable_blocks}b/{reachable_edges}e, \
+                     remaining {touched_insts}i/{touched_blocks}b{}",
+                    if *any_change { ", changed" } else { ", stable" }
+                )
+            }
+            TraceEvent::Oscillation { pass, inst, block, before, after } => {
+                write!(f, "pass {pass}: {inst} in {block} moved {before} -> {after}")
+            }
+            TraceEvent::Phase { phase, nanos } => {
+                write!(f, "phase {}: {:.3} ms", phase.name(), *nanos as f64 / 1.0e6)
+            }
+            TraceEvent::RunEnd { passes, converged } => {
+                write!(
+                    f,
+                    "run done: {passes} passes, {}",
+                    if *converged { "converged" } else { "PASS CAP HIT" }
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn events_encode_as_json_objects() {
+        let ev = TraceEvent::PassEnd {
+            pass: 2,
+            insts_processed: 10,
+            touches: 4,
+            class_merges: 3,
+            reachable_blocks: 5,
+            reachable_edges: 6,
+            touched_insts: 1,
+            touched_blocks: 0,
+            changed_values: 2,
+            any_change: true,
+            nanos: 1234,
+        };
+        let v = parse(&ev.to_json()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("pass_end"));
+        assert_eq!(v.get("pass").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("class_merges").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("any_change").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn oscillation_strings_are_escaped() {
+        let ev = TraceEvent::Oscillation {
+            pass: 70,
+            inst: "i3".into(),
+            block: "b1".into(),
+            before: "c2=\"quoted\"".into(),
+            after: "c4=φ[b1](v1, v2)".into(),
+        };
+        let v = parse(&ev.to_json()).unwrap();
+        assert_eq!(v.get("before").unwrap().as_str(), Some("c2=\"quoted\""));
+        assert_eq!(v.get("after").unwrap().as_str(), Some("c4=φ[b1](v1, v2)"));
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let ev = TraceEvent::RunStart { routine: "f".into(), num_insts: 9, num_blocks: 3 };
+        let s = ev.to_string();
+        assert!(!s.contains('\n'));
+        assert!(s.contains("9 insts"), "{s}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Phase timers for the GVN driver and rewrite pipeline.
+//!
+//! A [`Profiler`] is a fixed table of monotonic nanosecond accumulators,
+//! one per [`Phase`]. Phases may nest (symbolic evaluation includes the
+//! inference walks it triggers), so the reported times are *inclusive*
+//! and do not sum to wall clock.
+
+use crate::json::JsonWriter;
+use std::fmt;
+use std::time::Instant;
+
+/// A named span of work inside an analysis or transform run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// CFG construction: successor/predecessor maps, RPO, ranks.
+    Cfg,
+    /// Dominator and post-dominator tree construction.
+    DomTree,
+    /// SSA construction from the AST (measured by the CLI front end).
+    SsaBuild,
+    /// All RPO fixed-point passes together.
+    Passes,
+    /// Symbolic evaluation of touched instructions (includes nested
+    /// inference time).
+    SymbolicEval,
+    /// Congruence finding and class moves.
+    CongruenceMerge,
+    /// Predicate inference walks up the dominator tree.
+    PredicateInference,
+    /// Value inference walks up the dominator tree.
+    ValueInference,
+    /// Block-predicate computation and φ-predication.
+    PhiPredication,
+    /// Outgoing-edge reachability processing.
+    EdgeProcessing,
+    /// Unreachable-code elimination (rewrite).
+    Uce,
+    /// Constant propagation (rewrite).
+    ConstantProp,
+    /// Redundancy elimination (rewrite).
+    RedundancyElim,
+    /// Copy forwarding (rewrite).
+    CopyForward,
+    /// Dead-code elimination (rewrite).
+    Dce,
+}
+
+/// All phases, in report order.
+pub const PHASES: [Phase; 15] = [
+    Phase::Cfg,
+    Phase::DomTree,
+    Phase::SsaBuild,
+    Phase::Passes,
+    Phase::SymbolicEval,
+    Phase::CongruenceMerge,
+    Phase::PredicateInference,
+    Phase::ValueInference,
+    Phase::PhiPredication,
+    Phase::EdgeProcessing,
+    Phase::Uce,
+    Phase::ConstantProp,
+    Phase::RedundancyElim,
+    Phase::CopyForward,
+    Phase::Dce,
+];
+
+impl Phase {
+    /// Stable snake_case name used in JSON output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Cfg => "cfg",
+            Phase::DomTree => "domtree",
+            Phase::SsaBuild => "ssa_build",
+            Phase::Passes => "passes",
+            Phase::SymbolicEval => "symbolic_eval",
+            Phase::CongruenceMerge => "congruence_merge",
+            Phase::PredicateInference => "predicate_inference",
+            Phase::ValueInference => "value_inference",
+            Phase::PhiPredication => "phi_predication",
+            Phase::EdgeProcessing => "edge_processing",
+            Phase::Uce => "uce",
+            Phase::ConstantProp => "constant_prop",
+            Phase::RedundancyElim => "redundancy_elim",
+            Phase::CopyForward => "copy_forward",
+            Phase::Dce => "dce",
+        }
+    }
+
+    fn index(self) -> usize {
+        PHASES.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+/// Accumulated inclusive time and span count per phase.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    nanos: [u64; PHASES.len()],
+    spans: [u64; PHASES.len()],
+}
+
+impl Profiler {
+    /// A profiler with all accumulators at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the elapsed time since `start` to `phase`.
+    pub fn record(&mut self, phase: Phase, start: Instant) {
+        let i = phase.index();
+        self.nanos[i] = self.nanos[i]
+            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.spans[i] += 1;
+    }
+
+    /// Adds raw nanoseconds to `phase` (one span).
+    pub fn add_nanos(&mut self, phase: Phase, nanos: u64) {
+        let i = phase.index();
+        self.nanos[i] = self.nanos[i].saturating_add(nanos);
+        self.spans[i] += 1;
+    }
+
+    /// Total inclusive nanoseconds recorded for `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Number of spans recorded for `phase`.
+    pub fn spans(&self, phase: Phase) -> u64 {
+        self.spans[phase.index()]
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.iter().all(|&n| n == 0)
+    }
+
+    /// One JSON object mapping phase names to `{nanos, spans}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        for phase in PHASES {
+            let i = phase.index();
+            if self.spans[i] == 0 {
+                continue;
+            }
+            let mut inner = JsonWriter::object();
+            inner.field_u64("nanos", self.nanos[i]).field_u64("spans", self.spans[i]);
+            w.field_raw(phase.name(), &inner.finish());
+        }
+        w.finish()
+    }
+}
+
+impl fmt::Display for Profiler {
+    /// A fixed-width table of phases with at least one span, report order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>12} {:>10}", "phase", "ms", "spans")?;
+        for phase in PHASES {
+            let i = phase.index();
+            if self.spans[i] == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<22} {:>12.3} {:>10}",
+                phase.name(),
+                self.nanos[i] as f64 / 1.0e6,
+                self.spans[i]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn record_accumulates() {
+        let mut p = Profiler::new();
+        assert!(p.is_empty());
+        p.add_nanos(Phase::Cfg, 100);
+        p.add_nanos(Phase::Cfg, 50);
+        assert_eq!(p.nanos(Phase::Cfg), 150);
+        assert_eq!(p.spans(Phase::Cfg), 2);
+        assert_eq!(p.nanos(Phase::Dce), 0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn record_elapsed_is_nonzero() {
+        let mut p = Profiler::new();
+        let t0 = Instant::now();
+        std::hint::black_box((0..1000).sum::<u64>());
+        p.record(Phase::Passes, t0);
+        assert_eq!(p.spans(Phase::Passes), 1);
+    }
+
+    #[test]
+    fn json_skips_empty_phases() {
+        let mut p = Profiler::new();
+        p.add_nanos(Phase::SymbolicEval, 42);
+        let v = parse(&p.to_json()).unwrap();
+        let eval = v.get("symbolic_eval").expect("recorded phase present");
+        assert_eq!(eval.get("nanos").unwrap().as_u64(), Some(42));
+        assert_eq!(eval.get("spans").unwrap().as_u64(), Some(1));
+        assert!(v.get("dce").is_none(), "unrecorded phases omitted");
+    }
+
+    #[test]
+    fn display_lists_recorded_phases_only() {
+        let mut p = Profiler::new();
+        p.add_nanos(Phase::Uce, 2_000_000);
+        let s = p.to_string();
+        assert!(s.contains("uce"), "{s}");
+        assert!(!s.contains("domtree"), "{s}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! The driver is generic over a `&mut dyn TraceSink`; the default
+//! [`NullSink`] is never invoked because the [`crate::Telemetry`]
+//! handle guards every emit site with a cheap `is_tracing` check, so
+//! untraced runs pay only an untaken branch.
+
+use crate::event::TraceEvent;
+use std::io::{self, Write};
+
+/// A consumer of trace events.
+pub trait TraceSink {
+    /// Receives one event. Called only while tracing is enabled.
+    fn event(&mut self, ev: &TraceEvent);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. The default when tracing is off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Buffers events in memory; used by tests to assert on sequences.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events received so far, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Writes one human-readable line per event.
+#[derive(Debug)]
+pub struct TextSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TextSink<W> {
+    /// A text sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl TextSink<io::Stderr> {
+    /// A text sink on standard error, as enabled by `--trace`.
+    pub fn stderr() -> Self {
+        Self::new(io::stderr())
+    }
+}
+
+impl<W: Write> TraceSink for TextSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        // Trace output is best-effort: a closed pipe must not abort the
+        // analysis it is observing.
+        let _ = writeln!(self.out, "[pgvn] {ev}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes one JSON object per line (JSON Lines).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A JSONL sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        let _ = writeln!(self.out, "{}", ev.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Fans one event stream out to several sinks (e.g. `--trace` plus
+/// `--trace-json` in the same run).
+#[derive(Default)]
+pub struct TeeSink<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl<'a> TeeSink<'a> {
+    /// An empty tee.
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Adds a downstream sink.
+    pub fn push(&mut self, sink: &'a mut dyn TraceSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of downstream sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True if there are no downstream sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn event(&mut self, ev: &TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.event(ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent::RunEnd { passes: 2, converged: true }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut sink = MemorySink::new();
+        sink.event(&TraceEvent::RunStart { routine: "f".into(), num_insts: 1, num_blocks: 1 });
+        sink.event(&sample());
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.events()[1], sample());
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn text_sink_writes_prefixed_lines() {
+        let mut sink = TextSink::new(Vec::new());
+        sink.event(&sample());
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(out.starts_with("[pgvn] "), "{out}");
+        assert!(out.ends_with('\n'), "{out}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.event(&sample());
+        sink.event(&sample());
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(v.get("event").unwrap().as_str(), Some("run_end"));
+        }
+    }
+
+    #[test]
+    fn tee_sink_duplicates_events() {
+        let mut a = MemorySink::new();
+        let mut b = MemorySink::new();
+        let mut tee = TeeSink::new();
+        tee.push(&mut a);
+        tee.push(&mut b);
+        assert_eq!(tee.len(), 2);
+        tee.event(&sample());
+        tee.flush();
+        drop(tee);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -14,8 +14,9 @@ use crate::dce::eliminate_dead_code;
 use crate::rewrite::{
     eliminate_redundancies, eliminate_unreachable, forward_copies, propagate_constants, UceReport,
 };
-use pgvn_core::{run, GvnConfig, GvnStats};
+use pgvn_core::{run_traced, GvnConfig, GvnStats};
 use pgvn_ir::Function;
+use pgvn_telemetry::{Phase, Telemetry};
 
 /// Aggregate report of one [`Pipeline::optimize`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -65,21 +66,38 @@ impl Pipeline {
 
     /// Optimizes `func` in place.
     pub fn optimize(&self, func: &mut Function) -> OptimizeReport {
+        self.optimize_traced(func, &mut Telemetry::off())
+    }
+
+    /// [`Pipeline::optimize`] with observability: the GVN runs of every
+    /// round trace into `tel`'s sink, and the rewrite stages record
+    /// per-phase timings into its profiler.
+    pub fn optimize_traced(&self, func: &mut Function, tel: &mut Telemetry<'_>) -> OptimizeReport {
         let t0 = std::time::Instant::now();
         let mut report = OptimizeReport::default();
         for _ in 0..self.rounds {
             let g0 = std::time::Instant::now();
-            let results = run(func, &self.cfg);
+            let results = run_traced(func, &self.cfg, tel);
             report.gvn_nanos += g0.elapsed().as_nanos();
             report.gvn_stats = results.stats;
+            let p0 = tel.clock();
             let uce = eliminate_unreachable(func, &results);
+            tel.record_phase(Phase::Uce, p0);
             report.uce.branches_folded += uce.branches_folded;
             report.uce.blocks_removed += uce.blocks_removed;
             report.uce.phis_simplified += uce.phis_simplified;
+            let p0 = tel.clock();
             report.constants_propagated += propagate_constants(func, &results);
+            tel.record_phase(Phase::ConstantProp, p0);
+            let p0 = tel.clock();
             report.redundancies_eliminated += eliminate_redundancies(func, &results);
+            tel.record_phase(Phase::RedundancyElim, p0);
+            let p0 = tel.clock();
             report.copies_forwarded += forward_copies(func);
+            tel.record_phase(Phase::CopyForward, p0);
+            let p0 = tel.clock();
             report.dead_removed += eliminate_dead_code(func);
+            tel.record_phase(Phase::Dce, p0);
         }
         report.total_nanos = t0.elapsed().as_nanos();
         report
@@ -152,7 +170,7 @@ mod tests {
         // Only one multiply should survive.
         let muls = f
             .blocks()
-            .flat_map(|b| f.block_insts(b).iter().copied().collect::<Vec<_>>())
+            .flat_map(|b| f.block_insts(b).to_vec())
             .filter(|&i| matches!(f.kind(i), InstKind::Binary(pgvn_ir::BinOp::Mul, _, _)))
             .count();
         assert_eq!(muls, 1, "\n{f}");

@@ -32,7 +32,8 @@ pub fn eliminate_unreachable(func: &mut Function, results: &GvnResults) -> UceRe
         match func.kind(term) {
             InstKind::Branch(_) => {
                 let succs = func.succs(b);
-                let alive: Vec<bool> = succs.iter().map(|&e| results.is_edge_reachable(e)).collect();
+                let alive: Vec<bool> =
+                    succs.iter().map(|&e| results.is_edge_reachable(e)).collect();
                 match (alive[0], alive[1]) {
                     (true, false) => {
                         func.fold_branch_to(b, 0);
@@ -117,7 +118,10 @@ pub fn eliminate_redundancies(func: &mut Function, results: &GvnResults) -> usiz
     for b in func.blocks().collect::<Vec<_>>() {
         for inst in func.block_insts(b).to_vec() {
             let Some(v) = func.inst_result(inst) else { continue };
-            if matches!(func.kind(inst), InstKind::Const(_) | InstKind::Copy(_) | InstKind::Param(_)) {
+            if matches!(
+                func.kind(inst),
+                InstKind::Const(_) | InstKind::Copy(_) | InstKind::Param(_)
+            ) {
                 continue;
             }
             let Some(leader) = results.leader_value(v) else { continue };

@@ -139,8 +139,15 @@ impl Gen {
             BinOp::Shr,
         ];
         match self.rng.gen_range(0..10) {
-            0 => Expr::Unary(if self.rng.gen_bool(0.6) { UnOp::Neg } else { UnOp::Not }, Box::new(self.expr(depth - 1))),
-            1 => Expr::Cmp(self.cmp_op(), Box::new(self.expr(depth - 1)), Box::new(self.expr(depth - 1))),
+            0 => Expr::Unary(
+                if self.rng.gen_bool(0.6) { UnOp::Neg } else { UnOp::Not },
+                Box::new(self.expr(depth - 1)),
+            ),
+            1 => Expr::Cmp(
+                self.cmp_op(),
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+            ),
             _ => {
                 let op = ops[self.rng.gen_range(0..ops.len())];
                 Expr::Binary(op, Box::new(self.expr(depth - 1)), Box::new(self.expr(depth - 1)))
@@ -156,7 +163,11 @@ impl Gen {
         // Comparisons between a variable and a constant or another
         // variable — the shapes inference understands.
         let lhs = Expr::Var(self.pick_var());
-        let rhs = if self.rng.gen_bool(0.6) { Expr::Int(self.small_const()) } else { Expr::Var(self.pick_var()) };
+        let rhs = if self.rng.gen_bool(0.6) {
+            Expr::Int(self.small_const())
+        } else {
+            Expr::Var(self.pick_var())
+        };
         Expr::Cmp(self.cmp_op(), Box::new(lhs), Box::new(rhs))
     }
 
@@ -193,7 +204,11 @@ impl Gen {
         let b = self.fresh_var();
         let lhs = Expr::Binary(
             BinOp::Add,
-            Box::new(Expr::Binary(BinOp::Add, Box::new(Expr::Var(x.clone())), Box::new(Expr::Var(y.clone())))),
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var(x.clone())),
+                Box::new(Expr::Var(y.clone())),
+            )),
             Box::new(Expr::Int(c)),
         );
         let rhs = Expr::Binary(
@@ -228,7 +243,11 @@ impl Gen {
             out.push(Stmt::If(
                 Expr::Cmp(CmpOp::Gt, Box::new(Expr::Var(k)), Box::new(Expr::Int(5))),
                 body,
-                if depth > 0 && self.rng.gen_bool(0.3) { vec![self.assign_random()] } else { Vec::new() },
+                if depth > 0 && self.rng.gen_bool(0.3) {
+                    vec![self.assign_random()]
+                } else {
+                    Vec::new()
+                },
             ));
         }
     }
@@ -344,7 +363,11 @@ impl Gen {
                 for c in [&c1, &c2] {
                     body.push(Stmt::Assign(
                         c.clone(),
-                        Expr::Binary(BinOp::Add, Box::new(Expr::Var(c.clone())), Box::new(Expr::Int(step))),
+                        Expr::Binary(
+                            BinOp::Add,
+                            Box::new(Expr::Var(c.clone())),
+                            Box::new(Expr::Int(step)),
+                        ),
                     ));
                 }
                 let u = self.fresh_var();
@@ -369,7 +392,8 @@ impl Gen {
             Expr::Binary(BinOp::Add, Box::new(Expr::Var(counter.clone())), Box::new(Expr::Int(1))),
         )];
         full_body.extend(body);
-        let cond = Expr::Cmp(CmpOp::Lt, Box::new(Expr::Var(counter.clone())), Box::new(Expr::Int(trip)));
+        let cond =
+            Expr::Cmp(CmpOp::Lt, Box::new(Expr::Var(counter.clone())), Box::new(Expr::Int(trip)));
         let mut out = prologue;
         if self.rng.gen_bool(0.2) {
             out.push(Stmt::DoWhile(full_body, cond));
@@ -476,11 +500,19 @@ pub fn generate_routine(name: &str, cfg: &GenConfig) -> Routine {
         }
     }
     body.push(Stmt::Return(ret));
-    Routine { name: name.to_string(), params: (0..cfg.num_params).map(|i| format!("p{i}")).collect(), body }
+    Routine {
+        name: name.to_string(),
+        params: (0..cfg.num_params).map(|i| format!("p{i}")).collect(),
+        body,
+    }
 }
 
 /// Generates and compiles a routine to SSA.
-pub fn generate_function(name: &str, cfg: &GenConfig, style: pgvn_ssa::SsaStyle) -> pgvn_ir::Function {
+pub fn generate_function(
+    name: &str,
+    cfg: &GenConfig,
+    style: pgvn_ssa::SsaStyle,
+) -> pgvn_ir::Function {
     let routine = generate_routine(name, cfg);
     let vf = pgvn_lang::lower(&routine);
     pgvn_ssa::build_ssa(&vf, style).expect("generated routines are well-formed")
@@ -528,8 +560,16 @@ mod tests {
 
     #[test]
     fn sizes_track_target() {
-        let small = generate_function("s", &GenConfig { seed: 1, target_stmts: 10, ..Default::default() }, SsaStyle::Minimal);
-        let large = generate_function("l", &GenConfig { seed: 1, target_stmts: 200, ..Default::default() }, SsaStyle::Minimal);
+        let small = generate_function(
+            "s",
+            &GenConfig { seed: 1, target_stmts: 10, ..Default::default() },
+            SsaStyle::Minimal,
+        );
+        let large = generate_function(
+            "l",
+            &GenConfig { seed: 1, target_stmts: 200, ..Default::default() },
+            SsaStyle::Minimal,
+        );
         assert!(large.num_insts() > small.num_insts() * 3);
     }
 }

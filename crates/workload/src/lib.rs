@@ -28,4 +28,6 @@ pub mod suite;
 
 pub use gen::{generate_function, generate_routine, GenConfig};
 pub use histogram::Histogram;
-pub use suite::{dump_benchmark, spec_suite, Benchmark, BenchmarkProfile, SuiteConfig, SPEC_CINT2000};
+pub use suite::{
+    dump_benchmark, spec_suite, Benchmark, BenchmarkProfile, SuiteConfig, SPEC_CINT2000,
+};

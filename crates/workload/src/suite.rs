@@ -9,7 +9,7 @@
 //! 181.mcf is tiny), scaled by [`SuiteConfig::scale`]; 256.bzip2 is
 //! excluded exactly as in the paper (§5).
 
-use crate::gen::{GenConfig, generate_function};
+use crate::gen::{generate_function, GenConfig};
 use pgvn_ir::Function;
 use pgvn_ssa::SsaStyle;
 
@@ -32,16 +32,86 @@ pub struct BenchmarkProfile {
 
 /// The ten profiles used throughout the evaluation (paper Table 1/2 rows).
 pub const SPEC_CINT2000: [BenchmarkProfile; 10] = [
-    BenchmarkProfile { name: "164.gzip", base_routines: 63, mean_stmts: 45, loop_prob: 0.45, inference_prob: 0.12, opaque_prob: 0.06 },
-    BenchmarkProfile { name: "175.vpr", base_routines: 255, mean_stmts: 42, loop_prob: 0.40, inference_prob: 0.14, opaque_prob: 0.07 },
-    BenchmarkProfile { name: "176.gcc", base_routines: 2019, mean_stmts: 55, loop_prob: 0.25, inference_prob: 0.20, opaque_prob: 0.10 },
-    BenchmarkProfile { name: "181.mcf", base_routines: 24, mean_stmts: 40, loop_prob: 0.50, inference_prob: 0.10, opaque_prob: 0.04 },
-    BenchmarkProfile { name: "186.crafty", base_routines: 106, mean_stmts: 70, loop_prob: 0.30, inference_prob: 0.18, opaque_prob: 0.05 },
-    BenchmarkProfile { name: "197.parser", base_routines: 323, mean_stmts: 38, loop_prob: 0.28, inference_prob: 0.18, opaque_prob: 0.08 },
-    BenchmarkProfile { name: "253.perlbmk", base_routines: 1059, mean_stmts: 40, loop_prob: 0.22, inference_prob: 0.16, opaque_prob: 0.12 },
-    BenchmarkProfile { name: "254.gap", base_routines: 854, mean_stmts: 44, loop_prob: 0.26, inference_prob: 0.15, opaque_prob: 0.11 },
-    BenchmarkProfile { name: "255.vortex", base_routines: 923, mean_stmts: 36, loop_prob: 0.20, inference_prob: 0.17, opaque_prob: 0.12 },
-    BenchmarkProfile { name: "300.twolf", base_routines: 167, mean_stmts: 60, loop_prob: 0.42, inference_prob: 0.13, opaque_prob: 0.06 },
+    BenchmarkProfile {
+        name: "164.gzip",
+        base_routines: 63,
+        mean_stmts: 45,
+        loop_prob: 0.45,
+        inference_prob: 0.12,
+        opaque_prob: 0.06,
+    },
+    BenchmarkProfile {
+        name: "175.vpr",
+        base_routines: 255,
+        mean_stmts: 42,
+        loop_prob: 0.40,
+        inference_prob: 0.14,
+        opaque_prob: 0.07,
+    },
+    BenchmarkProfile {
+        name: "176.gcc",
+        base_routines: 2019,
+        mean_stmts: 55,
+        loop_prob: 0.25,
+        inference_prob: 0.20,
+        opaque_prob: 0.10,
+    },
+    BenchmarkProfile {
+        name: "181.mcf",
+        base_routines: 24,
+        mean_stmts: 40,
+        loop_prob: 0.50,
+        inference_prob: 0.10,
+        opaque_prob: 0.04,
+    },
+    BenchmarkProfile {
+        name: "186.crafty",
+        base_routines: 106,
+        mean_stmts: 70,
+        loop_prob: 0.30,
+        inference_prob: 0.18,
+        opaque_prob: 0.05,
+    },
+    BenchmarkProfile {
+        name: "197.parser",
+        base_routines: 323,
+        mean_stmts: 38,
+        loop_prob: 0.28,
+        inference_prob: 0.18,
+        opaque_prob: 0.08,
+    },
+    BenchmarkProfile {
+        name: "253.perlbmk",
+        base_routines: 1059,
+        mean_stmts: 40,
+        loop_prob: 0.22,
+        inference_prob: 0.16,
+        opaque_prob: 0.12,
+    },
+    BenchmarkProfile {
+        name: "254.gap",
+        base_routines: 854,
+        mean_stmts: 44,
+        loop_prob: 0.26,
+        inference_prob: 0.15,
+        opaque_prob: 0.11,
+    },
+    BenchmarkProfile {
+        name: "255.vortex",
+        base_routines: 923,
+        mean_stmts: 36,
+        loop_prob: 0.20,
+        inference_prob: 0.17,
+        opaque_prob: 0.12,
+    },
+    BenchmarkProfile {
+        name: "300.twolf",
+        base_routines: 167,
+        mean_stmts: 60,
+        loop_prob: 0.42,
+        inference_prob: 0.13,
+        opaque_prob: 0.06,
+    },
 ];
 
 /// Suite-wide generation settings.

@@ -10,8 +10,8 @@
 //! cargo run --example figure1
 //! ```
 
-use pgvn::prelude::*;
 use pgvn::ir::InstKind;
+use pgvn::prelude::*;
 
 fn returned_constant(func: &pgvn::ir::Function, cfg: &GvnConfig) -> Option<i64> {
     let results = gvn(func, cfg);

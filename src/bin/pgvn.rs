@@ -13,10 +13,15 @@
 //!   --emit    ir|analysis|optimized|all            (default: optimized)
 //!   --run     a,b,c                                execute with arguments
 //!   --stats                                        print analysis counters
+//!   --trace                                        trace events to stderr
+//!   --trace-json <path>                            trace events as JSONL
+//!   --profile                                      per-phase wall-clock report
+//!   --stats-json                                   stats + strength as JSON
 //! ```
 
+use pgvn::core::run_traced as gvn_run_traced;
 use pgvn::prelude::*;
-use pgvn::core::run as gvn_run;
+use pgvn::telemetry::{JsonlSink, Phase, TeeSink, Telemetry, TextSink};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -27,6 +32,10 @@ struct Options {
     emit: Vec<String>,
     run_args: Option<Vec<i64>>,
     stats: bool,
+    trace: bool,
+    trace_json: Option<String>,
+    profile: bool,
+    stats_json: bool,
 }
 
 fn usage() -> ! {
@@ -34,7 +43,8 @@ fn usage() -> ! {
         "usage: pgvn <file|-> [--config full|extended|click|sccp|awz|basic]\n\
          \x20           [--mode optimistic|balanced|pessimistic] [--variant practical|complete]\n\
          \x20           [--ssa minimal|semi-pruned|pruned] [--dense]\n\
-         \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]"
+         \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]\n\
+         \x20           [--trace] [--trace-json <path>] [--profile] [--stats-json]"
     );
     std::process::exit(2);
 }
@@ -50,6 +60,10 @@ fn parse_options() -> Options {
     let mut emit = Vec::new();
     let mut run_args = None;
     let mut stats = false;
+    let mut trace = false;
+    let mut trace_json = None;
+    let mut profile = false;
+    let mut stats_json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--config" => {
@@ -101,6 +115,13 @@ fn parse_options() -> Options {
                 }
             }
             "--stats" => stats = true,
+            "--trace" => trace = true,
+            "--trace-json" => match args.next() {
+                Some(p) => trace_json = Some(p),
+                None => usage(),
+            },
+            "--profile" => profile = true,
+            "--stats-json" => stats_json = true,
             _ if path.is_none() && !a.starts_with("--") => path = Some(a),
             _ => usage(),
         }
@@ -110,7 +131,7 @@ fn parse_options() -> Options {
         emit.push("optimized".to_string());
     }
     let config = config.mode(mode).variant(variant).sparse(!dense);
-    Options { path, config, style, emit, run_args, stats }
+    Options { path, config, style, emit, run_args, stats, trace, trace_json, profile, stats_json }
 }
 
 fn wants_source(emit: &[String]) -> bool {
@@ -146,6 +167,34 @@ fn main() -> ExitCode {
         }
     }
 
+    // Telemetry: tee the optional text and JSONL sinks, and start the
+    // phase timers early enough to cover SSA construction.
+    // PGVN_DEBUG_OSC is the back-compat alias for --trace.
+    let trace = opts.trace || std::env::var_os("PGVN_DEBUG_OSC").is_some_and(|v| v != "0");
+    let mut text_sink = trace.then(TextSink::stderr);
+    let mut json_sink = match &opts.trace_json {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(JsonlSink::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("pgvn: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut tee = TeeSink::new();
+    if let Some(s) = text_sink.as_mut() {
+        tee.push(s);
+    }
+    if let Some(s) = json_sink.as_mut() {
+        tee.push(s);
+    }
+    let mut tel = if tee.is_empty() { Telemetry::off() } else { Telemetry::with_sink(&mut tee) };
+    if opts.profile {
+        tel.enable_profiling();
+    }
+
+    let t0 = tel.clock();
     let func = match compile(&source, opts.style) {
         Ok(f) => f,
         Err(e) => {
@@ -153,6 +202,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    tel.record_phase(Phase::SsaBuild, t0);
 
     let wants = |w: &str| opts.emit.iter().any(|e| e == w || e == "all");
 
@@ -160,7 +210,7 @@ fn main() -> ExitCode {
         println!("== ssa ==\n{func}");
     }
 
-    let results = gvn_run(&func, &opts.config);
+    let results = gvn_run_traced(&func, &opts.config, &mut tel);
     if wants("analysis") {
         let s = results.strength();
         println!("== analysis ==");
@@ -178,7 +228,9 @@ fn main() -> ExitCode {
     }
 
     let mut optimized = func.clone();
-    let report = Pipeline::new(opts.config.clone()).rounds(2).optimize(&mut optimized);
+    let report =
+        Pipeline::new(opts.config.clone()).rounds(2).optimize_traced(&mut optimized, &mut tel);
+    tel.flush();
     if wants("optimized") {
         println!("== optimized ==\n{optimized}");
     }
@@ -190,6 +242,20 @@ fn main() -> ExitCode {
         println!("constants propagated:  {}", report.constants_propagated);
         println!("redundancies removed:  {}", report.redundancies_eliminated);
         println!("dead insts removed:    {}", report.dead_removed);
+    }
+    if opts.profile {
+        if let Some(p) = tel.profiler() {
+            print!("== profile ==\n{p}");
+        }
+    }
+    if opts.stats_json {
+        // One machine-readable object: the analysis run's expanded
+        // counters plus the strength triple (Figures 10–12 measures).
+        let mut w = pgvn::telemetry::json::JsonWriter::object();
+        w.field_str("routine", func.name())
+            .field_raw("stats", &results.stats.to_json())
+            .field_raw("strength", &results.strength().to_json());
+        println!("{}", w.finish());
     }
 
     if let Some(args) = opts.run_args {

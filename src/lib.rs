@@ -12,6 +12,8 @@
 //! - [`lang`] — the source language used to express the paper's examples;
 //! - [`core`] — the paper's unified sparse GVN algorithm;
 //! - [`transform`] — GVN-driven optimizations and the pipeline;
+//! - [`telemetry`] — structured trace events, sinks and phase timers
+//!   (see `docs/OBSERVABILITY.md`);
 //! - [`workload`] — the synthetic SPEC CINT2000 stand-in suite used by
 //!   the evaluation harness.
 //!
@@ -39,6 +41,7 @@ pub use pgvn_core as core;
 pub use pgvn_ir as ir;
 pub use pgvn_lang as lang;
 pub use pgvn_ssa as ssa;
+pub use pgvn_telemetry as telemetry;
 pub use pgvn_transform as transform;
 pub use pgvn_workload as workload;
 

@@ -3,7 +3,7 @@
 //! invariants, and postdominator sanity.
 
 use pgvn::analysis::{naive_dominators, DomTree, PostDomTree, Rpo};
-use pgvn::ir::{EntityRef, Function, InstKind};
+use pgvn::ir::{Function, InstKind};
 use pgvn::workload::{generate_function, GenConfig};
 use proptest::prelude::*;
 

@@ -17,10 +17,7 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 
 #[test]
 fn optimizes_and_runs_a_file() {
-    let path = write_temp(
-        "basic.pg",
-        "routine f(a, b) { x = a + b; y = b + a; return x - y; }",
-    );
+    let path = write_temp("basic.pg", "routine f(a, b) { x = a + b; y = b + a; return x - y; }");
     let out = pgvn()
         .arg(&path)
         .args(["--emit", "all", "--run", "3,4", "--stats"])
@@ -88,9 +85,16 @@ fn config_and_mode_flags_accepted() {
 
 #[test]
 fn dense_and_ssa_flags_accepted() {
-    let path = write_temp("flags.pg", "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }");
+    let path = write_temp(
+        "flags.pg",
+        "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+    );
     for ssa in ["minimal", "semi-pruned", "pruned"] {
-        let out = pgvn().arg(&path).args(["--ssa", ssa, "--dense", "--run", "5"]).output().expect("spawns");
+        let out = pgvn()
+            .arg(&path)
+            .args(["--ssa", ssa, "--dense", "--run", "5"])
+            .output()
+            .expect("spawns");
         assert!(out.status.success(), "--ssa {ssa}");
         assert!(String::from_utf8_lossy(&out.stdout).contains("result: 10"));
     }
@@ -103,6 +107,91 @@ fn figure1_via_cli_collapses_to_one() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("result: 1"), "{stdout}");
+}
+
+#[test]
+fn stats_json_emits_one_well_formed_object() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let path = write_temp(
+        "statsjson.pg",
+        "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+    );
+    let out = pgvn().arg(&path).arg("--stats-json").output().expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("{\"routine\""))
+        .unwrap_or_else(|| panic!("no stats-json line in: {stdout}"));
+    let v = parse(line).expect("stats-json line parses as JSON");
+
+    assert_eq!(v.get("routine").and_then(JsonValue::as_str), Some("f"));
+    let stats = v.get("stats").expect("has a stats object");
+    for field in [
+        "passes",
+        "insts_processed",
+        "touches",
+        "value_inference_visits",
+        "predicate_inference_visits",
+        "phi_predication_visits",
+        "num_insts",
+        "hash_cons_hits",
+        "hash_cons_misses",
+        "interned_exprs",
+        "class_merges",
+        "reassoc_cap_hits",
+        "vi_gate_skips",
+        "pi_gate_skips",
+        "vi_cache_hits",
+        "pi_cache_hits",
+    ] {
+        assert!(
+            stats.get(field).and_then(JsonValue::as_u64).is_some(),
+            "stats.{field} missing or not an unsigned integer in: {line}"
+        );
+    }
+    assert_eq!(stats.get("converged").and_then(JsonValue::as_bool), Some(true));
+    assert!(stats.get("passes").and_then(JsonValue::as_u64).unwrap() >= 1);
+
+    let strength = v.get("strength").expect("has a strength object");
+    for field in ["unreachable_values", "constant_values", "congruence_classes"] {
+        assert!(
+            strength.get(field).and_then(JsonValue::as_u64).is_some(),
+            "strength.{field} missing in: {line}"
+        );
+    }
+}
+
+#[test]
+fn trace_json_writes_parseable_jsonl() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let path =
+        write_temp("tracejson.pg", "routine f(a, b) { x = a + b; y = b + a; return x - y; }");
+    let trace = std::env::temp_dir().join("pgvn-cli-tests").join("trace.jsonl");
+    let out = pgvn()
+        .arg(&path)
+        .args(["--trace-json", trace.to_str().unwrap(), "--profile"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    let events: Vec<_> = body
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    assert!(!events.is_empty());
+    let kind = |ev: &pgvn::telemetry::json::JsonValue| {
+        ev.get("event").and_then(JsonValue::as_str).map(str::to_owned)
+    };
+    // The CLI traces the analysis run plus two pipeline rounds; each run
+    // is delimited and contains at least one pass, and profiling adds
+    // phase events.
+    assert_eq!(events.iter().filter(|e| kind(e).as_deref() == Some("run_start")).count(), 3);
+    assert_eq!(events.iter().filter(|e| kind(e).as_deref() == Some("run_end")).count(), 3);
+    assert!(events.iter().any(|e| kind(e).as_deref() == Some("pass_end")));
+    assert!(events.iter().any(|e| kind(e).as_deref() == Some("phase")));
 }
 
 #[test]

@@ -187,7 +187,9 @@ fn emulations_rank_correctly_on_simple_inference() {
 #[test]
 fn balanced_equals_optimistic_on_acyclic_code() {
     // On acyclic routines balanced and optimistic agree exactly.
-    for src in [fixtures::FIGURE6, fixtures::FIGURE13, fixtures::FIGURE14A, fixtures::SIMPLE_INFERENCE] {
+    for src in
+        [fixtures::FIGURE6, fixtures::FIGURE13, fixtures::FIGURE14A, fixtures::SIMPLE_INFERENCE]
+    {
         let f = build(src);
         let opt = gvn(&f, &GvnConfig::full());
         let bal = gvn(&f, &GvnConfig::full().mode(Mode::Balanced));

@@ -33,12 +33,22 @@ fn check_soundness(f: &Function, cfg: &GvnConfig, args: &[i64], opaque_seed: u64
     // (2) Unreachable blocks and edges never execute.
     for b in f.blocks() {
         if !results.is_block_reachable(b) {
-            assert_eq!(trace.block_visits[b.index()], 0, "{}: unreachable {b} executed (args {args:?})", f.name());
+            assert_eq!(
+                trace.block_visits[b.index()],
+                0,
+                "{}: unreachable {b} executed (args {args:?})",
+                f.name()
+            );
         }
     }
     for e in f.edges() {
         if !results.is_edge_reachable(e) {
-            assert_eq!(trace.edge_visits[e.index()], 0, "{}: unreachable {e} traversed (args {args:?})", f.name());
+            assert_eq!(
+                trace.edge_visits[e.index()],
+                0,
+                "{}: unreachable {e} traversed (args {args:?})",
+                f.name()
+            );
         }
     }
 
@@ -53,7 +63,12 @@ fn check_soundness(f: &Function, cfg: &GvnConfig, args: &[i64], opaque_seed: u64
                 f.name()
             );
             if let Some(c) = results.constant_value(v) {
-                assert_eq!(val, c, "{}: {v} proven constant {c} but evaluated to {val} (args {args:?})", f.name());
+                assert_eq!(
+                    val,
+                    c,
+                    "{}: {v} proven constant {c} but evaluated to {val} (args {args:?})",
+                    f.name()
+                );
             }
             let class = results.class_of(v);
             if let Some(&(w, prev)) = class_values.get(&class) {
@@ -73,7 +88,10 @@ fn check_pipeline_equivalence(f: &Function, cfg: GvnConfig, args: &[i64], opaque
     let mut optimized = f.clone();
     Pipeline::new(cfg.clone()).rounds(2).optimize(&mut optimized);
     pgvn_ir::verify(&optimized).unwrap_or_else(|e| panic!("{}: {e} ({cfg:?})", f.name()));
-    let r1 = Interpreter::new(f).fuel(5_000_000).run(args, &mut HashedOpaques::new(opaque_seed)).unwrap();
+    let r1 = Interpreter::new(f)
+        .fuel(5_000_000)
+        .run(args, &mut HashedOpaques::new(opaque_seed))
+        .unwrap();
     let r2 = Interpreter::new(&optimized)
         .fuel(5_000_000)
         .run(args, &mut HashedOpaques::new(opaque_seed))

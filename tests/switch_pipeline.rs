@@ -1,8 +1,8 @@
 //! Cross-crate switch tests: pipeline folding of constant switches and
 //! differential soundness.
 
-use pgvn::prelude::*;
 use pgvn::ir::{assert_verifies, Function};
+use pgvn::prelude::*;
 
 fn build(src: &str) -> Function {
     compile(src, SsaStyle::Minimal).expect("compiles")

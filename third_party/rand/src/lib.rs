@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny subset of the `rand 0.8` API it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]) and the [`Rng`] helpers
+//! `gen`, `gen_bool` and `gen_range`. The generator is xoshiro256**
+//! seeded through SplitMix64 — high-quality and stable across platforms,
+//! which is all the workload generator needs (equal seeds must generate
+//! equal routines; no compatibility with upstream `rand` streams is
+//! promised or required).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A type that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded draw; the tiny modulo bias of a
+                // 64-bit draw over small spans is irrelevant here.
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// The raw 64-bit source every generator implements.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** with a
+    /// SplitMix64-expanded seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..17i64);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0..5usize);
+            assert!(y < 5);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious coin: {heads}");
+    }
+}
