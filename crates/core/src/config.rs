@@ -87,6 +87,13 @@ pub struct GvnConfig {
     /// predicate and value inference with unreachable code elimination".
     /// Off by default.
     pub joint_domination: bool,
+    /// Deliberately miscompile: constant folding of additions yields a
+    /// result that is off by one. Never enabled by any preset; the
+    /// differential-testing oracle (`pgvn-oracle`) switches it on to
+    /// prove that its translation validator catches real miscompiles and
+    /// that its shrinker can minimize the resulting failures. See
+    /// `docs/ORACLE.md`.
+    pub debug_miscompile: bool,
     /// The §6 extension: distribute operations over φ-functions with
     /// congruent keys — `φ(x₁,x₂) op φ(y₁,y₂) → φ(x₁ op y₁, x₂ op y₂)`
     /// and `c op φ(x₁,x₂) → φ(c op x₁, c op x₂)` — which captures the
@@ -114,9 +121,17 @@ impl GvnConfig {
             nullify_aborted_predicates: true,
             forward_propagation_limit: 16,
             sccp_only: false,
+            debug_miscompile: false,
             joint_domination: false,
             phi_op_distribution: false,
         }
+    }
+
+    /// Enables or disables the deliberate-miscompilation debug knob
+    /// (see [`GvnConfig::debug_miscompile`]).
+    pub fn miscompile(mut self, on: bool) -> Self {
+        self.debug_miscompile = on;
+        self
     }
 
     /// The full algorithm plus the proposed extensions: §6 φ-operation
@@ -241,6 +256,21 @@ mod tests {
         );
         assert!(!GvnConfig::full().phi_op_distribution);
         assert!(!GvnConfig::full().joint_domination);
+    }
+
+    #[test]
+    fn no_preset_miscompiles() {
+        for c in [
+            GvnConfig::full(),
+            GvnConfig::extended(),
+            GvnConfig::click(),
+            GvnConfig::sccp(),
+            GvnConfig::awz(),
+            GvnConfig::basic(),
+        ] {
+            assert!(!c.debug_miscompile);
+        }
+        assert!(GvnConfig::full().miscompile(true).debug_miscompile);
     }
 
     #[test]

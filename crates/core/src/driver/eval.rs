@@ -132,7 +132,11 @@ impl Run<'_, '_, '_> {
         let consts = (self.interner.as_const(ae), self.interner.as_const(be));
         if self.cfg.constant_folding {
             if let (Some(x), Some(y)) = consts {
-                return self.interner.constant(op.eval(x, y));
+                // The oracle's self-test knob: folded additions are off by
+                // one, so the translation validator has a real (injected)
+                // miscompile to catch. See `GvnConfig::debug_miscompile`.
+                let bias = i64::from(self.cfg.debug_miscompile && op == BinOp::Add);
+                return self.interner.constant(op.eval(x, y).wrapping_add(bias));
             }
         }
         if self.cfg.phi_op_distribution {

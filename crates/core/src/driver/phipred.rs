@@ -24,6 +24,7 @@ impl Run<'_, '_, '_> {
                 let mut ctx = PredCtx {
                     b0,
                     aborted: false,
+                    incomplete: false,
                     canonical: Vec::new(),
                     or_ops: vec![None; self.func.block_capacity()],
                     result: Vec::new(),
@@ -32,7 +33,7 @@ impl Run<'_, '_, '_> {
                 if ctx.aborted && self.cfg.nullify_aborted_predicates {
                     self.nullified_blocks.insert(b0);
                 }
-                if ctx.aborted || ctx.result.len() != reachable_incoming {
+                if ctx.aborted || ctx.incomplete || ctx.result.len() != reachable_incoming {
                     new_pred = None;
                 } else {
                     new_canon = ctx.canonical;
@@ -71,7 +72,7 @@ impl Run<'_, '_, '_> {
         ignore_incoming: bool,
         ctx: &mut PredCtx,
     ) {
-        if ctx.aborted {
+        if ctx.aborted || ctx.incomplete {
             return;
         }
         self.stats.phi_predication_visits += 1;
@@ -116,8 +117,25 @@ impl Run<'_, '_, '_> {
         }
         let succs = self.canonical_succs(b);
         let reachable_out = succs.iter().filter(|&&e| self.reach_edges.contains(e)).count();
+        // A split is *ambiguous* when two or more of its reachable edges
+        // carry no predicate: a branch whose condition is constant or still
+        // unresolved (both edges ∅, Figure 5 line 18), or a switch on a
+        // constant scrutinee with unreachable-code elimination off. A
+        // formula cannot express which way such a split goes, so treating
+        // its ∅ edges as "true" would key φs under *different* splits with
+        // identical predicates — a real, interpreter-visible miscompile in
+        // pessimistic mode, where the decided branch keeps both edges
+        // reachable. A *single* ∅ edge among predicated siblings (the §3
+        // switch default) is fine: the sibling case predicates appear in
+        // the formula and pin down the default condition.
+        let ambiguous = reachable_out >= 2
+            && succs
+                .iter()
+                .filter(|&&e| self.reach_edges.contains(e) && self.edge_pred[e.index()].is_none())
+                .count()
+                >= 2;
         for e in succs {
-            if ctx.aborted {
+            if ctx.aborted || ctx.incomplete {
                 return;
             }
             if !self.reach_edges.contains(e) {
@@ -132,6 +150,14 @@ impl Run<'_, '_, '_> {
             } else {
                 let edge_p = self.edge_pred[e.index()].map(|p| self.pred_expr(p));
                 match (partial, edge_p) {
+                    // ∅ edge of an ambiguous split: the block gets no
+                    // predicate this pass. Unlike a back-edge abort this is
+                    // not nullified, so the key upgrades if the predicate
+                    // materializes later (e.g. the condition class leaves ⊥).
+                    (_, None) if ambiguous => {
+                        ctx.incomplete = true;
+                        return;
+                    }
                     (None, ep) => ep,
                     (pp2, None) => pp2,
                     (Some(a), Some(b2)) => {
@@ -170,6 +196,9 @@ impl Run<'_, '_, '_> {
 pub(super) struct PredCtx {
     b0: Block,
     aborted: bool,
+    /// A path crossed a reachable multi-way split whose edge carries no
+    /// predicate: the formula is unknowable *this pass* (not nullified).
+    incomplete: bool,
     canonical: Vec<Edge>,
     or_ops: Vec<Option<Vec<ExprId>>>,
     result: Vec<Option<ExprId>>,

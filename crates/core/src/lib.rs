@@ -51,4 +51,4 @@ pub use driver::{run, run_traced};
 pub use expr::{ExprId, ExprKind, Interner, PhiKey};
 pub use linear::{LinearExpr, Term};
 pub use predicate::{implies, Pred};
-pub use results::{GvnResults, GvnStats, Strength};
+pub use results::{GvnResults, GvnStats, Partition, Strength};

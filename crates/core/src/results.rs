@@ -150,6 +150,104 @@ impl Strength {
     }
 }
 
+/// A canonical congruence partition, extracted from [`GvnResults`] by
+/// [`GvnResults::partition`].
+///
+/// The paper's §2.9 emulation claims are *refinement* statements over
+/// these partitions: every congruence a weaker configuration finds must
+/// also be found by a stronger one. [`Partition::refinement_violation`]
+/// and [`Partition::constant_violation`] check those statements
+/// mechanically; the differential oracle runs them on millions of
+/// generated routines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Dense canonical class per value slot; `None` is ⊥ (the value was
+    /// left in `INITIAL`: unreachable or undetermined).
+    class: Vec<Option<u32>>,
+    /// The constant leader of each canonical class, if any.
+    constants: Vec<Option<i64>>,
+}
+
+impl Partition {
+    /// Number of value slots covered.
+    pub fn len(&self) -> usize {
+        self.class.len()
+    }
+
+    /// `true` when no value slots are covered.
+    pub fn is_empty(&self) -> bool {
+        self.class.is_empty()
+    }
+
+    /// The number of (non-⊥) congruence classes.
+    pub fn num_classes(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// `true` if `v` was determined (not left in `INITIAL`).
+    pub fn is_determined(&self, v: Value) -> bool {
+        self.class[v.index()].is_some()
+    }
+
+    /// The constant `v` was proven to hold, if any.
+    pub fn constant_of(&self, v: Value) -> Option<i64> {
+        self.constants[self.class[v.index()]? as usize]
+    }
+
+    /// `true` if `a` and `b` were proven congruent (⊥ is congruent to
+    /// nothing here; the refinement checks treat it as congruent to
+    /// everything on the *stronger* side).
+    pub fn congruent(&self, a: Value, b: Value) -> bool {
+        match (self.class[a.index()], self.class[b.index()]) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Checks that every congruence in `self` (the *weaker* analysis)
+    /// also holds in `stronger`: for any pair `a ~ b` here, `stronger`
+    /// must either place them in one class or have proven one of them
+    /// unreachable (⊥, which is below every class). Returns the first
+    /// violating pair, or `None` when the refinement ordering holds.
+    pub fn refinement_violation(&self, stronger: &Partition) -> Option<(Value, Value)> {
+        debug_assert_eq!(self.class.len(), stronger.class.len());
+        // For each weak class: the stronger class of the first determined
+        // (on both sides) member, to compare the rest against.
+        let mut rep: Vec<Option<(Value, u32)>> = vec![None; self.constants.len()];
+        for (i, &wc) in self.class.iter().enumerate() {
+            let v = Value::from_u32(i as u32);
+            let Some(wc) = wc else { continue };
+            let Some(sc) = stronger.class[i] else { continue };
+            match rep[wc as usize] {
+                None => rep[wc as usize] = Some((v, sc)),
+                Some((w, prev)) if prev != sc => return Some((w, v)),
+                Some(_) => {}
+            }
+        }
+        None
+    }
+
+    /// Checks that every constant in `self` (the *weaker* analysis) is
+    /// found identically by `stronger` (or the value is ⊥ there).
+    /// Returns the first violation as `(value, weak constant, stronger
+    /// constant if any)`.
+    pub fn constant_violation(&self, stronger: &Partition) -> Option<(Value, i64, Option<i64>)> {
+        debug_assert_eq!(self.class.len(), stronger.class.len());
+        for (i, &wc) in self.class.iter().enumerate() {
+            let Some(wc) = wc else { continue };
+            let Some(k) = self.constants[wc as usize] else { continue };
+            if stronger.class[i].is_some() {
+                let v = Value::from_u32(i as u32);
+                let sk = stronger.constant_of(v);
+                if sk != Some(k) {
+                    return Some((v, k, sk));
+                }
+            }
+        }
+        None
+    }
+}
+
 /// The outcome of running the GVN algorithm on a routine.
 #[derive(Clone, Debug)]
 pub struct GvnResults {
@@ -214,6 +312,33 @@ impl GvnResults {
             }
         }
         seen.len()
+    }
+
+    /// Extracts the congruence partition the run computed, in the
+    /// canonical form used by the differential oracle's lattice checks
+    /// (`pgvn-oracle`): per-value dense class ids plus per-class constant
+    /// leaders. Values still in `INITIAL` (unreachable/undetermined) are
+    /// ⊥ — congruent to everything, constant of every value.
+    pub fn partition(&self) -> Partition {
+        let mut canon: std::collections::HashMap<ClassId, u32> = std::collections::HashMap::new();
+        let mut class = Vec::with_capacity(self.class_of.len());
+        let mut constants = Vec::new();
+        for &c in &self.class_of {
+            if c == ClassId::INITIAL {
+                class.push(None);
+                continue;
+            }
+            let next = canon.len() as u32;
+            let id = *canon.entry(c).or_insert_with(|| {
+                constants.push(match self.leaders[c.index()] {
+                    Leader::Const(k) => Some(k),
+                    _ => None,
+                });
+                next
+            });
+            class.push(Some(id));
+        }
+        Partition { class, constants }
     }
 
     /// The strength measures used by the paper's Figures 10–12.

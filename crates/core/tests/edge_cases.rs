@@ -214,3 +214,43 @@ fn long_copy_chains_collapse() {
         .unwrap();
     assert_eq!(r.constant_value(ret), Some(0), "copies are congruent to their source");
 }
+
+#[test]
+fn phis_under_distinct_constant_branches_stay_distinct() {
+    // Regression: constant-condition branches carry the edge predicate ∅
+    // (Figure 5 line 18). φ-predication once rewrote ∅ path predicates to
+    // "true", so the joins of `if (0)` and `if (1)` shared the block
+    // predicate (1 ∨ 1) with identical argument lists and were keyed
+    // congruent — folding b - a to 0 even though the routine returns 1.
+    // Pessimistic mode is the exposed surface: a decided branch keeps both
+    // edges reachable there. See tests/fixtures/oracle/
+    // phi-pred-ambiguous-split.pgvn for the interpreter-level replay.
+    let src = "routine f() {
+        if (0) { a = 1; }
+        if (1) { b = 1; }
+        return b - a;
+    }";
+    let f = compile(src, SsaStyle::Pruned).unwrap();
+    let r = run(&f, &GvnConfig::full().mode(Mode::Pessimistic));
+    assert!(r.stats.converged);
+    let phis: Vec<_> = f
+        .blocks()
+        .flat_map(|b| f.block_insts(b).iter().copied())
+        .filter(|&i| f.kind(i).is_phi())
+        .filter_map(|i| f.inst_result(i))
+        .collect();
+    assert_eq!(phis.len(), 2, "both joins carry a live φ");
+    assert!(
+        !r.congruent(phis[0], phis[1]),
+        "φs governed by different constant branches must not be congruent"
+    );
+    let ret = f
+        .blocks()
+        .filter_map(|b| f.terminator(b))
+        .find_map(|t| match f.kind(t) {
+            InstKind::Return(v) => Some(*v),
+            _ => None,
+        })
+        .unwrap();
+    assert_ne!(r.constant_value(ret), Some(0), "b - a must not fold to 0");
+}

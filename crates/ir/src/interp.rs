@@ -26,6 +26,12 @@ pub enum InterpError {
     OutOfFuel,
     /// A value was read before any definition executed (malformed SSA).
     UndefinedValue(Value),
+    /// A division or remainder by zero executed while the interpreter was
+    /// configured to trap on them ([`Interpreter::trap_division`]). The
+    /// IR's *defined* semantics are total (`x / 0 == 0`, see
+    /// [`crate::instr::BinOp::eval`]); this trap exists for clients that
+    /// model source languages where division by zero is undefined.
+    DivisionByZero,
 }
 
 impl fmt::Display for InterpError {
@@ -33,6 +39,7 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::OutOfFuel => write!(f, "execution ran out of fuel"),
             InterpError::UndefinedValue(v) => write!(f, "value {v} read before definition"),
+            InterpError::DivisionByZero => write!(f, "division by zero (trapping mode)"),
         }
     }
 }
@@ -101,13 +108,25 @@ pub struct Interpreter<'a> {
     func: &'a Function,
     fuel: u64,
     record_instances: bool,
+    trap_division: bool,
 }
 
 impl<'a> Interpreter<'a> {
     /// Creates an interpreter with the given fuel budget (counted in
     /// executed instructions).
     pub fn new(func: &'a Function) -> Self {
-        Interpreter { func, fuel: 1_000_000, record_instances: false }
+        Interpreter { func, fuel: 1_000_000, record_instances: false, trap_division: false }
+    }
+
+    /// Makes division/remainder by zero trap with
+    /// [`InterpError::DivisionByZero`] instead of evaluating to `0`.
+    ///
+    /// Off by default: the IR's semantics are total, and the oracle's
+    /// translation validator depends on the interpreter agreeing exactly
+    /// with the constant folder's [`crate::instr::BinOp::eval`].
+    pub fn trap_division(mut self, on: bool) -> Self {
+        self.trap_division = on;
+        self
     }
 
     /// Sets the fuel budget, in executed instructions.
@@ -219,7 +238,14 @@ impl<'a> Interpreter<'a> {
                         self.define(inst, v, &mut env, &mut trace, &mut instance);
                     }
                     InstKind::Binary(op, a, b) => {
-                        let v = op.eval(get(*a, &env)?, get(*b, &env)?);
+                        let (x, y) = (get(*a, &env)?, get(*b, &env)?);
+                        if self.trap_division
+                            && y == 0
+                            && matches!(op, crate::instr::BinOp::Div | crate::instr::BinOp::Rem)
+                        {
+                            return Err(InterpError::DivisionByZero);
+                        }
+                        let v = op.eval(x, y);
                         self.define(inst, v, &mut env, &mut trace, &mut instance);
                     }
                     InstKind::Cmp(op, a, b) => {
@@ -392,6 +418,99 @@ mod tests {
         let (blk, vals) = &trace.block_instances[0];
         assert_eq!(*blk, f.entry());
         assert!(vals.contains(&(s, 42)));
+    }
+
+    #[test]
+    fn division_by_zero_is_total_by_default() {
+        // The validator relies on execution agreeing exactly with the
+        // constant folder: x / 0 == 0 and x % 0 == 0, no trap.
+        for op in [BinOp::Div, BinOp::Rem] {
+            let mut f = Function::new("d", 1);
+            let b = f.entry();
+            let zero = f.iconst(b, 0);
+            let d = f.binary(b, op, f.param(0), zero);
+            f.set_return(b, d);
+            let r = Interpreter::new(&f).run(&[42], &mut HashedOpaques::new(0)).unwrap();
+            assert_eq!(r, op.eval(42, 0));
+            assert_eq!(r, 0);
+        }
+    }
+
+    #[test]
+    fn division_by_zero_traps_when_enabled() {
+        for op in [BinOp::Div, BinOp::Rem] {
+            let mut f = Function::new("d", 2);
+            let b = f.entry();
+            let d = f.binary(b, op, f.param(0), f.param(1));
+            f.set_return(b, d);
+            let interp = Interpreter::new(&f).trap_division(true);
+            let r = interp.run(&[42, 0], &mut HashedOpaques::new(0));
+            assert_eq!(r, Err(InterpError::DivisionByZero), "{op}");
+            // Non-zero divisors still evaluate normally.
+            assert_eq!(interp.run(&[42, 5], &mut HashedOpaques::new(0)).unwrap(), op.eval(42, 5));
+        }
+    }
+
+    #[test]
+    fn signed_overflow_wraps_like_the_folder() {
+        // i64::MAX + 1, i64::MIN - 1, i64::MIN * -1, i64::MIN / -1,
+        // -i64::MIN: all wrap, matching BinOp::eval/UnOp::eval exactly.
+        let cases: &[(BinOp, i64, i64)] = &[
+            (BinOp::Add, i64::MAX, 1),
+            (BinOp::Sub, i64::MIN, 1),
+            (BinOp::Mul, i64::MIN, -1),
+            (BinOp::Div, i64::MIN, -1),
+            (BinOp::Shl, 1, 63),
+        ];
+        for &(op, x, y) in cases {
+            let mut f = Function::new("w", 2);
+            let b = f.entry();
+            let d = f.binary(b, op, f.param(0), f.param(1));
+            f.set_return(b, d);
+            let r = Interpreter::new(&f).run(&[x, y], &mut HashedOpaques::new(0)).unwrap();
+            assert_eq!(r, op.eval(x, y), "{op} {x} {y}");
+        }
+        let mut f = Function::new("n", 1);
+        let b = f.entry();
+        let d = f.unary(b, crate::instr::UnOp::Neg, f.param(0));
+        f.set_return(b, d);
+        let r = Interpreter::new(&f).run(&[i64::MIN], &mut HashedOpaques::new(0)).unwrap();
+        assert_eq!(r, i64::MIN, "-i64::MIN wraps to itself");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_divergence_not_a_value() {
+        // A loop that would eventually return must report OutOfFuel — an
+        // Err, never some partial Ok value — when the budget is smaller
+        // than the trip count needs.
+        let mut f = Function::new("count", 1);
+        let entry = f.entry();
+        let (head, body, exit) = (f.add_block(), f.add_block(), f.add_block());
+        let zero = f.iconst(entry, 0);
+        f.set_jump(entry, head);
+        let i = f.append_phi(head);
+        let c = f.cmp(head, CmpOp::Lt, i, f.param(0));
+        f.set_branch(head, c, body, exit);
+        let one = f.iconst(body, 1);
+        let i2 = f.binary(body, BinOp::Add, i, one);
+        f.set_jump(body, head);
+        f.set_phi_args(i, vec![zero, i2]);
+        f.set_return(exit, i);
+        // Plenty of fuel: returns the trip count.
+        assert_eq!(
+            Interpreter::new(&f).fuel(10_000).run(&[100], &mut HashedOpaques::new(0)),
+            Ok(100)
+        );
+        // Starved: divergence, not a truncated count.
+        assert_eq!(
+            Interpreter::new(&f).fuel(50).run(&[100], &mut HashedOpaques::new(0)),
+            Err(InterpError::OutOfFuel)
+        );
+        // Fuel 0 diverges even though the entry block alone would return.
+        assert_eq!(
+            Interpreter::new(&f).fuel(0).run(&[0], &mut HashedOpaques::new(0)),
+            Err(InterpError::OutOfFuel)
+        );
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! The seeded fuzz driver: generate → validate/lattice-check → shrink.
+//!
+//! One user-visible seed drives everything. Each iteration derives a
+//! fresh generator seed with [`mix64`], cycles through generator profiles
+//! (default, inference-heavy, loop-heavy, opaque-heavy) so no single
+//! routine shape dominates, builds the routine, and runs the requested
+//! oracles. Failures are minimized with the [`crate::shrink`] module and
+//! collected into a [`FuzzReport`] whose entries serialize to JSONL (for
+//! telemetry sinks) and to self-contained `.pgvn` fixtures (for the
+//! regression suite).
+
+use crate::lattice::{check_lattice, default_relations, Relation};
+use crate::outcome::mix64;
+use crate::shrink::{shrink_routine, ShrinkOptions};
+use crate::validator::{validate_function, ValidatorOptions};
+use pgvn_core::GvnConfig;
+use pgvn_ir::Function;
+use pgvn_lang::Routine;
+use pgvn_ssa::SsaStyle;
+use pgvn_telemetry::json::JsonWriter;
+use pgvn_workload::GenConfig;
+
+/// Which oracles to run per generated routine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzMode {
+    /// Translation validation only.
+    Validate,
+    /// Emulation-lattice checking only.
+    Lattice,
+    /// Both oracles on every routine.
+    Both,
+}
+
+impl FuzzMode {
+    fn runs_validate(self) -> bool {
+        matches!(self, FuzzMode::Validate | FuzzMode::Both)
+    }
+    fn runs_lattice(self) -> bool {
+        matches!(self, FuzzMode::Lattice | FuzzMode::Both)
+    }
+}
+
+/// Tuning for one fuzz campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Master seed: equal seeds replay identical campaigns.
+    pub seed: u64,
+    /// Number of routines to generate and check.
+    pub iterations: u64,
+    /// Which oracles to run.
+    pub mode: FuzzMode,
+    /// Validator tuning (fuel, vectors, configurations).
+    pub validator: ValidatorOptions,
+    /// Lattice relations to check.
+    pub relations: Vec<Relation>,
+    /// Stop after this many failures (0 = never stop early).
+    pub max_failures: usize,
+    /// Shrinker tuning; `None` disables shrinking.
+    pub shrink: Option<ShrinkOptions>,
+    /// Add a deliberately miscompiling configuration to the validator.
+    /// Every iteration should then fail — the self-test of the oracle.
+    pub inject_miscompile: bool,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            iterations: 1_000,
+            mode: FuzzMode::Both,
+            validator: ValidatorOptions::default(),
+            relations: default_relations(),
+            max_failures: 10,
+            shrink: Some(ShrinkOptions::default()),
+            inject_miscompile: false,
+        }
+    }
+}
+
+/// One failing routine, minimized if shrinking was enabled.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Iteration index within the campaign.
+    pub iteration: u64,
+    /// The derived generator seed (replays this routine alone).
+    pub gen_seed: u64,
+    /// `"validate"` or `"lattice"`.
+    pub kind: String,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// Source of the original generated routine.
+    pub source: String,
+    /// Source after shrinking (equals `source` when shrinking is off).
+    pub shrunk_source: String,
+    /// Instruction count of the compiled shrunk routine.
+    pub shrunk_insts: usize,
+}
+
+impl FuzzFailure {
+    /// One JSONL record, suitable for the telemetry report sink.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("event", "fuzz_failure")
+            .field_u64("iteration", self.iteration)
+            .field_u64("gen_seed", self.gen_seed)
+            .field_str("kind", &self.kind)
+            .field_str("detail", &self.detail)
+            .field_u64("shrunk_insts", self.shrunk_insts as u64)
+            .field_str("source", &self.source)
+            .field_str("shrunk_source", &self.shrunk_source);
+        w.finish()
+    }
+
+    /// A self-contained `.pgvn` regression fixture: a comment header with
+    /// the replay coordinates, then the shrunken routine source.
+    pub fn fixture(&self) -> String {
+        let mut out = String::new();
+        out.push_str("// pgvn-oracle regression fixture\n");
+        out.push_str(&format!("// kind: {}\n", self.kind));
+        out.push_str(&format!(
+            "// replay: iteration {} gen_seed {}\n",
+            self.iteration, self.gen_seed
+        ));
+        for line in self.detail.lines() {
+            out.push_str(&format!("// detail: {line}\n"));
+        }
+        out.push_str(&self.shrunk_source);
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Outcome of a fuzz campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations actually executed (≤ requested when stopping early).
+    pub iterations_run: u64,
+    /// Total instructions across all generated routines (throughput).
+    pub total_insts: u64,
+    /// Every failure observed, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// `true` when no failure was observed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The generator profiles cycled across iterations. Varying the planted
+/// pattern probabilities keeps any single routine shape from dominating
+/// the campaign.
+fn profile(k: u64, gen_seed: u64) -> GenConfig {
+    let base = GenConfig { seed: gen_seed, ..GenConfig::default() };
+    match k % 4 {
+        // Default mix.
+        0 => base,
+        // Inference-heavy: predicates, diamonds, correlated branches.
+        1 => GenConfig {
+            inference_prob: 0.35,
+            diamond_prob: 0.2,
+            correlated_prob: 0.3,
+            unreachable_prob: 0.15,
+            loop_prob: 0.15,
+            ..base
+        },
+        // Loop-heavy: cyclic values, do/while, φ-cycles.
+        2 => GenConfig { loop_prob: 0.6, cyclic_prob: 0.6, target_stmts: 30, ..base },
+        // Opaque-heavy with deeper nesting: stresses the interpreter's
+        // opaque streams and the validator's divergence handling.
+        _ => GenConfig { opaque_prob: 0.3, max_depth: 6, redundancy_prob: 0.3, ..base },
+    }
+}
+
+fn compile_routine(r: &Routine) -> Option<Function> {
+    let vf = pgvn_lang::lower(r);
+    pgvn_ssa::build_ssa(&vf, SsaStyle::Pruned).ok()
+}
+
+/// Runs a campaign with the default (silent) progress callback.
+pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
+    fuzz_with(opts, &mut |_, _| {})
+}
+
+/// A boxed "does this routine still exhibit the original failure?" check,
+/// handed to the shrinker once a campaign iteration fails.
+type FailurePredicate = Box<dyn FnMut(&Routine) -> bool>;
+
+/// Runs a fuzz campaign. `progress` is invoked after every iteration with
+/// the iteration index and the failure it produced, if any — the CLI uses
+/// it for live reporting.
+pub fn fuzz_with(
+    opts: &FuzzOptions,
+    progress: &mut dyn FnMut(u64, Option<&FuzzFailure>),
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    let mut validator = opts.validator.clone();
+    if opts.inject_miscompile {
+        validator.configs.push(("injected-bug".to_string(), GvnConfig::full().miscompile(true)));
+    }
+    for i in 0..opts.iterations {
+        let gen_seed = mix64(opts.seed ^ mix64(i));
+        let cfg = profile(i, gen_seed);
+        let routine = pgvn_workload::generate_routine(&format!("fuzz_{i}"), &cfg);
+        let Some(func) = compile_routine(&routine) else { continue };
+        report.iterations_run = i + 1;
+        report.total_insts += func.num_insts() as u64;
+
+        // Per-iteration validator seed so argument vectors vary too.
+        validator.input_seed = mix64(gen_seed);
+
+        let mut failure: Option<(String, String)> = None;
+        let mut failing_predicate: Option<FailurePredicate> = None;
+
+        if opts.mode.runs_validate() {
+            if let Err(e) = validate_function(&func, &validator) {
+                // Shrink against the one configuration that failed — an
+                // 8× cheaper predicate, and the minimizer cannot wander
+                // off to a different config's unrelated failure.
+                let mut v = validator.clone();
+                let failing = e.config().to_string();
+                v.configs.retain(|(n, _)| *n == failing);
+                failure = Some(("validate".to_string(), e.to_string()));
+                failing_predicate = Some(Box::new(move |r: &Routine| {
+                    compile_routine(r).is_some_and(|f| validate_function(&f, &v).is_err())
+                }));
+            }
+        }
+        if failure.is_none() && opts.mode.runs_lattice() {
+            if let Err(v) = check_lattice(&func, &opts.relations) {
+                let mut rels: Vec<Relation> = opts
+                    .relations
+                    .iter()
+                    .filter(|r| r.stronger.0 == v.stronger && r.weaker.0 == v.weaker)
+                    .cloned()
+                    .collect();
+                if rels.is_empty() {
+                    // Non-convergence reports name itself on both sides;
+                    // keep every relation mentioning it.
+                    rels = opts
+                        .relations
+                        .iter()
+                        .filter(|r| r.stronger.0 == v.stronger || r.weaker.0 == v.stronger)
+                        .cloned()
+                        .collect();
+                }
+                failure = Some(("lattice".to_string(), v.to_string()));
+                failing_predicate = Some(Box::new(move |r: &Routine| {
+                    compile_routine(r).is_some_and(|f| check_lattice(&f, &rels).is_err())
+                }));
+            }
+        }
+
+        let fail = match failure {
+            None => {
+                progress(i, None);
+                continue;
+            }
+            Some((kind, detail)) => {
+                let mut pred = failing_predicate.expect("predicate set with failure");
+                let shrunk = match &opts.shrink {
+                    Some(sopts) => shrink_routine(&routine, sopts, &mut *pred),
+                    None => routine.clone(),
+                };
+                let shrunk_insts =
+                    compile_routine(&shrunk).map(|f| f.num_insts()).unwrap_or(usize::MAX);
+                FuzzFailure {
+                    iteration: i,
+                    gen_seed,
+                    kind,
+                    detail,
+                    source: pgvn_lang::print_routine(&routine),
+                    shrunk_source: pgvn_lang::print_routine(&shrunk),
+                    shrunk_insts,
+                }
+            }
+        };
+        report.failures.push(fail);
+        progress(i, report.failures.last());
+        if opts.max_failures != 0 && report.failures.len() >= opts.max_failures {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(iterations: u64, mode: FuzzMode) -> FuzzOptions {
+        FuzzOptions {
+            iterations,
+            mode,
+            validator: ValidatorOptions { fuel: 1 << 14, vectors: 3, ..Default::default() },
+            shrink: Some(ShrinkOptions { max_attempts: 300 }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn short_campaign_is_clean() {
+        let report = fuzz(&quick(40, FuzzMode::Both));
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert!(report.iterations_run >= 39);
+        assert!(report.total_insts > 0);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let a = fuzz(&quick(10, FuzzMode::Validate));
+        let b = fuzz(&quick(10, FuzzMode::Validate));
+        assert_eq!(a.total_insts, b.total_insts);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn injected_bug_fails_fast_and_shrinks() {
+        let opts = FuzzOptions {
+            inject_miscompile: true,
+            max_failures: 1,
+            shrink: Some(ShrinkOptions { max_attempts: 2_000 }),
+            ..quick(50, FuzzMode::Validate)
+        };
+        let report = fuzz(&opts);
+        assert!(!report.is_clean(), "injected miscompile must be caught");
+        let f = &report.failures[0];
+        assert_eq!(f.kind, "validate");
+        assert!(f.detail.contains("injected-bug"), "{}", f.detail);
+        // The shrunken reproducer must stay small and be a valid fixture.
+        assert!(f.shrunk_insts <= 10, "shrunk to {} insts:\n{}", f.shrunk_insts, f.shrunk_source);
+        let fixture = f.fixture();
+        let replayed = pgvn_lang::parse(&fixture).expect("fixture re-parses");
+        assert_eq!(pgvn_lang::print_routine(&replayed), f.shrunk_source);
+        // And the JSONL record parses back.
+        let v = pgvn_telemetry::json::parse(&f.to_json()).unwrap();
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("validate"));
+    }
+
+    #[test]
+    fn max_failures_stops_the_campaign() {
+        let opts = FuzzOptions {
+            inject_miscompile: true,
+            max_failures: 2,
+            shrink: None,
+            ..quick(50, FuzzMode::Validate)
+        };
+        let report = fuzz(&opts);
+        assert_eq!(report.failures.len(), 2);
+        assert!(report.iterations_run < 50);
+    }
+}

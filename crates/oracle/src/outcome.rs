@@ -1,0 +1,78 @@
+//! Observable execution outcomes.
+//!
+//! The translation validator compares routines by what an external
+//! observer can see: the returned value, a trap, or divergence. Fuel
+//! exhaustion is *divergence*, not a value — an optimized routine may
+//! legitimately finish a computation the original could not afford under
+//! the same budget, which is why the validator retries with a larger
+//! budget before calling a divergence disagreement a miscompile.
+
+use pgvn_ir::{Function, HashedOpaques, InterpError, Interpreter};
+use std::fmt;
+
+/// What an execution of a routine looks like from the outside.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The routine returned a value.
+    Return(i64),
+    /// The fuel budget was exhausted (treated as divergence).
+    Diverge,
+    /// Execution trapped (undefined value, or division by zero in
+    /// trapping mode).
+    Trap(InterpError),
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Return(v) => write!(f, "return {v}"),
+            Outcome::Diverge => write!(f, "diverge"),
+            Outcome::Trap(e) => write!(f, "trap: {e}"),
+        }
+    }
+}
+
+/// Runs `f` on `args` with deterministic opaque values derived from
+/// `opaque_seed`, classifying the result as an [`Outcome`].
+pub fn run_outcome(f: &Function, args: &[i64], opaque_seed: u64, fuel: u64) -> Outcome {
+    match Interpreter::new(f).fuel(fuel).run(args, &mut HashedOpaques::new(opaque_seed)) {
+        Ok(v) => Outcome::Return(v),
+        Err(InterpError::OutOfFuel) => Outcome::Diverge,
+        Err(e) => Outcome::Trap(e),
+    }
+}
+
+/// splitmix64: the oracle's only randomness primitive. Deterministic,
+/// cheap, well-spread; used to derive per-iteration generator seeds and
+/// argument vectors from the one user-visible fuzz seed.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_lang::compile;
+    use pgvn_ssa::SsaStyle;
+
+    #[test]
+    fn outcomes_classify_runs() {
+        let f = compile("routine f(a) { return a + 1; }", SsaStyle::Pruned).unwrap();
+        assert_eq!(run_outcome(&f, &[41], 0, 1000), Outcome::Return(42));
+
+        let spin = compile("routine s() { while (1 == 1) { opaque(0); } }", SsaStyle::Pruned);
+        let spin = spin.unwrap();
+        assert_eq!(run_outcome(&spin, &[], 0, 1000), Outcome::Diverge);
+    }
+
+    #[test]
+    fn mix64_spreads_and_is_deterministic() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Not the identity on small inputs.
+        assert_ne!(mix64(0), 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Greedy minimization of failing routines.
+//!
+//! Given a routine and a predicate "does this routine still fail?", the
+//! shrinker repeatedly tries smaller candidates — deleting statement
+//! chunks, unwrapping control structure into one of its arms, and
+//! replacing expression nodes by constants or their own operands — and
+//! keeps any candidate that still fails. Candidates that would not
+//! re-lower (a `break` orphaned outside any loop) are filtered out before
+//! the predicate ever sees them.
+//!
+//! The result is a local minimum: no single deletion/unwrap/replacement
+//! keeps the failure. In practice this turns 40-statement generated
+//! routines into fixtures of a handful of instructions.
+
+use pgvn_lang::{Expr, Routine, Stmt};
+
+/// Tuning for one shrink run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkOptions {
+    /// Upper bound on predicate evaluations (the expensive part).
+    pub max_attempts: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        ShrinkOptions { max_attempts: 4_000 }
+    }
+}
+
+/// Address of a statement: descend through `steps` — each `(stmt, body)`
+/// pair selects a compound statement and one of its child bodies — then
+/// take statement `last` of the body reached.
+#[derive(Clone, Debug)]
+struct Path {
+    steps: Vec<(usize, usize)>,
+    last: usize,
+}
+
+fn child_bodies(s: &Stmt) -> Vec<&Vec<Stmt>> {
+    match s {
+        Stmt::If(_, t, e) => vec![t, e],
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) => vec![b],
+        Stmt::Switch(_, cases, default) => {
+            let mut v: Vec<&Vec<Stmt>> = cases.iter().map(|(_, b)| b).collect();
+            v.push(default);
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn child_bodies_mut(s: &mut Stmt) -> Vec<&mut Vec<Stmt>> {
+    match s {
+        Stmt::If(_, t, e) => vec![t, e],
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) => vec![b],
+        Stmt::Switch(_, cases, default) => {
+            let mut v: Vec<&mut Vec<Stmt>> = cases.iter_mut().map(|(_, b)| b).collect();
+            v.push(default);
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Collects the paths of every statement, outermost first.
+fn collect_paths(body: &[Stmt], steps: &[(usize, usize)], out: &mut Vec<Path>) {
+    for (i, s) in body.iter().enumerate() {
+        out.push(Path { steps: steps.to_vec(), last: i });
+        for (bi, child) in child_bodies(s).into_iter().enumerate() {
+            let mut st = steps.to_vec();
+            st.push((i, bi));
+            collect_paths(child, &st, out);
+        }
+    }
+}
+
+/// Resolves `path` to (containing body, index), or `None` if a prior
+/// mutation made the path dangle.
+fn navigate<'a>(r: &'a mut Routine, path: &Path) -> Option<(&'a mut Vec<Stmt>, usize)> {
+    let mut body: &'a mut Vec<Stmt> = &mut r.body;
+    for &(si, bi) in &path.steps {
+        let stmt = body.get_mut(si)?;
+        let mut children = child_bodies_mut(stmt);
+        if bi >= children.len() {
+            return None;
+        }
+        body = children.swap_remove(bi);
+    }
+    if path.last >= body.len() {
+        return None;
+    }
+    Some((body, path.last))
+}
+
+fn exprs_of_mut(s: &mut Stmt) -> Vec<&mut Expr> {
+    match s {
+        Stmt::Assign(_, e) | Stmt::Return(e) | Stmt::Expr(e) => vec![e],
+        Stmt::If(c, ..) | Stmt::While(c, _) | Stmt::DoWhile(_, c) | Stmt::Switch(c, ..) => vec![c],
+        Stmt::Break | Stmt::Continue => Vec::new(),
+    }
+}
+
+fn subexprs(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Int(_) | Expr::Var(_) | Expr::Opaque(_) => Vec::new(),
+        Expr::Unary(_, a) | Expr::LogicalNot(a) => vec![a],
+        Expr::Binary(_, a, b)
+        | Expr::Cmp(_, a, b)
+        | Expr::LogicalAnd(a, b)
+        | Expr::LogicalOr(a, b) => vec![a, b],
+    }
+}
+
+/// Drops `break`/`continue` statements that would bind to an *unwrapped*
+/// loop (i.e. those not enclosed by a loop inside `body` itself).
+fn scrub_orphaned_jumps(body: &mut Vec<Stmt>) {
+    body.retain_mut(|s| match s {
+        Stmt::Break | Stmt::Continue => false,
+        Stmt::If(_, t, e) => {
+            scrub_orphaned_jumps(t);
+            scrub_orphaned_jumps(e);
+            true
+        }
+        Stmt::Switch(_, cases, default) => {
+            for (_, b) in cases.iter_mut() {
+                scrub_orphaned_jumps(b);
+            }
+            scrub_orphaned_jumps(default);
+            true
+        }
+        // An inner loop recaptures its own break/continue.
+        _ => true,
+    });
+}
+
+/// The shrink measure: AST node count, then a constant-complexity weight
+/// (0 for literal 0, 1 for literal 1, 2 for anything else). Candidates
+/// are accepted only when this pair strictly decreases, which makes the
+/// greedy loop terminate — sideways rewrites such as `0 + k → 1 + k`
+/// would otherwise cycle forever.
+fn measure(r: &Routine) -> (usize, usize) {
+    fn expr(e: &Expr, m: &mut (usize, usize)) {
+        m.0 += 1;
+        if let Expr::Int(v) = e {
+            m.1 += match v {
+                0 => 0,
+                1 => 1,
+                _ => 2,
+            };
+        }
+        for c in subexprs(e) {
+            expr(c, m);
+        }
+    }
+    fn stmts(body: &[Stmt], m: &mut (usize, usize)) {
+        for s in body {
+            m.0 += 1;
+            let mut s2 = s.clone();
+            for e in exprs_of_mut(&mut s2) {
+                expr(e, m);
+            }
+            for b in child_bodies(s) {
+                stmts(b, m);
+            }
+        }
+    }
+    let mut m = (0, 0);
+    stmts(&r.body, &mut m);
+    m
+}
+
+/// `break`/`continue` must sit inside a loop, or lowering panics.
+fn structurally_valid(body: &[Stmt], in_loop: bool) -> bool {
+    body.iter().all(|s| match s {
+        Stmt::Break | Stmt::Continue => in_loop,
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) => structurally_valid(b, true),
+        Stmt::If(_, t, e) => structurally_valid(t, in_loop) && structurally_valid(e, in_loop),
+        Stmt::Switch(_, cases, default) => {
+            cases.iter().all(|(_, b)| structurally_valid(b, in_loop))
+                && structurally_valid(default, in_loop)
+        }
+        _ => true,
+    })
+}
+
+/// All single-node simplifications of `e`: replace any one node by 0, by
+/// 1, or by one of its own operands.
+fn simplified_exprs(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    if *e != Expr::Int(0) {
+        out.push(Expr::Int(0));
+    }
+    if *e != Expr::Int(1) {
+        out.push(Expr::Int(1));
+    }
+    for child in subexprs(e) {
+        out.push(child.clone());
+    }
+    let with = |k: &dyn Fn(Box<Expr>) -> Expr, a: &Expr, out: &mut Vec<Expr>| {
+        for s in simplified_exprs(a) {
+            out.push(k(Box::new(s)));
+        }
+    };
+    match e {
+        Expr::Int(_) | Expr::Var(_) | Expr::Opaque(_) => {}
+        Expr::Unary(op, a) => with(&|s| Expr::Unary(*op, s), a, &mut out),
+        Expr::LogicalNot(a) => with(&Expr::LogicalNot, a, &mut out),
+        Expr::Binary(op, a, b) => {
+            with(&|s| Expr::Binary(*op, s, b.clone()), a, &mut out);
+            with(&|s| Expr::Binary(*op, a.clone(), s), b, &mut out);
+        }
+        Expr::Cmp(op, a, b) => {
+            with(&|s| Expr::Cmp(*op, s, b.clone()), a, &mut out);
+            with(&|s| Expr::Cmp(*op, a.clone(), s), b, &mut out);
+        }
+        Expr::LogicalAnd(a, b) => {
+            with(&|s| Expr::LogicalAnd(s, b.clone()), a, &mut out);
+            with(&|s| Expr::LogicalAnd(a.clone(), s), b, &mut out);
+        }
+        Expr::LogicalOr(a, b) => {
+            with(&|s| Expr::LogicalOr(s, b.clone()), a, &mut out);
+            with(&|s| Expr::LogicalOr(a.clone(), s), b, &mut out);
+        }
+    }
+    out
+}
+
+/// One round of candidates, most-aggressive first.
+fn candidates(r: &Routine) -> Vec<Routine> {
+    let mut out = Vec::new();
+    let mut paths = Vec::new();
+    collect_paths(&r.body, &[], &mut paths);
+
+    // 1. Chunk deletions at the top level (halves, then quarters).
+    let n = r.body.len();
+    for denom in [2usize, 4] {
+        if n >= denom * 2 {
+            let chunk = n / denom;
+            for start in (0..n).step_by(chunk) {
+                let mut c = r.clone();
+                c.body.drain(start..(start + chunk).min(n));
+                out.push(c);
+            }
+        }
+    }
+
+    // 2. Single-statement deletions.
+    for path in &paths {
+        let mut c = r.clone();
+        if let Some((body, i)) = navigate(&mut c, path) {
+            body.remove(i);
+            out.push(c);
+        }
+    }
+
+    // 3. Unwrap compound statements into one of their child bodies. When
+    // the compound is a loop, its child body may contain break/continue
+    // that would be orphaned by the unwrap — offer a scrubbed variant.
+    for path in &paths {
+        let mut probe = r.clone();
+        let Some((body, i)) = navigate(&mut probe, path) else { continue };
+        let num_bodies = child_bodies(&body[i]).len();
+        let is_loop = matches!(body[i], Stmt::While(..) | Stmt::DoWhile(..));
+        for bi in 0..num_bodies {
+            let mut c = r.clone();
+            if let Some((body, i)) = navigate(&mut c, path) {
+                let mut children = child_bodies_mut(&mut body[i]);
+                let mut replacement = std::mem::take(children.swap_remove(bi));
+                drop(children);
+                if is_loop {
+                    scrub_orphaned_jumps(&mut replacement);
+                }
+                body.splice(i..=i, replacement);
+                out.push(c);
+            }
+        }
+    }
+
+    // 4. Expression simplifications.
+    for path in &paths {
+        let mut probe = r.clone();
+        let Some((body, i)) = navigate(&mut probe, path) else { continue };
+        let variant_lists: Vec<Vec<Expr>> =
+            exprs_of_mut(&mut body[i]).into_iter().map(|e| simplified_exprs(e)).collect();
+        for (ei, variants) in variant_lists.into_iter().enumerate() {
+            for v in variants {
+                let mut c = r.clone();
+                if let Some((body, i)) = navigate(&mut c, path) {
+                    if let Some(slot) = exprs_of_mut(&mut body[i]).into_iter().nth(ei) {
+                        *slot = v;
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    out.retain(|c| structurally_valid(&c.body, false));
+    out
+}
+
+/// Greedily minimizes `routine` while `still_fails` holds.
+///
+/// `still_fails` must hold for the input routine itself; candidates that
+/// compile but no longer fail should return `false`. Structurally invalid
+/// candidates are never passed to the predicate.
+pub fn shrink_routine(
+    routine: &Routine,
+    opts: &ShrinkOptions,
+    still_fails: &mut dyn FnMut(&Routine) -> bool,
+) -> Routine {
+    let mut current = routine.clone();
+    let mut size = measure(&current);
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if attempts >= opts.max_attempts {
+                return current;
+            }
+            let cand_size = measure(&cand);
+            if cand_size >= size {
+                continue;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                current = cand;
+                size = cand_size;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_ir::BinOp;
+
+    fn contains_div(r: &Routine) -> bool {
+        fn expr_has(e: &Expr) -> bool {
+            matches!(e, Expr::Binary(BinOp::Div, ..)) || subexprs(e).iter().any(|c| expr_has(c))
+        }
+        fn stmt_has(s: &Stmt) -> bool {
+            let mut s2 = s.clone();
+            exprs_of_mut(&mut s2).iter().any(|e| expr_has(e))
+                || child_bodies(s).iter().any(|b| b.iter().any(stmt_has))
+        }
+        r.body.iter().any(stmt_has)
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_kernel() {
+        let src = "routine f(a, b) {
+            x = a + b;
+            y = x * 3;
+            if (y > 10) {
+                z = a / b;
+                w = z + 1;
+            } else {
+                w = 0;
+            }
+            q = w ^ y;
+            return q;
+        }";
+        let r = pgvn_lang::parse(src).unwrap();
+        assert!(contains_div(&r));
+        let shrunk = shrink_routine(&r, &ShrinkOptions::default(), &mut |c| contains_div(c));
+        assert!(shrunk.body.len() <= 2, "shrunk to {} statements: {shrunk:?}", shrunk.body.len());
+        assert!(contains_div(&shrunk));
+        // The survivor still lowers.
+        let _ = pgvn_lang::lower(&shrunk);
+    }
+
+    #[test]
+    fn never_offers_orphaned_break() {
+        // Unwrapping the while body would orphan the break; every
+        // candidate the predicate sees must still be lowerable.
+        let src = "routine f(n) {
+            i = 0;
+            while (i < n) { if (i > 3) { break; } i = i + 1; }
+            return i;
+        }";
+        let r = pgvn_lang::parse(src).unwrap();
+        let shrunk = shrink_routine(&r, &ShrinkOptions::default(), &mut |c| {
+            let _ = pgvn_lang::lower(c); // panics if a break escaped its loop
+            !c.body.is_empty()
+        });
+        let _ = pgvn_lang::lower(&shrunk);
+    }
+
+    #[test]
+    fn respects_the_attempt_budget() {
+        let src = "routine f(a) { x = a / 2; return x; }";
+        let r = pgvn_lang::parse(src).unwrap();
+        let mut calls = 0usize;
+        let _ = shrink_routine(&r, &ShrinkOptions { max_attempts: 5 }, &mut |c| {
+            calls += 1;
+            contains_div(c)
+        });
+        assert!(calls <= 5);
+    }
+}

@@ -45,6 +45,10 @@ pub struct GenConfig {
     pub inference_prob: f64,
     /// Probability of planting a φ-predication diamond pair.
     pub diamond_prob: f64,
+    /// Probability of planting correlated branch conditions: repeated,
+    /// nested or complementary guards over the same compare, which only
+    /// predicate inference can fold.
+    pub correlated_prob: f64,
     /// Probability of planting cyclic-value patterns inside loops.
     pub cyclic_prob: f64,
     /// Probability that a leaf expression is an opaque call.
@@ -63,6 +67,7 @@ impl Default for GenConfig {
             unreachable_prob: 0.08,
             inference_prob: 0.15,
             diamond_prob: 0.08,
+            correlated_prob: 0.1,
             cyclic_prob: 0.35,
             opaque_prob: 0.08,
         }
@@ -310,6 +315,69 @@ impl Gen {
         }
     }
 
+    /// Correlated branch conditions over one compare `x ⋈ c`:
+    ///
+    /// - *twin guards*: two separate `if (x ⋈ c)` regions, the second
+    ///   re-evaluating the guard — predicate inference knows the compare
+    ///   is true on the guarded path and folds it;
+    /// - *nested guards*: `if (x ⋈ c) { if (x ⋈ c) … else … }` — the
+    ///   inner else-arm is unreachable to predicate inference only;
+    /// - *complementary guards*: `if (x ⋈ c) … ; if (x !⋈ c) { y = (x ⋈ c) }`
+    ///   — the negated guard dominates a compare known false.
+    fn plant_correlated(&mut self, out: &mut Vec<Stmt>) {
+        let x = self.pick_var();
+        let op = self.cmp_op();
+        let c = self.small_const();
+        let cond = |op: CmpOp, x: &str, c: i64| {
+            Expr::Cmp(op, Box::new(Expr::Var(x.to_string())), Box::new(Expr::Int(c)))
+        };
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let a = self.fresh_var();
+                let b = self.fresh_var();
+                out.push(Stmt::If(
+                    cond(op, &x, c),
+                    vec![Stmt::Assign(a, self.expr(2))],
+                    Vec::new(),
+                ));
+                out.push(self.assign_random());
+                out.push(Stmt::If(
+                    cond(op, &x, c),
+                    vec![Stmt::Assign(b, cond(op, &x, c))],
+                    Vec::new(),
+                ));
+            }
+            1 => {
+                let a = self.fresh_var();
+                let b = self.fresh_var();
+                out.push(Stmt::If(
+                    cond(op, &x, c),
+                    vec![Stmt::If(
+                        cond(op, &x, c),
+                        vec![Stmt::Assign(a, self.expr(2))],
+                        vec![Stmt::Assign(b, self.expr(2))],
+                    )],
+                    Vec::new(),
+                ));
+            }
+            _ => {
+                let neg = op.negated();
+                let a = self.fresh_var();
+                let y = self.fresh_var();
+                out.push(Stmt::If(
+                    cond(op, &x, c),
+                    vec![Stmt::Assign(a, self.expr(2))],
+                    Vec::new(),
+                ));
+                out.push(Stmt::If(
+                    cond(neg, &x, c),
+                    vec![Stmt::Assign(y, cond(op, &x, c))],
+                    Vec::new(),
+                ));
+            }
+        }
+    }
+
     /// Two diamonds over the same predicate selecting the same values —
     /// only φ-predication proves the two merged results congruent.
     fn plant_diamonds(&mut self, out: &mut Vec<Stmt>) {
@@ -439,6 +507,11 @@ impl Gen {
             acc
         } {
             self.plant_diamonds(out);
+        } else if r < {
+            acc += self.cfg.correlated_prob;
+            acc
+        } {
+            self.plant_correlated(out);
         } else if depth > 0 && r < acc + 0.25 {
             if self.rng.gen_bool(self.cfg.loop_prob) {
                 out.extend(self.bounded_loop(depth));
@@ -556,6 +629,38 @@ mod tests {
                     .unwrap_or_else(|e| panic!("seed {seed} args {args:?}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn correlated_branches_reward_predicate_inference() {
+        // With only correlated patterns planted, the full algorithm
+        // (with predicate inference) must fold compares that the click
+        // emulation (no inference) cannot — on at least one seed.
+        let mut inference_won = false;
+        for seed in 0..20 {
+            let cfg = GenConfig {
+                seed,
+                target_stmts: 20,
+                correlated_prob: 0.9,
+                redundancy_prob: 0.0,
+                unreachable_prob: 0.0,
+                inference_prob: 0.0,
+                diamond_prob: 0.0,
+                opaque_prob: 0.0,
+                ..Default::default()
+            };
+            let f = generate_function(&format!("c{seed}"), &cfg, SsaStyle::Pruned);
+            let full = pgvn_core::run(&f, &pgvn_core::GvnConfig::full());
+            let click = pgvn_core::run(&f, &pgvn_core::GvnConfig::click());
+            let constants = |r: &pgvn_core::GvnResults| {
+                f.values().filter(|&v| r.constant_value(v).is_some()).count()
+            };
+            if constants(&full) > constants(&click) {
+                inference_won = true;
+                break;
+            }
+        }
+        assert!(inference_won, "no seed produced an inference-only constant");
     }
 
     #[test]

@@ -17,6 +17,18 @@
 //!   --trace-json <path>                            trace events as JSONL
 //!   --profile                                      per-phase wall-clock report
 //!   --stats-json                                   stats + strength as JSON
+//!
+//! pgvn fuzz [options]              # differential-oracle fuzzing
+//!
+//! options:
+//!   --seed N                                       master seed (default: 0)
+//!   --iters N                                      iterations (default: 1000)
+//!   --mode validate|lattice|both                   (default: both)
+//!   --max-failures N                               stop early (default: 10)
+//!   --report <path>                                JSONL failure report
+//!   --fixture-dir <dir>                            write .pgvn reproducers
+//!   --no-shrink                                    keep failures unminimized
+//!   --inject-bug                                   self-test: plant a miscompile
 //! ```
 
 use pgvn::core::run_traced as gvn_run_traced;
@@ -138,7 +150,122 @@ fn wants_source(emit: &[String]) -> bool {
     emit.iter().any(|e| e == "source" || e == "all")
 }
 
+fn fuzz_usage() -> ! {
+    eprintln!(
+        "usage: pgvn fuzz [--seed N] [--iters N] [--mode validate|lattice|both]\n\
+         \x20               [--max-failures N] [--report <path>] [--fixture-dir <dir>]\n\
+         \x20               [--no-shrink] [--inject-bug]"
+    );
+    std::process::exit(2);
+}
+
+fn fuzz_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::oracle::{fuzz_with, FuzzMode, FuzzOptions};
+    use std::io::Write;
+
+    let mut opts = FuzzOptions::default();
+    let mut report_path: Option<String> = None;
+    let mut fixture_dir: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => fuzz_usage(),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.iterations = v,
+                None => fuzz_usage(),
+            },
+            "--mode" => {
+                opts.mode = match args.next().as_deref() {
+                    Some("validate") => FuzzMode::Validate,
+                    Some("lattice") => FuzzMode::Lattice,
+                    Some("both") => FuzzMode::Both,
+                    _ => fuzz_usage(),
+                };
+            }
+            "--max-failures" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.max_failures = v,
+                None => fuzz_usage(),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => fuzz_usage(),
+            },
+            "--fixture-dir" => match args.next() {
+                Some(p) => fixture_dir = Some(p),
+                None => fuzz_usage(),
+            },
+            "--no-shrink" => opts.shrink = None,
+            "--inject-bug" => opts.inject_miscompile = true,
+            _ => fuzz_usage(),
+        }
+    }
+
+    let every = (opts.iterations / 20).max(1);
+    let result = fuzz_with(&opts, &mut |i, failure| {
+        if let Some(f) = failure {
+            eprintln!("pgvn fuzz: FAILURE at iteration {i} ({}): {}", f.kind, f.detail);
+        } else if (i + 1) % every == 0 {
+            eprintln!("pgvn fuzz: {}/{} iterations clean", i + 1, opts.iterations);
+        }
+    });
+
+    if let Some(path) = &report_path {
+        let mut lines = String::new();
+        for f in &result.failures {
+            lines.push_str(&f.to_json());
+            lines.push('\n');
+        }
+        let mut w = pgvn::telemetry::json::JsonWriter::object();
+        w.field_str("event", "fuzz_summary")
+            .field_u64("seed", opts.seed)
+            .field_u64("iterations_run", result.iterations_run)
+            .field_u64("total_insts", result.total_insts)
+            .field_u64("failures", result.failures.len() as u64);
+        lines.push_str(&w.finish());
+        lines.push('\n');
+        let written = std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("pgvn fuzz: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &fixture_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("pgvn fuzz: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for f in &result.failures {
+            let path = format!("{dir}/fuzz-{}-{}.pgvn", f.kind, f.iteration);
+            if let Err(e) = std::fs::write(&path, f.fixture()) {
+                eprintln!("pgvn fuzz: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("pgvn fuzz: wrote {path}");
+        }
+    }
+    println!(
+        "fuzz: {} iterations, {} instructions, {} failure(s)",
+        result.iterations_run,
+        result.total_insts,
+        result.failures.len()
+    );
+    if result.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    {
+        let mut args = std::env::args();
+        let _argv0 = args.next();
+        if args.next().as_deref() == Some("fuzz") {
+            return fuzz_main(args);
+        }
+    }
     let opts = parse_options();
     let source = if opts.path == "-" {
         let mut s = String::new();

@@ -15,7 +15,10 @@
 //! - [`telemetry`] — structured trace events, sinks and phase timers
 //!   (see `docs/OBSERVABILITY.md`);
 //! - [`workload`] — the synthetic SPEC CINT2000 stand-in suite used by
-//!   the evaluation harness.
+//!   the evaluation harness;
+//! - [`oracle`] — the differential correctness oracle: interpreter-backed
+//!   translation validation, emulation-lattice checking, fuzzing and
+//!   shrinking (see `docs/ORACLE.md`).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use pgvn_analysis as analysis;
 pub use pgvn_core as core;
 pub use pgvn_ir as ir;
 pub use pgvn_lang as lang;
+pub use pgvn_oracle as oracle;
 pub use pgvn_ssa as ssa;
 pub use pgvn_telemetry as telemetry;
 pub use pgvn_transform as transform;

@@ -200,3 +200,63 @@ fn bad_flags_exit_with_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn fuzz_clean_campaign_exits_zero() {
+    let out = pgvn()
+        .args(["fuzz", "--seed", "11", "--iters", "25", "--mode", "both"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("25 iterations"), "{stdout}");
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+}
+
+#[test]
+fn fuzz_injected_bug_fails_with_report_and_fixture() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let dir = std::env::temp_dir().join("pgvn-cli-tests").join("fuzz-out");
+    let report = dir.join("failures.jsonl");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = pgvn()
+        .args(["fuzz", "--seed", "5", "--iters", "20", "--mode", "validate"])
+        .args(["--inject-bug", "--max-failures", "1"])
+        .args(["--report", report.to_str().unwrap()])
+        .args(["--fixture-dir", dir.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "injected bug must fail the campaign");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("FAILURE"));
+
+    // The JSONL report: one failure record plus the summary record.
+    let body = std::fs::read_to_string(&report).expect("report written");
+    let events: Vec<_> = body
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    let kind = |ev: &pgvn::telemetry::json::JsonValue| {
+        ev.get("event").and_then(JsonValue::as_str).map(str::to_owned)
+    };
+    assert!(events.iter().any(|e| kind(e).as_deref() == Some("fuzz_failure")));
+    let summary =
+        events.iter().find(|e| kind(e).as_deref() == Some("fuzz_summary")).expect("summary record");
+    assert_eq!(summary.get("failures").and_then(JsonValue::as_u64), Some(1));
+
+    // The fixture: a `.pgvn` file that recompiles and replays.
+    let fixture = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "pgvn"))
+        .expect("a .pgvn fixture was written");
+    let src = std::fs::read_to_string(fixture.path()).expect("fixture readable");
+    pgvn::lang::compile(&src, pgvn::ssa::SsaStyle::Pruned).expect("fixture compiles");
+}
+
+#[test]
+fn fuzz_bad_flags_exit_with_usage() {
+    let out = pgvn().args(["fuzz", "--mode", "bogus"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn fuzz"));
+}

@@ -185,6 +185,64 @@ fn emulations_rank_correctly_on_simple_inference() {
 }
 
 #[test]
+fn emulation_golden_counts_and_ordering() {
+    // A routine that separates every emulation tier: (a) a repeated merge
+    // diamond whose φs are structurally congruent (found by AWZ and
+    // Click, invisible to SCCP), (b) a constant-folded comparison
+    // steering a branch (found by Click and SCCP, invisible to AWZ's
+    // fold-free partitioning), and (c) a guard-derived constant that only
+    // the full algorithm's predicate inference sees.
+    let src = "routine blend(c, x, y) {
+        if (c < 3) { a = x; } else { a = y; }
+        if (c < 3) { b = x; } else { b = y; }
+        d = a - b;
+        k = 2 * 3;
+        if (k == 6) { e = 10; } else { e = 20; }
+        if (x == 5) { g = x + 1; } else { g = 6; }
+        return d + e + g;
+    }";
+    let f = build(src);
+
+    // Golden strength per configuration (unreachable values, constant
+    // values, congruence classes). The analysis is deterministic, so any
+    // drift here is a behavioural change that needs a reasoned update.
+    let golden = [
+        ("full", GvnConfig::full(), (1, 19, 14)),
+        ("click", GvnConfig::click(), (1, 14, 19)),
+        ("awz", GvnConfig::awz(), (0, 11, 23)),
+        ("sccp", GvnConfig::sccp(), (1, 14, 20)),
+    ];
+    for (name, cfg, (unreachable, constants, classes)) in &golden {
+        let r = gvn(&f, cfg);
+        assert!(r.stats.converged, "{name}");
+        let s = r.strength();
+        assert_eq!(
+            (s.unreachable_values, s.constant_values, s.congruence_classes),
+            (*unreachable, *constants, *classes),
+            "{name}: golden strength drifted"
+        );
+    }
+    // Monotone ordering along the emulation chain: strictly more
+    // constants and strictly coarser partitions as features are added.
+    let full = gvn(&f, &GvnConfig::full()).strength();
+    let click = gvn(&f, &GvnConfig::click()).strength();
+    let awz = gvn(&f, &GvnConfig::awz()).strength();
+    let sccp = gvn(&f, &GvnConfig::sccp()).strength();
+    assert!(full.constant_values > click.constant_values);
+    assert!(click.constant_values > awz.constant_values);
+    assert!(click.constant_values >= sccp.constant_values);
+    assert!(full.congruence_classes < click.congruence_classes);
+    assert!(click.congruence_classes < sccp.congruence_classes);
+    assert!(sccp.congruence_classes < awz.congruence_classes);
+
+    // The oracle's refinement relations (§2.9) hold on this routine too:
+    // every congruence and constant a weaker configuration finds, the
+    // stronger one refines.
+    pgvn::oracle::check_lattice(&f, &pgvn::oracle::default_relations())
+        .unwrap_or_else(|v| panic!("{} ⊒ {} violated: {}", v.stronger, v.weaker, v.detail));
+}
+
+#[test]
 fn balanced_equals_optimistic_on_acyclic_code() {
     // On acyclic routines balanced and optimistic agree exactly.
     for src in

@@ -213,6 +213,66 @@ proptest! {
     }
 
     #[test]
+    fn correlated_branches_are_sound(seed in 0u64..2_000, a in -20i64..20, b in -20i64..20) {
+        // Routines dense in repeated, nested and complementary guards over
+        // the same comparison: the shapes that drive predicate inference
+        // (§2.3) and φ-predication (§2.8) hardest. The full config must
+        // stay sound both as an analysis and through the rewrite pipeline.
+        let cfg = GenConfig {
+            seed,
+            target_stmts: 30,
+            correlated_prob: 0.5,
+            inference_prob: 0.25,
+            diamond_prob: 0.15,
+            ..Default::default()
+        };
+        let f = generate_function(&format!("corr{seed}"), &cfg, pgvn_ssa::SsaStyle::Pruned);
+        check_soundness(&f, &GvnConfig::full(), &[a, b, a - b], seed);
+        check_pipeline_equivalence(&f, GvnConfig::full(), &[a, b, a - b], seed);
+    }
+
+    #[test]
+    fn correlated_branches_are_sound_in_every_mode(seed in 0u64..1_200, a in -20i64..20) {
+        // Pessimistic mode keeps both edges of decided branches reachable,
+        // which is exactly where φ-predication over ∅ edge predicates used
+        // to miscompile (see tests/fixtures/oracle/).
+        let cfg = GenConfig {
+            seed,
+            target_stmts: 25,
+            correlated_prob: 0.4,
+            unreachable_prob: 0.15,
+            ..Default::default()
+        };
+        let f = generate_function(&format!("corrm{seed}"), &cfg, pgvn_ssa::SsaStyle::Pruned);
+        for mode in [Mode::Optimistic, Mode::Balanced, Mode::Pessimistic] {
+            check_soundness(&f, &GvnConfig::full().mode(mode), &[a, 7, -a], seed);
+            check_pipeline_equivalence(&f, GvnConfig::full().mode(mode), &[a, 7, -a], seed);
+        }
+    }
+
+    #[test]
+    fn inference_heavy_routines_are_sound(seed in 0u64..1_200, a in -20i64..20, b in -20i64..20) {
+        // Bias toward equality guards feeding value inference (§2.7) and
+        // predicate inference (§2.3), with φ-predication enabled and
+        // disabled — their interaction decides which congruences are keyed
+        // by predicate expressions.
+        let cfg = GenConfig {
+            seed,
+            target_stmts: 30,
+            inference_prob: 0.4,
+            correlated_prob: 0.2,
+            ..Default::default()
+        };
+        let f = generate_function(&format!("inf{seed}"), &cfg, pgvn_ssa::SsaStyle::Pruned);
+        let mut no_pp = GvnConfig::full();
+        no_pp.phi_predication = false;
+        for cfg in [GvnConfig::full(), no_pp] {
+            check_soundness(&f, &cfg, &[a, b, b], seed ^ 0x77);
+            check_pipeline_equivalence(&f, cfg, &[a, b, b], seed ^ 0x77);
+        }
+    }
+
+    #[test]
     fn ssa_styles_do_not_affect_soundness(seed in 0u64..1_000, a in -20i64..20) {
         for style in [pgvn_ssa::SsaStyle::Minimal, pgvn_ssa::SsaStyle::SemiPruned, pgvn_ssa::SsaStyle::Pruned] {
             let cfg = GenConfig { seed, target_stmts: 20, ..Default::default() };
