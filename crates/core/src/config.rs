@@ -7,6 +7,8 @@
 //! emulate prior algorithms; the presets here reproduce those baselines
 //! for the evaluation figures.
 
+use crate::error::{FaultPlan, GvnBudget};
+
 /// How cyclic values (φs fed by back edges) are treated, §1.1–1.2.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Mode {
@@ -101,6 +103,14 @@ pub struct GvnConfig {
     /// (the paper leaves it as future work: "it remains to be seen
     /// whether this is practical").
     pub phi_op_distribution: bool,
+    /// Per-routine resource ceilings (pass ceiling, wall-clock deadline,
+    /// touched-work quota) checked inside the TOUCHED worklist loop.
+    /// Unlimited by default; see `docs/ROBUSTNESS.md`.
+    pub budget: GvnBudget,
+    /// Deterministic fault-injection plan. Never set by any preset; the
+    /// resilience self-checks and the `pgvn batch --inject` harness use
+    /// it to prove that every failure class is contained and classified.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl GvnConfig {
@@ -124,7 +134,22 @@ impl GvnConfig {
             debug_miscompile: false,
             joint_domination: false,
             phi_op_distribution: false,
+            budget: GvnBudget::unlimited(),
+            fault_plan: None,
         }
+    }
+
+    /// Sets the per-routine resource ceilings (see [`GvnBudget`]).
+    pub fn budget(mut self, budget: GvnBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms (or disarms) the deterministic fault-injection plan (see
+    /// [`FaultPlan`]).
+    pub fn fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Enables or disables the deliberate-miscompilation debug knob
@@ -215,6 +240,8 @@ mod tests {
         assert!(c.unreachable_code_elim && c.global_reassociation);
         assert!(c.predicate_inference && c.value_inference && c.phi_predication);
         assert!(!c.sccp_only);
+        assert!(c.budget.is_unlimited());
+        assert!(c.fault_plan.is_none());
         assert_eq!(c.mode, Mode::Optimistic);
         assert_eq!(c.variant, Variant::Practical);
         assert_eq!(GvnConfig::default(), c);
@@ -279,5 +306,17 @@ mod tests {
         assert_eq!(c.mode, Mode::Balanced);
         assert_eq!(c.variant, Variant::Complete);
         assert!(!c.sparse);
+    }
+
+    #[test]
+    fn budget_and_fault_plan_builders() {
+        use crate::error::{FaultKind, FaultSite};
+
+        let c = GvnConfig::full()
+            .budget(GvnBudget::unlimited().passes(3))
+            .fault_plan(Some(FaultPlan::new(FaultKind::Invariant, FaultSite::Eval)));
+        assert_eq!(c.budget.max_passes, Some(3));
+        assert_eq!(c.fault_plan.map(|p| p.site), Some(FaultSite::Eval));
+        assert!(c.fault_plan(None).fault_plan.is_none());
     }
 }

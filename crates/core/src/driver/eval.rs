@@ -66,8 +66,10 @@ impl Run<'_, '_, '_> {
         }
     }
 
-    pub(super) fn evaluate(&mut self, inst: Inst, b: Block) -> Option<ExprId> {
-        let v = self.func.inst_result(inst).expect("value-defining instruction");
+    /// Symbolically evaluates `inst` (whose result value is `v`, checked
+    /// by the caller so missing results are a recoverable invariant
+    /// failure rather than a panic) in block `b`.
+    pub(super) fn evaluate(&mut self, inst: Inst, v: Value, b: Block) -> Option<ExprId> {
         let kind = self.func.kind(inst).clone();
         let result = match kind {
             InstKind::Const(c) => Some(self.interner.constant(c)),

@@ -17,15 +17,17 @@ mod phipred;
 
 use crate::classes::{ClassId, Classes, Leader};
 use crate::config::{GvnConfig, Mode, Variant};
+use crate::error::{BudgetKind, FaultKind, FaultSite, GvnError};
 use crate::expr::{ExprId, ExprKind, Interner, PhiKey};
 use crate::linear::LinearExpr;
 use crate::predicate::{implies, Pred};
-use crate::results::{GvnResults, GvnStats};
+use crate::results::{GvnResults, GvnStats, RunOutcome};
 use pgvn_analysis::{DomTree, PostDomTree, Ranks, ReachableDomTree, Rpo};
 use pgvn_ir::{
     BinOp, Block, CmpOp, DefUse, Edge, EntityRef, EntitySet, Function, Inst, InstKind, UnOp, Value,
 };
 use pgvn_telemetry::{Phase, Telemetry, TextSink, TraceEvent};
+use std::time::Instant;
 
 /// Hard cap on RPO passes; hit only on non-convergence bugs (the stats
 /// carry a `converged` flag that tests assert).
@@ -74,8 +76,68 @@ pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
 /// Entry point with observability: per-pass [`TraceEvent`]s go to the
 /// handle's sink and phase timings accumulate in its profiler. With
 /// [`Telemetry::off`] this is exactly [`run`].
+///
+/// # Panics
+///
+/// Like [`run`], panics on an internal invariant violation (or an
+/// injected fault). Use [`try_run_traced`] where failures must be
+/// contained and classified.
 pub fn run_traced(func: &Function, cfg: &GvnConfig, tel: &mut Telemetry<'_>) -> GvnResults {
-    Run::new(func, cfg.clone(), tel).execute()
+    match Run::new(func, cfg.clone(), tel).execute() {
+        Ok(results) => results,
+        Err(err) => panic!("pgvn analysis failed: {err} (use try_run/try_run_traced to recover)"),
+    }
+}
+
+/// Fallible entry point for the analysis: every failure mode is a
+/// classified [`GvnError`] instead of a panic or a silently partial
+/// fixed point. `Err` covers non-convergence (the hard pass cap),
+/// exhaustion of any [`crate::GvnBudget`] ceiling, internal invariant
+/// violations, and injected faults; injected *panics* still unwind and
+/// must be caught at an isolation boundary (see
+/// `Pipeline::optimize_resilient` in `pgvn-transform`).
+pub fn try_run(func: &Function, cfg: &GvnConfig) -> Result<GvnResults, GvnError> {
+    try_run_traced(func, cfg, &mut Telemetry::off())
+}
+
+/// [`try_run`] with observability (see [`run_traced`]).
+pub fn try_run_traced(
+    func: &Function,
+    cfg: &GvnConfig,
+    tel: &mut Telemetry<'_>,
+) -> Result<GvnResults, GvnError> {
+    let results = Run::new(func, cfg.clone(), tel).execute()?;
+    classify(cfg, results)
+}
+
+/// Maps a completed run's [`RunOutcome`] to the error taxonomy: only a
+/// converged run is `Ok`; truncated runs (hard cap or budget ceilings)
+/// become the corresponding [`GvnError`].
+fn classify(cfg: &GvnConfig, results: GvnResults) -> Result<GvnResults, GvnError> {
+    let stats = results.stats;
+    match stats.outcome {
+        RunOutcome::Converged => Ok(results),
+        RunOutcome::NonConverged => Err(GvnError::NonConvergence { passes: stats.passes }),
+        RunOutcome::BudgetPasses => Err(GvnError::BudgetExceeded {
+            budget: BudgetKind::Passes,
+            limit: u64::from(cfg.budget.max_passes.unwrap_or(0)),
+            spent: u64::from(stats.passes),
+        }),
+        RunOutcome::BudgetTime => {
+            let limit = cfg
+                .budget
+                .time_limit
+                .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            Err(GvnError::BudgetExceeded { budget: BudgetKind::Time, limit, spent: limit })
+        }
+        RunOutcome::BudgetWork => Err(GvnError::BudgetExceeded {
+            budget: BudgetKind::Work,
+            limit: cfg.budget.max_touches.unwrap_or(0),
+            spent: stats.touches,
+        }),
+        RunOutcome::NotRun => Err(GvnError::invariant("analysis finished without an outcome")),
+    }
 }
 
 struct Run<'f, 't, 's> {
@@ -118,6 +180,11 @@ struct Run<'f, 't, 's> {
     pi_cache: std::collections::HashMap<(Block, CmpOp, ExprId, ExprId), ExprId>,
     stats: GvnStats,
     any_change: bool,
+    /// Wall-clock deadline derived from the budget, checked per block.
+    deadline: Option<Instant>,
+    /// Site visits remaining before the armed fault fires; `None` when
+    /// no driver-site fault is armed (or it already fired).
+    fault_countdown: Option<u64>,
 }
 
 impl<'f, 't, 's> Run<'f, 't, 's> {
@@ -135,6 +202,9 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
         let rdt = (cfg.variant == Variant::Complete).then(|| ReachableDomTree::new(func));
         tel.record_phase(Phase::DomTree, t0);
         let classes = Classes::new(func.value_capacity());
+        let deadline = cfg.budget.time_limit.map(|limit| Instant::now() + limit);
+        let fault_countdown =
+            cfg.fault_plan.filter(|p| p.site != FaultSite::Rewrite).map(|p| p.countdown());
         Run {
             tel,
             func,
@@ -162,6 +232,41 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
             pi_cache: std::collections::HashMap::new(),
             stats: GvnStats::default(),
             any_change: false,
+            deadline,
+            fault_countdown,
+        }
+    }
+
+    /// Fires the armed fault plan if `site` matches and the countdown
+    /// has elapsed. Each plan fires at most once per run.
+    fn maybe_fault(&mut self, site: FaultSite) -> Result<(), GvnError> {
+        let Some(plan) = self.cfg.fault_plan else { return Ok(()) };
+        if plan.site != site {
+            return Ok(());
+        }
+        match self.fault_countdown.as_mut() {
+            None => Ok(()),
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                Ok(())
+            }
+            Some(_) => {
+                self.fault_countdown = None;
+                match plan.kind {
+                    FaultKind::Panic => panic!("pgvn injected fault: panic at site {site}"),
+                    FaultKind::Invariant => {
+                        Err(GvnError::invariant(format!("injected fault at site {site}")))
+                    }
+                    FaultKind::Budget => Err(GvnError::BudgetExceeded {
+                        budget: BudgetKind::Work,
+                        limit: 0,
+                        spent: self.stats.touches,
+                    }),
+                    // Only meaningful at the rewrite site (handled by the
+                    // transform pipeline); a no-op inside the analysis.
+                    FaultKind::VerifierReject => Ok(()),
+                }
+            }
         }
     }
 
@@ -189,7 +294,7 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
     // Initialization and the pass loop (Figure 3)
     // -----------------------------------------------------------------
 
-    fn execute(mut self) -> GvnResults {
+    fn execute(mut self) -> Result<GvnResults, GvnError> {
         self.stats.num_insts = self.func.num_insts() as u64;
         let func = self.func;
         self.tel.emit(|| TraceEvent::RunStart {
@@ -221,7 +326,26 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
             self.touch_block_insts(entry);
         }
 
+        match self.run_passes() {
+            Ok(outcome) => Ok(self.finish(outcome)),
+            Err(err) => {
+                // The run is abandoned mid-pass: delimit and flush the
+                // trace so sinks still see a complete event stream.
+                let passes = self.stats.passes;
+                self.tel.emit(|| TraceEvent::RunEnd { passes, converged: false });
+                self.tel.flush();
+                Err(err)
+            }
+        }
+    }
+
+    fn run_passes(&mut self) -> Result<RunOutcome, GvnError> {
         loop {
+            if let Some(max) = self.cfg.budget.max_passes {
+                if self.stats.passes >= max {
+                    return Ok(RunOutcome::BudgetPasses);
+                }
+            }
             self.stats.passes += 1;
             self.any_change = false;
             let pass = self.stats.passes;
@@ -235,12 +359,18 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
             let pass_t0 = self.tel.clock();
             for bi in 0..self.rpo.order().len() {
                 let b = self.rpo.order()[bi];
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Ok(RunOutcome::BudgetTime);
+                    }
+                }
                 self.vi_cache.clear();
                 self.pi_cache.clear();
                 if self.touched_blocks.remove(b)
                     && self.reach_blocks.contains(b)
                     && self.cfg.phi_predication
                 {
+                    self.maybe_fault(FaultSite::PhiPred)?;
                     let t0 = self.tel.clock();
                     self.compute_block_predicate(b);
                     self.tel.record(Phase::PhiPredication, t0);
@@ -250,9 +380,14 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                     if self.touched_insts.remove(inst) && self.reach_blocks.contains(b) {
                         self.stats.insts_processed += 1;
                         if pass > OSC_PASS_THRESHOLD && self.tel.is_tracing() {
-                            self.process_inst_watching_oscillation(inst, b);
+                            self.process_inst_watching_oscillation(inst, b)?;
                         } else {
-                            self.process_inst(inst, b);
+                            self.process_inst(inst, b)?;
+                        }
+                        if let Some(quota) = self.cfg.budget.max_touches {
+                            if self.stats.touches > quota {
+                                return Ok(RunOutcome::BudgetWork);
+                            }
                         }
                     }
                 }
@@ -280,12 +415,15 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                 nanos,
             });
             if self.cfg.mode != Mode::Optimistic {
-                break;
+                return Ok(RunOutcome::Converged);
             }
             if !self.cfg.sparse {
                 // Dense formulation: brute-force reapplication while
                 // anything changed in the pass.
-                if self.any_change && self.stats.passes < MAX_PASSES {
+                if self.any_change {
+                    if self.stats.passes >= MAX_PASSES {
+                        return Ok(RunOutcome::NonConverged);
+                    }
                     let blocks: Vec<Block> = self.reach_blocks.iter().collect();
                     for b in blocks {
                         self.touch_block_insts(b);
@@ -293,21 +431,22 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                     }
                     continue;
                 }
-                break;
+                return Ok(RunOutcome::Converged);
             }
             if self.touched_insts.is_empty() && self.touched_blocks.is_empty() {
-                break;
+                return Ok(RunOutcome::Converged);
             }
             if self.stats.passes >= MAX_PASSES {
-                return self.finish(false);
+                return Ok(RunOutcome::NonConverged);
             }
         }
-        self.finish(true)
     }
 
-    fn finish(self, converged: bool) -> GvnResults {
+    fn finish(self, outcome: RunOutcome) -> GvnResults {
+        let converged = outcome == RunOutcome::Converged;
         let mut stats = self.stats;
         stats.converged = converged;
+        stats.outcome = outcome;
         stats.hash_cons_hits = self.interner.hits();
         stats.hash_cons_misses = self.interner.misses();
         stats.interned_exprs = self.interner.len() as u64;
@@ -332,21 +471,27 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
     // Instruction processing
     // -----------------------------------------------------------------
 
-    fn process_inst(&mut self, inst: Inst, b: Block) {
+    fn process_inst(&mut self, inst: Inst, b: Block) -> Result<(), GvnError> {
         match self.func.kind(inst) {
             InstKind::Jump | InstKind::Branch(_) | InstKind::Switch(..) => {
+                self.maybe_fault(FaultSite::Edges)?;
                 let t0 = self.tel.clock();
                 self.process_outgoing_edges(b);
                 self.tel.record(Phase::EdgeProcessing, t0);
             }
             InstKind::Return(_) => {}
             _ => {
-                let v = self.func.inst_result(inst).expect("value-defining instruction");
+                self.maybe_fault(FaultSite::Eval)?;
+                let Some(v) = self.func.inst_result(inst) else {
+                    return Err(GvnError::invariant(format!(
+                        "instruction {inst} in {b} should define a value but has no result"
+                    )));
+                };
                 let t0 = self.tel.clock();
-                let e = self.evaluate(inst, b);
+                let e = self.evaluate(inst, v, b);
                 self.tel.record(Phase::SymbolicEval, t0);
                 let t0 = self.tel.clock();
-                let moved = self.congruence_finding(v, e);
+                let moved = self.congruence_finding(v, e)?;
                 self.tel.record(Phase::CongruenceMerge, t0);
                 if moved {
                     self.any_change = true;
@@ -357,6 +502,7 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                 }
             }
         }
+        Ok(())
     }
 
     /// [`Run::process_inst`], but reporting any class movement as an
@@ -365,10 +511,10 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
     /// run that deep is either a pathological chain or a convergence
     /// bug, and the before/after expressions identify the values that
     /// keep moving.
-    fn process_inst_watching_oscillation(&mut self, inst: Inst, b: Block) {
+    fn process_inst_watching_oscillation(&mut self, inst: Inst, b: Block) -> Result<(), GvnError> {
         let result = self.func.inst_result(inst);
         let before = result.map(|v| self.describe_value(v));
-        self.process_inst(inst, b);
+        self.process_inst(inst, b)?;
         let after = result.map(|v| self.describe_value(v));
         if before != after {
             let pass = self.stats.passes;
@@ -380,6 +526,7 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                 after: after.unwrap_or_default(),
             });
         }
+        Ok(())
     }
 
     /// `"c3=v1"`-style description of a value's congruence class, its
@@ -416,4 +563,51 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
     // -----------------------------------------------------------------
     // φ-predication (Figure 8)
     // -----------------------------------------------------------------
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_func() -> Function {
+        let mut f = Function::new("t", 1);
+        let b = f.entry();
+        let x = f.param(0);
+        let one = f.iconst(b, 1);
+        let a = f.binary(b, BinOp::Add, x, one);
+        f.set_return(b, a);
+        f
+    }
+
+    /// Satellite of the robustness PR: `MAX_PASSES` exhaustion (and the
+    /// budget ceilings) must surface as explicit classified outcomes,
+    /// never a silently accepted partial fixed point.
+    #[test]
+    fn classify_surfaces_every_truncated_outcome() {
+        let cfg = GvnConfig::full();
+        let base = run(&tiny_func(), &cfg);
+        assert_eq!(base.stats.outcome, RunOutcome::Converged);
+        assert!(base.stats.converged);
+        assert!(classify(&cfg, base.clone()).is_ok());
+        for (outcome, kind) in [
+            (RunOutcome::NonConverged, "non_convergence"),
+            (RunOutcome::BudgetPasses, "budget_exceeded"),
+            (RunOutcome::BudgetTime, "budget_exceeded"),
+            (RunOutcome::BudgetWork, "budget_exceeded"),
+            (RunOutcome::NotRun, "internal_invariant"),
+        ] {
+            let mut r = base.clone();
+            r.stats.outcome = outcome;
+            let err = classify(&cfg, r).expect_err("truncated outcome must classify as an error");
+            assert_eq!(err.kind(), kind, "{outcome}");
+        }
+        let mut r = base;
+        r.stats.outcome = RunOutcome::NonConverged;
+        r.stats.passes = MAX_PASSES;
+        assert_eq!(
+            classify(&cfg, r).err(),
+            Some(GvnError::NonConvergence { passes: MAX_PASSES }),
+            "the oscillation cap reports the pass count it died at"
+        );
+    }
 }

@@ -68,10 +68,14 @@ impl Run<'_, '_, '_> {
         Some(self.interner.intern(ExprKind::Phi(key, arg_exprs)))
     }
 
-    pub(super) fn congruence_finding(&mut self, v: Value, e: Option<ExprId>) -> bool {
+    pub(super) fn congruence_finding(
+        &mut self,
+        v: Value,
+        e: Option<ExprId>,
+    ) -> Result<bool, GvnError> {
         let was_changed = self.changed.remove(v);
         let Some(e) = e else {
-            return was_changed;
+            return Ok(was_changed);
         };
         let c0 = self.classes.class_of(v);
         let target = if let Some(w) = self.interner.as_value(e) {
@@ -90,7 +94,7 @@ impl Run<'_, '_, '_> {
             }
         };
         if target == c0 {
-            return was_changed;
+            return Ok(was_changed);
         }
         self.classes.move_value(v, target);
         self.stats.class_merges += 1;
@@ -104,11 +108,12 @@ impl Run<'_, '_, '_> {
             // Leader departure (Figure 4 lines 52–56): elect the lowest-
             // ranked member, mark the class changed, re-evaluate members.
             let members: Vec<Value> = self.classes.members(c0).collect();
-            let new_leader = members
-                .iter()
-                .copied()
-                .min_by_key(|&m| (self.rank(m), m))
-                .expect("non-empty class");
+            let Some(new_leader) = members.iter().copied().min_by_key(|&m| (self.rank(m), m))
+            else {
+                return Err(GvnError::invariant(format!(
+                    "class {c0} reported non-empty on leader departure of {v} but has no members"
+                )));
+            };
             self.classes.set_leader(c0, Leader::Value(new_leader));
             for m in members {
                 self.changed.insert(m);
@@ -119,6 +124,6 @@ impl Run<'_, '_, '_> {
                 }
             }
         }
-        true
+        Ok(true)
     }
 }

@@ -78,7 +78,6 @@ impl Run<'_, '_, '_> {
         self.stats.phi_predication_visits += 1;
         let reachable_in =
             self.func.preds(b).iter().filter(|&&e| self.reach_edges.contains(e)).count();
-        let partial: Option<ExprId>;
         if b == ctx.b0 {
             // A path arrived at B0: record its predicate as the next OR
             // operand (correspondence with CANONICAL is kept by the
@@ -86,28 +85,20 @@ impl Run<'_, '_, '_> {
             ctx.result.push(pp);
             return;
         }
-        if ignore_incoming || reachable_in < 2 {
-            partial = pp;
+        let partial = if ignore_incoming || reachable_in < 2 {
+            pp
         } else {
             // A confluence node inside the region: accumulate one operand
             // per incoming path and proceed only once complete.
-            let slot = &mut ctx.or_ops[b.index()];
             let t = self.interner.constant(1);
-            match slot {
-                None => *slot = Some(vec![pp.unwrap_or(t)]),
-                Some(ops) => ops.push(pp.unwrap_or(t)),
-            }
-            let ops = ctx.or_ops[b.index()].as_ref().expect("just inserted");
+            let ops = ctx.or_ops[b.index()].get_or_insert_with(Vec::new);
+            ops.push(pp.unwrap_or(t));
             if ops.len() < reachable_in {
                 return;
             }
             let ops = ops.clone();
-            partial = Some(if ops.len() == 1 {
-                ops[0]
-            } else {
-                self.interner.intern(ExprKind::PredOr(ops))
-            });
-        }
+            Some(if ops.len() == 1 { ops[0] } else { self.interner.intern(ExprKind::PredOr(ops)) })
+        };
         // Skip-to-postdominator shortcut (Figure 8 lines 25–28).
         if let Some(d) = self.postdom.ipdom(b) {
             if d != ctx.b0 && self.domtree.dominates(b, d) {

@@ -39,6 +39,7 @@ pub mod annotate;
 pub mod classes;
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod expr;
 pub mod linear;
 pub mod predicate;
@@ -47,8 +48,9 @@ pub mod results;
 pub use annotate::{annotated, class_report};
 pub use classes::{ClassId, Classes, Leader};
 pub use config::{GvnConfig, Mode, Variant};
-pub use driver::{run, run_traced};
+pub use driver::{run, run_traced, try_run, try_run_traced};
+pub use error::{BudgetKind, FaultKind, FaultPlan, FaultSite, GvnBudget, GvnError};
 pub use expr::{ExprId, ExprKind, Interner, PhiKey};
 pub use linear::{LinearExpr, Term};
 pub use predicate::{implies, Pred};
-pub use results::{GvnResults, GvnStats, Partition, Strength};
+pub use results::{GvnResults, GvnStats, Partition, RunOutcome, Strength};

@@ -4,6 +4,64 @@ use crate::classes::{ClassId, Leader};
 use pgvn_ir::{Block, Edge, EntityRef, EntitySet, Value};
 use pgvn_telemetry::json::{self, JsonWriter};
 
+/// How an analysis run ended, recorded in [`GvnStats::outcome`].
+///
+/// `Converged` is the only outcome of a healthy run. The budget outcomes
+/// mark runs cut short by a [`crate::GvnBudget`] ceiling, and
+/// `NonConverged` marks the hard pass cap — both leave the partial (still
+/// conservative-to-use-with-care) results attached so callers can inspect
+/// them, but [`crate::driver::try_run`] refuses to return them as `Ok`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// The analysis has not run (the default of an empty stats block).
+    #[default]
+    NotRun,
+    /// The fixed point was reached.
+    Converged,
+    /// The hard pass cap was hit before the fixed point (a convergence
+    /// bug; surfaced as [`crate::GvnError::NonConvergence`]).
+    NonConverged,
+    /// The configured pass ceiling was hit.
+    BudgetPasses,
+    /// The configured wall-clock deadline expired.
+    BudgetTime,
+    /// The configured touched-work quota was exhausted.
+    BudgetWork,
+}
+
+impl RunOutcome {
+    /// Stable snake_case name for JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunOutcome::NotRun => "not_run",
+            RunOutcome::Converged => "converged",
+            RunOutcome::NonConverged => "non_converged",
+            RunOutcome::BudgetPasses => "budget_passes",
+            RunOutcome::BudgetTime => "budget_time",
+            RunOutcome::BudgetWork => "budget_work",
+        }
+    }
+
+    /// Parses a [`RunOutcome::name`] string.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "not_run" => Some(RunOutcome::NotRun),
+            "converged" => Some(RunOutcome::Converged),
+            "non_converged" => Some(RunOutcome::NonConverged),
+            "budget_passes" => Some(RunOutcome::BudgetPasses),
+            "budget_time" => Some(RunOutcome::BudgetTime),
+            "budget_work" => Some(RunOutcome::BudgetWork),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Counters collected during a GVN run (§4 and §5 report these).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GvnStats {
@@ -47,6 +105,16 @@ pub struct GvnStats {
     /// `false` if the pass cap was hit before the fixed point (should
     /// never happen; monitored by tests).
     pub converged: bool,
+    /// How the run ended (converged, non-converged, or which budget
+    /// ceiling tripped). Refines `converged`.
+    pub outcome: RunOutcome,
+    /// The degradation-ladder rung that produced these results (0 = full
+    /// predicated GVN; see `Pipeline::optimize_resilient` in
+    /// `pgvn-transform`). Zero for plain `run`/`try_run`.
+    pub ladder_rung: u32,
+    /// Ladder rungs that failed and were rolled back before this one
+    /// succeeded. Zero for plain `run`/`try_run`.
+    pub ladder_failures: u32,
 }
 
 impl GvnStats {
@@ -84,7 +152,10 @@ impl GvnStats {
             .field_u64("pi_gate_skips", self.pi_gate_skips)
             .field_u64("vi_cache_hits", self.vi_cache_hits)
             .field_u64("pi_cache_hits", self.pi_cache_hits)
-            .field_bool("converged", self.converged);
+            .field_bool("converged", self.converged)
+            .field_str("outcome", self.outcome.name())
+            .field_u64("ladder_rung", u64::from(self.ladder_rung))
+            .field_u64("ladder_failures", u64::from(self.ladder_failures));
         w.finish()
     }
 
@@ -118,6 +189,15 @@ impl GvnStats {
                 .get("converged")
                 .and_then(|f| f.as_bool())
                 .ok_or_else(|| "missing or non-boolean field `converged`".to_string())?,
+            outcome: v
+                .get("outcome")
+                .and_then(|f| f.as_str())
+                .and_then(RunOutcome::from_name)
+                .ok_or_else(|| "missing or unknown field `outcome`".to_string())?,
+            ladder_rung: u32::try_from(u("ladder_rung")?)
+                .map_err(|_| "ladder_rung out of range".to_string())?,
+            ladder_failures: u32::try_from(u("ladder_failures")?)
+                .map_err(|_| "ladder_failures out of range".to_string())?,
         })
     }
 }
@@ -260,6 +340,12 @@ pub struct GvnResults {
 }
 
 impl GvnResults {
+    /// How the run ended (converged, non-converged, or which budget
+    /// ceiling tripped).
+    pub fn outcome(&self) -> RunOutcome {
+        self.stats.outcome
+    }
+
     /// Returns `true` if the analysis proved `b` reachable.
     pub fn is_block_reachable(&self, b: Block) -> bool {
         self.reachable_blocks.contains(b)

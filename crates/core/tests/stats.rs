@@ -2,7 +2,7 @@
 //! than the dense one on routines that need refinement, and the stats
 //! counters must be coherent.
 
-use pgvn_core::{run, GvnConfig, Mode};
+use pgvn_core::{run, try_run, GvnConfig, Mode, RunOutcome};
 use pgvn_lang::compile;
 use pgvn_ssa::SsaStyle;
 use pgvn_workload::{generate_function, GenConfig};
@@ -40,6 +40,23 @@ fn single_pass_modes_process_each_instruction_at_most_once_per_pass() {
             r.stats.insts_processed,
             f.num_insts()
         );
+    }
+}
+
+#[test]
+fn converged_runs_carry_an_explicit_outcome() {
+    // The robustness satellite: truncation is never silent. A settled
+    // fixed point must say so in `stats.outcome` (not just the legacy
+    // `converged` flag), `outcome()` must agree, and the fallible entry
+    // point must accept it.
+    let cfg = GenConfig { seed: 11, target_stmts: 50, loop_prob: 0.4, ..Default::default() };
+    let f = generate_function("w", &cfg, SsaStyle::Minimal);
+    for gvn_cfg in [GvnConfig::full(), GvnConfig::full().mode(Mode::Pessimistic)] {
+        let r = run(&f, &gvn_cfg);
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.outcome, RunOutcome::Converged);
+        assert_eq!(r.outcome(), RunOutcome::Converged);
+        assert!(try_run(&f, &gvn_cfg).is_ok(), "converged run classifies clean");
     }
 }
 

@@ -1,0 +1,103 @@
+//! Malformed-IR coverage for the structural verifier.
+//!
+//! The resilient pipeline's degradation ladder gates every rung commit
+//! on `verify`, so these tests pin down that each class of corruption a
+//! buggy rewrite could introduce — dangling block and value references,
+//! φ-arity drift, terminator damage — is actually caught, not silently
+//! accepted.
+
+use pgvn_ir::{verify, BinOp, CmpOp, Function};
+
+/// The diamond every test corrupts: `entry ─▶ {then, else} ─▶ join(φ)`.
+fn diamond() -> Function {
+    let mut f = Function::new("d", 2);
+    let entry = f.entry();
+    let (t, e, j) = (f.add_block(), f.add_block(), f.add_block());
+    let c = f.cmp(entry, CmpOp::Lt, f.param(0), f.param(1));
+    f.set_branch(entry, c, t, e);
+    let x = f.iconst(t, 10);
+    f.set_jump(t, j);
+    let y = f.iconst(e, 20);
+    f.set_jump(e, j);
+    let p = f.append_phi(j);
+    f.set_phi_args(p, vec![x, y]);
+    f.set_return(j, p);
+    verify(&f).expect("the uncorrupted diamond verifies");
+    f
+}
+
+#[test]
+fn live_block_without_terminator_is_rejected() {
+    let mut f = diamond();
+    // The exact corruption the fault-injection harness uses for its
+    // verifier-reject class: a bare `add_block` leaves a live,
+    // unterminated block.
+    f.add_block();
+    let e = verify(&f).expect_err("unterminated block must be rejected");
+    assert!(e.message().contains("no terminator"), "{e}");
+}
+
+#[test]
+fn dangling_edge_after_removal_is_rejected() {
+    let mut f = diamond();
+    // Drop one arm of the branch without fixing the terminator: the
+    // branch now references a successor list with only one live edge.
+    let gone = f.succs(f.entry())[0];
+    f.remove_edge(gone);
+    let e = verify(&f).expect_err("branch with one outgoing edge must be rejected");
+    assert!(e.message().contains("outgoing edges"), "{e}");
+}
+
+#[test]
+fn dangling_value_reference_is_rejected() {
+    let mut f = diamond();
+    // Remove the `then`-side constant whose value the φ still carries.
+    let x = f
+        .values()
+        .find(|&v| matches!(f.kind(f.def(v)), pgvn_ir::InstKind::Const(10)))
+        .expect("the 10 constant exists");
+    f.remove_inst(f.def(x));
+    let e = verify(&f).expect_err("use of a removed definition must be rejected");
+    assert!(e.message().contains("not in a live block") || e.message().contains("uses"), "{e}");
+}
+
+#[test]
+fn phi_arity_below_predecessor_count_is_rejected() {
+    let mut f = diamond();
+    let phi = f.values().find(|&v| f.kind(f.def(v)).is_phi()).expect("diamond has a φ");
+    let x = f.param(0);
+    f.set_phi_args(phi, vec![x]);
+    let e = verify(&f).expect_err("φ arity below pred count must be rejected");
+    assert!(e.message().contains("predecessors"), "{e}");
+}
+
+#[test]
+fn phi_arity_above_predecessor_count_is_rejected() {
+    let mut f = diamond();
+    let phi = f.values().find(|&v| f.kind(f.def(v)).is_phi()).expect("diamond has a φ");
+    let (a, b) = (f.param(0), f.param(1));
+    f.set_phi_args(phi, vec![a, b, a]);
+    let e = verify(&f).expect_err("φ arity above pred count must be rejected");
+    assert!(e.message().contains("predecessors"), "{e}");
+}
+
+#[test]
+fn use_from_unreachable_removed_block_is_rejected() {
+    // A cross-block use whose defining block is later removed: the
+    // shape a careless UCE rewrite would leave behind.
+    let mut f = Function::new("f", 1);
+    let entry = f.entry();
+    let (a, b) = (f.add_block(), f.add_block());
+    let c = f.cmp(entry, CmpOp::Eq, f.param(0), f.param(0));
+    f.set_branch(entry, c, a, b);
+    let x = f.iconst(a, 1);
+    f.set_jump(a, b);
+    let one = f.iconst(b, 1);
+    let s = f.binary(b, BinOp::Add, x, one);
+    f.set_return(b, s);
+    verify(&f).expect("well-formed before the cut");
+    f.fold_branch_to(entry, 1);
+    f.remove_block(a);
+    let e = verify(&f).expect_err("cross-block use of a removed def must be rejected");
+    assert!(e.message().contains("not in a live block"), "{e}");
+}

@@ -12,12 +12,13 @@
 use crate::lattice::{check_lattice, default_relations, Relation};
 use crate::outcome::mix64;
 use crate::shrink::{shrink_routine, ShrinkOptions};
-use crate::validator::{validate_function, ValidatorOptions};
-use pgvn_core::GvnConfig;
+use crate::validator::{validate_function, validate_optimized, ValidatorOptions};
+use pgvn_core::{FaultKind, FaultPlan, FaultSite, GvnConfig};
 use pgvn_ir::Function;
 use pgvn_lang::Routine;
 use pgvn_ssa::SsaStyle;
 use pgvn_telemetry::json::JsonWriter;
+use pgvn_transform::Pipeline;
 use pgvn_workload::GenConfig;
 
 /// Which oracles to run per generated routine.
@@ -60,6 +61,10 @@ pub struct FuzzOptions {
     /// Add a deliberately miscompiling configuration to the validator.
     /// Every iteration should then fail — the self-test of the oracle.
     pub inject_miscompile: bool,
+    /// Also push every routine through the degradation ladder
+    /// (`Pipeline::optimize_resilient`), cycling injected fault classes,
+    /// and validate whatever rung committed against the original.
+    pub check_resilient: bool,
 }
 
 impl Default for FuzzOptions {
@@ -73,6 +78,7 @@ impl Default for FuzzOptions {
             max_failures: 10,
             shrink: Some(ShrinkOptions::default()),
             inject_miscompile: false,
+            check_resilient: true,
         }
     }
 }
@@ -84,7 +90,7 @@ pub struct FuzzFailure {
     pub iteration: u64,
     /// The derived generator seed (replays this routine alone).
     pub gen_seed: u64,
-    /// `"validate"` or `"lattice"`.
+    /// `"validate"`, `"lattice"`, or `"resilient"`.
     pub kind: String,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -180,6 +186,49 @@ fn compile_routine(r: &Routine) -> Option<Function> {
     pgvn_ssa::build_ssa(&vf, SsaStyle::Pruned).ok()
 }
 
+/// The fault plans cycled through the resilient-ladder check: a clean
+/// run, then one per recoverable fault class. The panic class is
+/// deliberately absent — it is covered by the dedicated resilience tests
+/// and the CI batch matrix, where firing real panics does not spray
+/// panic-hook noise across a parallel fuzz campaign's output.
+fn resilient_fault(iteration: u64, gen_seed: u64) -> Option<FaultPlan> {
+    let plan = match iteration % 4 {
+        0 => return None,
+        1 => FaultPlan::new(FaultKind::Invariant, FaultSite::Eval),
+        2 => FaultPlan::new(FaultKind::Budget, FaultSite::Edges),
+        _ => FaultPlan::new(FaultKind::VerifierReject, FaultSite::Rewrite),
+    };
+    Some(plan.seeded(gen_seed))
+}
+
+/// Pushes `func` through the degradation ladder under the iteration's
+/// injected fault and validates whatever rung committed against the
+/// original: the ladder must end in a usable classified state, the
+/// committed function must verify, and translation validation must
+/// agree. Returns a one-line description of the first violation.
+fn check_resilient(
+    func: &Function,
+    iteration: u64,
+    gen_seed: u64,
+    validator: &ValidatorOptions,
+) -> Result<(), String> {
+    let plan = resilient_fault(iteration, gen_seed);
+    let label = match plan {
+        Some(p) => format!("resilient:{p}"),
+        None => "resilient".to_string(),
+    };
+    let cfg = GvnConfig::full().fault_plan(plan);
+    let mut optimized = func.clone();
+    let rep = Pipeline::new(cfg).rounds(validator.rounds).optimize_resilient(&mut optimized);
+    if !rep.is_usable() {
+        return Err(format!(
+            "[{label}] ladder rejected a verified input: outcome {}",
+            rep.outcome.kind()
+        ));
+    }
+    validate_optimized(func, &optimized, &label, validator).map_err(|e| e.to_string())
+}
+
 /// Runs a campaign with the default (silent) progress callback.
 pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     fuzz_with(opts, &mut |_, _| {})
@@ -250,6 +299,16 @@ pub fn fuzz_with(
                 failure = Some(("lattice".to_string(), v.to_string()));
                 failing_predicate = Some(Box::new(move |r: &Routine| {
                     compile_routine(r).is_some_and(|f| check_lattice(&f, &rels).is_err())
+                }));
+            }
+        }
+        if failure.is_none() && opts.check_resilient {
+            if let Err(detail) = check_resilient(&func, i, gen_seed, &validator) {
+                let v = validator.clone();
+                failure = Some(("resilient".to_string(), detail));
+                failing_predicate = Some(Box::new(move |r: &Routine| {
+                    compile_routine(r)
+                        .is_some_and(|f| check_resilient(&f, i, gen_seed, &v).is_err())
                 }));
             }
         }

@@ -50,4 +50,6 @@ pub use fuzz::{fuzz, fuzz_with, FuzzFailure, FuzzMode, FuzzOptions, FuzzReport};
 pub use lattice::{check_lattice, default_relations, LatticeViolation, Relation};
 pub use outcome::{mix64, run_outcome, Outcome};
 pub use shrink::{shrink_routine, ShrinkOptions};
-pub use validator::{default_validation_configs, validate_function, Failure, ValidatorOptions};
+pub use validator::{
+    default_validation_configs, validate_function, validate_optimized, Failure, ValidatorOptions,
+};

@@ -181,28 +181,69 @@ pub fn validate_function(func: &Function, opts: &ValidatorOptions) -> Result<(),
         if let Err(e) = pgvn_ir::verify(&optimized) {
             return Err(Failure::Verify { config: name.clone(), error: e.to_string() });
         }
-        for ((args, os), &original) in vectors.iter().zip(&originals) {
-            let after = run_outcome(&optimized, args, *os, opts.fuel.saturating_mul(4));
-            let agree = match (original, after) {
-                (Outcome::Return(a), Outcome::Return(b)) => a == b,
-                (Outcome::Diverge, Outcome::Diverge) => true,
-                (Outcome::Trap(a), Outcome::Trap(b)) => a == b,
-                // The original may simply have been starved: retry with a
-                // much larger budget and require the same value.
-                (Outcome::Diverge, Outcome::Return(b)) => {
-                    run_outcome(func, args, *os, opts.fuel.saturating_mul(64)) == Outcome::Return(b)
-                }
-                _ => false,
-            };
-            if !agree {
-                return Err(Failure::Mismatch {
-                    config: name.clone(),
-                    args: args.clone(),
-                    opaque_seed: *os,
-                    original,
-                    optimized: after,
-                });
+        agree_on_vectors(func, &optimized, name, &vectors, &originals, opts.fuel)?;
+    }
+    Ok(())
+}
+
+/// Validates an *already-optimized* routine against the original: the
+/// IR verifier plus outcome agreement on the derived vectors, without
+/// running any pipeline. This is the gate a resilient-ladder output
+/// (`Pipeline::optimize_resilient`) goes through in fuzz campaigns —
+/// whatever rung committed, the function the caller holds must verify
+/// and agree with the original.
+///
+/// # Errors
+///
+/// [`Failure::Verify`] if `optimized` is ill-formed, and
+/// [`Failure::Mismatch`] if the executions disagree on any vector.
+pub fn validate_optimized(
+    original: &Function,
+    optimized: &Function,
+    config: &str,
+    opts: &ValidatorOptions,
+) -> Result<(), Failure> {
+    if let Err(e) = pgvn_ir::verify(optimized) {
+        return Err(Failure::Verify { config: config.to_string(), error: e.to_string() });
+    }
+    let vectors = argument_vectors(original.params().len(), opts.vectors, opts.input_seed);
+    let originals: Vec<Outcome> =
+        vectors.iter().map(|(args, os)| run_outcome(original, args, *os, opts.fuel)).collect();
+    agree_on_vectors(original, optimized, config, &vectors, &originals, opts.fuel)
+}
+
+/// The shared outcome-agreement core: original vs optimized on each
+/// vector, with the documented fuel asymmetry (4× for the optimized
+/// routine, 64× divergence retries for the original).
+fn agree_on_vectors(
+    original: &Function,
+    optimized: &Function,
+    config: &str,
+    vectors: &[(Vec<i64>, u64)],
+    originals: &[Outcome],
+    fuel: u64,
+) -> Result<(), Failure> {
+    for ((args, os), &before) in vectors.iter().zip(originals) {
+        let after = run_outcome(optimized, args, *os, fuel.saturating_mul(4));
+        let agree = match (before, after) {
+            (Outcome::Return(a), Outcome::Return(b)) => a == b,
+            (Outcome::Diverge, Outcome::Diverge) => true,
+            (Outcome::Trap(a), Outcome::Trap(b)) => a == b,
+            // The original may simply have been starved: retry with a
+            // much larger budget and require the same value.
+            (Outcome::Diverge, Outcome::Return(b)) => {
+                run_outcome(original, args, *os, fuel.saturating_mul(64)) == Outcome::Return(b)
             }
+            _ => false,
+        };
+        if !agree {
+            return Err(Failure::Mismatch {
+                config: config.to_string(),
+                args: args.clone(),
+                opaque_seed: *os,
+                original: before,
+                optimized: after,
+            });
         }
     }
     Ok(())

@@ -84,6 +84,21 @@ pub enum TraceEvent {
         /// Whether the fixed point was reached under the pass cap.
         converged: bool,
     },
+    /// A degradation-ladder rung finished (resilient pipeline): either
+    /// the rung's output was committed, or it failed with a classified
+    /// error and the pipeline rolled back to the pre-rewrite clone.
+    Rung {
+        /// 0-based rung index (0 = full predicated GVN).
+        rung: u32,
+        /// Rung name (`"full"`, `"practical"`, `"pessimistic"`,
+        /// `"identity"`).
+        name: String,
+        /// `"committed"` or `"failed"`.
+        status: String,
+        /// Failure classification (error kind + message); empty when
+        /// committed.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -96,6 +111,7 @@ impl TraceEvent {
             TraceEvent::Oscillation { .. } => "oscillation",
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::Rung { .. } => "rung",
         }
     }
 
@@ -152,6 +168,12 @@ impl TraceEvent {
             TraceEvent::RunEnd { passes, converged } => {
                 w.field_u64("passes", u64::from(*passes)).field_bool("converged", *converged);
             }
+            TraceEvent::Rung { rung, name, status, detail } => {
+                w.field_u64("rung", u64::from(*rung))
+                    .field_str("name", name)
+                    .field_str("status", status)
+                    .field_str("detail", detail);
+            }
         }
         w.finish()
     }
@@ -199,6 +221,13 @@ impl fmt::Display for TraceEvent {
                     if *converged { "converged" } else { "PASS CAP HIT" }
                 )
             }
+            TraceEvent::Rung { rung, name, status, detail } => {
+                write!(f, "rung {rung} ({name}): {status}")?;
+                if !detail.is_empty() {
+                    write!(f, " — {detail}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -242,6 +271,29 @@ mod tests {
         let v = parse(&ev.to_json()).unwrap();
         assert_eq!(v.get("before").unwrap().as_str(), Some("c2=\"quoted\""));
         assert_eq!(v.get("after").unwrap().as_str(), Some("c4=φ[b1](v1, v2)"));
+    }
+
+    #[test]
+    fn rung_events_encode_and_display() {
+        let ev = TraceEvent::Rung {
+            rung: 1,
+            name: "practical".into(),
+            status: "failed".into(),
+            detail: "internal_invariant: injected fault at site eval".into(),
+        };
+        let v = parse(&ev.to_json()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("rung"));
+        assert_eq!(v.get("rung").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("practical"));
+        assert_eq!(v.get("status").unwrap().as_str(), Some("failed"));
+        assert!(ev.to_string().contains("injected fault"));
+        let ok = TraceEvent::Rung {
+            rung: 0,
+            name: "full".into(),
+            status: "committed".into(),
+            detail: String::new(),
+        };
+        assert!(!ok.to_string().contains('—'));
     }
 
     #[test]

@@ -30,10 +30,12 @@
 
 pub mod dce;
 pub mod pipeline;
+pub mod resilient;
 pub mod rewrite;
 
 pub use dce::eliminate_dead_code;
 pub use pipeline::{OptimizeReport, Pipeline};
+pub use resilient::{ResilienceReport, ResilientOutcome, RungFailure, RungId};
 pub use rewrite::{
     eliminate_redundancies, eliminate_unreachable, forward_copies, propagate_constants, UceReport,
 };

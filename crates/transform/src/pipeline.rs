@@ -42,8 +42,8 @@ pub struct OptimizeReport {
 /// A GVN-driven optimization pipeline.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
-    cfg: GvnConfig,
-    rounds: usize,
+    pub(crate) cfg: GvnConfig,
+    pub(crate) rounds: usize,
 }
 
 impl Pipeline {

@@ -1,0 +1,466 @@
+//! The degradation ladder: resilient optimization with rollback.
+//!
+//! [`Pipeline::optimize_resilient`] wraps the ordinary GVN+rewrite
+//! pipeline in a containment boundary. Each rung of the ladder runs a
+//! progressively weaker (and more robust) configuration against a fresh
+//! clone of the input — full predicated GVN, then the stripped-down
+//! practical variant, then the one-pass pessimistic emulation
+//! (§2.6/§2.9), and finally *verified identity*: return the input
+//! unchanged. A rung commits only if its analysis converges within
+//! budget, no panic unwinds out of it, and its rewritten function passes
+//! the `pgvn-ir` verifier; otherwise the rung's classified [`GvnError`]
+//! is recorded, the candidate clone is discarded, and the ladder steps
+//! down. One poisoned routine therefore can never sink a batch — the
+//! worst case is the routine ships unoptimized. See `docs/ROBUSTNESS.md`.
+
+use crate::pipeline::{OptimizeReport, Pipeline};
+use pgvn_core::{
+    try_run_traced, BudgetKind, FaultKind, FaultSite, GvnConfig, GvnError, Mode, Variant,
+};
+use pgvn_ir::{verify, Function};
+use pgvn_telemetry::json::JsonWriter;
+use pgvn_telemetry::{Telemetry, TraceEvent};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A rung of the degradation ladder, strongest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RungId {
+    /// The caller's configuration, unchanged (normally full predicated
+    /// GVN).
+    Full,
+    /// The practical variant with the §2.7/§2.8 machinery (reassociation,
+    /// inference, φ-predication, extensions) disabled — Click-strength.
+    Practical,
+    /// The one-pass pessimistic emulation (§2.6/§2.9).
+    Pessimistic,
+    /// No optimization: the verified input is returned unchanged.
+    Identity,
+}
+
+impl RungId {
+    /// Stable rung name for telemetry and JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            RungId::Full => "full",
+            RungId::Practical => "practical",
+            RungId::Pessimistic => "pessimistic",
+            RungId::Identity => "identity",
+        }
+    }
+
+    /// The rung's position on the ladder (0 = strongest), as recorded in
+    /// `GvnStats::ladder_rung`.
+    pub fn index(self) -> u32 {
+        match self {
+            RungId::Full => 0,
+            RungId::Practical => 1,
+            RungId::Pessimistic => 2,
+            RungId::Identity => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for RungId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One failed-and-rolled-back rung.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RungFailure {
+    /// The rung that failed.
+    pub rung: RungId,
+    /// Why it failed.
+    pub error: GvnError,
+}
+
+/// How a resilient optimization ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilientOutcome {
+    /// An analysis rung committed its rewritten function.
+    Optimized(RungId),
+    /// Every analysis rung failed; the input was returned unchanged
+    /// (it still passes the verifier — that is the identity guarantee).
+    Identity,
+    /// The *input* did not pass the IR verifier; nothing was attempted.
+    Rejected(GvnError),
+}
+
+impl ResilientOutcome {
+    /// Stable outcome tag for JSON records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ResilientOutcome::Optimized(_) => "optimized",
+            ResilientOutcome::Identity => "identity",
+            ResilientOutcome::Rejected(_) => "rejected",
+        }
+    }
+
+    /// The rung whose output the caller holds (`None` when the input was
+    /// rejected outright).
+    pub fn rung(&self) -> Option<RungId> {
+        match self {
+            ResilientOutcome::Optimized(r) => Some(*r),
+            ResilientOutcome::Identity => Some(RungId::Identity),
+            ResilientOutcome::Rejected(_) => None,
+        }
+    }
+}
+
+/// The full report of one [`Pipeline::optimize_resilient`] call: the
+/// classified outcome, every rolled-back rung, and the committed rung's
+/// ordinary [`OptimizeReport`] (all-zero for identity/rejected).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceReport {
+    /// The classified outcome.
+    pub outcome: ResilientOutcome,
+    /// The rungs that failed and were rolled back, in ladder order.
+    pub failures: Vec<RungFailure>,
+    /// The committed rung's pipeline report. Its `gvn_stats` carry the
+    /// ladder counters (`ladder_rung`, `ladder_failures`).
+    pub report: OptimizeReport,
+}
+
+impl ResilienceReport {
+    /// `true` when the routine ended in a classified state with a
+    /// usable function (optimized or identity — not rejected).
+    pub fn is_usable(&self) -> bool {
+        !matches!(self.outcome, ResilientOutcome::Rejected(_))
+    }
+
+    /// Renders the outcome, ladder counters, and per-rung failures as
+    /// one JSON object (the per-routine record of `pgvn batch`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("outcome", self.outcome.kind());
+        match &self.outcome {
+            ResilientOutcome::Optimized(r) => {
+                w.field_str("rung", r.name());
+            }
+            ResilientOutcome::Identity => {
+                w.field_str("rung", RungId::Identity.name());
+            }
+            ResilientOutcome::Rejected(err) => {
+                w.field_str("error", err.kind()).field_str("detail", &err.to_string());
+            }
+        }
+        let mut failures = String::from("[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                failures.push(',');
+            }
+            let mut fw = JsonWriter::object();
+            fw.field_str("rung", f.rung.name())
+                .field_str("error", f.error.kind())
+                .field_str("detail", &f.error.to_string());
+            failures.push_str(&fw.finish());
+        }
+        failures.push(']');
+        w.field_raw("failures", &failures);
+        w.field_raw("stats", &self.report.gvn_stats.to_json());
+        w.finish()
+    }
+}
+
+/// Weakens `cfg` to the practical rung: the paper's practical variant
+/// with every §2.2/§2.7/§2.8 mechanism (the machinery most likely to be
+/// implicated in a failure) disabled.
+fn practical_rung(cfg: &GvnConfig) -> GvnConfig {
+    GvnConfig {
+        variant: Variant::Practical,
+        global_reassociation: false,
+        predicate_inference: false,
+        value_inference: false,
+        phi_predication: false,
+        joint_domination: false,
+        phi_op_distribution: false,
+        ..cfg.clone()
+    }
+}
+
+/// Weakens `cfg` to the pessimistic rung: one pass, everything assumed
+/// reachable, cyclic φs unique (§2.6/§2.9).
+fn pessimistic_rung(cfg: &GvnConfig) -> GvnConfig {
+    GvnConfig { mode: Mode::Pessimistic, ..practical_rung(cfg) }
+}
+
+/// Renders a caught panic payload as a one-line string.
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Pipeline {
+    /// The analysis rungs this pipeline's ladder will attempt, strongest
+    /// first, with rungs whose configuration collapses into an earlier
+    /// one removed (e.g. a pipeline already configured pessimistic has a
+    /// one-rung ladder).
+    pub fn ladder(&self) -> Vec<(RungId, GvnConfig)> {
+        let mut rungs = vec![(RungId::Full, self.cfg.clone())];
+        for (id, cfg) in [
+            (RungId::Practical, practical_rung(&self.cfg)),
+            (RungId::Pessimistic, pessimistic_rung(&self.cfg)),
+        ] {
+            if rungs.iter().all(|(_, existing)| *existing != cfg) {
+                rungs.push((id, cfg));
+            }
+        }
+        rungs
+    }
+
+    /// [`Pipeline::optimize`] with full failure containment: budgets,
+    /// panic isolation, verifier gating, and the degradation ladder.
+    /// Never panics and never leaves `func` in a broken state — on any
+    /// failure `func` is rolled back to (a clone of) its input, and the
+    /// worst classified outcome is `Identity` (unoptimized but verified)
+    /// or `Rejected` (the *input* was malformed).
+    pub fn optimize_resilient(&self, func: &mut Function) -> ResilienceReport {
+        self.optimize_resilient_traced(func, &mut Telemetry::off())
+    }
+
+    /// [`Pipeline::optimize_resilient`] with observability: each rung's
+    /// analysis traces into `tel`, and every rung commit/failure emits a
+    /// [`TraceEvent::Rung`].
+    pub fn optimize_resilient_traced(
+        &self,
+        func: &mut Function,
+        tel: &mut Telemetry<'_>,
+    ) -> ResilienceReport {
+        // The input gate: the ladder's identity guarantee is "the caller
+        // holds a verified function", which is only meaningful if the
+        // input verified in the first place.
+        if let Err(e) = verify(func) {
+            let err =
+                GvnError::VerifierRejected { rung: "input".to_string(), error: e.to_string() };
+            return ResilienceReport {
+                outcome: ResilientOutcome::Rejected(err),
+                failures: Vec::new(),
+                report: OptimizeReport::default(),
+            };
+        }
+        let pristine = func.clone();
+        let mut failures: Vec<RungFailure> = Vec::new();
+        // A non-sticky fault plan models a transient/config-specific
+        // failure: it is stripped from every rung after the first
+        // failure, so the ladder demonstrably recovers one rung down.
+        let mut strip_fault = false;
+        for (rung, mut rung_cfg) in self.ladder() {
+            if strip_fault {
+                rung_cfg.fault_plan = None;
+            }
+            let mut candidate = pristine.clone();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.run_rung(&rung_cfg, rung, &mut candidate, tel)
+            }));
+            let error = match attempt {
+                Ok(Ok(mut report)) => {
+                    report.gvn_stats.ladder_rung = rung.index();
+                    report.gvn_stats.ladder_failures = failures.len() as u32;
+                    *func = candidate;
+                    tel.emit(|| TraceEvent::Rung {
+                        rung: rung.index(),
+                        name: rung.name().to_string(),
+                        status: "committed".to_string(),
+                        detail: String::new(),
+                    });
+                    tel.flush();
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::Optimized(rung),
+                        failures,
+                        report,
+                    };
+                }
+                Ok(Err(err)) => err,
+                Err(payload) => GvnError::Panicked { payload: panic_payload(payload.as_ref()) },
+            };
+            tel.emit(|| TraceEvent::Rung {
+                rung: rung.index(),
+                name: rung.name().to_string(),
+                status: "failed".to_string(),
+                detail: format!("{}: {error}", error.kind()),
+            });
+            if rung_cfg.fault_plan.is_some_and(|p| !p.sticky) {
+                strip_fault = true;
+            }
+            failures.push(RungFailure { rung, error });
+        }
+        // The identity rung: `func` still holds the verified input.
+        let mut report = OptimizeReport::default();
+        report.gvn_stats.ladder_rung = RungId::Identity.index();
+        report.gvn_stats.ladder_failures = failures.len() as u32;
+        tel.emit(|| TraceEvent::Rung {
+            rung: RungId::Identity.index(),
+            name: RungId::Identity.name().to_string(),
+            status: "committed".to_string(),
+            detail: String::new(),
+        });
+        tel.flush();
+        ResilienceReport { outcome: ResilientOutcome::Identity, failures, report }
+    }
+
+    /// One ladder rung: the ordinary GVN+rewrite rounds, but with the
+    /// fallible analysis entry point, rewrite-site fault injection, and
+    /// a final verifier gate. Runs against the caller's candidate clone;
+    /// any `Err` means the candidate must be discarded.
+    fn run_rung(
+        &self,
+        cfg: &GvnConfig,
+        rung: RungId,
+        func: &mut Function,
+        tel: &mut Telemetry<'_>,
+    ) -> Result<OptimizeReport, GvnError> {
+        let t0 = std::time::Instant::now();
+        let mut report = OptimizeReport::default();
+        let rewrite_fault = cfg.fault_plan.filter(|p| p.site == FaultSite::Rewrite);
+        let mut rewrite_countdown = rewrite_fault.map(|p| p.countdown());
+        for _ in 0..self.rounds {
+            let g0 = std::time::Instant::now();
+            let results = try_run_traced(func, cfg, tel)?;
+            report.gvn_nanos += g0.elapsed().as_nanos();
+            report.gvn_stats = results.stats;
+            if let Some(plan) = rewrite_fault {
+                if plan.kind != FaultKind::VerifierReject {
+                    let fire = match rewrite_countdown.as_mut() {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            false
+                        }
+                        Some(_) => true,
+                        None => false,
+                    };
+                    if fire {
+                        match plan.kind {
+                            FaultKind::Panic => {
+                                panic!("pgvn injected fault: panic at site rewrite")
+                            }
+                            FaultKind::Invariant => {
+                                return Err(GvnError::invariant("injected fault at site rewrite"))
+                            }
+                            FaultKind::Budget => {
+                                return Err(GvnError::BudgetExceeded {
+                                    budget: BudgetKind::Work,
+                                    limit: 0,
+                                    spent: report.gvn_stats.touches,
+                                })
+                            }
+                            FaultKind::VerifierReject => unreachable!(),
+                        }
+                    }
+                }
+            }
+            let uce = crate::rewrite::eliminate_unreachable(func, &results);
+            report.uce.branches_folded += uce.branches_folded;
+            report.uce.blocks_removed += uce.blocks_removed;
+            report.uce.phis_simplified += uce.phis_simplified;
+            report.constants_propagated += crate::rewrite::propagate_constants(func, &results);
+            report.redundancies_eliminated +=
+                crate::rewrite::eliminate_redundancies(func, &results);
+            report.copies_forwarded += crate::rewrite::forward_copies(func);
+            report.dead_removed += crate::dce::eliminate_dead_code(func);
+        }
+        // An injected verifier-rejection: make the rewritten function
+        // ill-formed in a way `pgvn_ir::verify` is guaranteed to catch
+        // (a live block with no terminator), proving the gate below
+        // actually guards the commit.
+        if rewrite_fault.is_some_and(|p| p.kind == FaultKind::VerifierReject) {
+            func.add_block();
+        }
+        if let Err(e) = verify(func) {
+            return Err(GvnError::VerifierRejected {
+                rung: rung.name().to_string(),
+                error: e.to_string(),
+            });
+        }
+        report.total_nanos = t0.elapsed().as_nanos();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_core::FaultPlan;
+    use pgvn_lang::compile;
+    use pgvn_ssa::SsaStyle;
+
+    fn sample() -> Function {
+        compile(
+            "routine f(a, b) { x = a + b; y = b + a; if (x > y) { return 1; } return x - y; }",
+            SsaStyle::Pruned,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_routine_commits_on_the_full_rung() {
+        let mut f = sample();
+        let rep = Pipeline::new(GvnConfig::full()).rounds(2).optimize_resilient(&mut f);
+        assert_eq!(rep.outcome, ResilientOutcome::Optimized(RungId::Full));
+        assert!(rep.failures.is_empty());
+        assert_eq!(rep.report.gvn_stats.ladder_rung, 0);
+        assert_eq!(rep.report.gvn_stats.ladder_failures, 0);
+        verify(&f).expect("committed output verifies");
+    }
+
+    #[test]
+    fn ladder_dedups_collapsed_rungs() {
+        let full = Pipeline::new(GvnConfig::full());
+        assert_eq!(full.ladder().len(), 3);
+        let pess = Pipeline::new(pessimistic_rung(&GvnConfig::full()));
+        assert_eq!(pess.ladder().len(), 1, "already-pessimistic config has a one-rung ladder");
+    }
+
+    #[test]
+    fn transient_fault_recovers_one_rung_down() {
+        let plan = FaultPlan::new(pgvn_core::FaultKind::Invariant, FaultSite::Eval);
+        let mut f = sample();
+        let rep =
+            Pipeline::new(GvnConfig::full().fault_plan(Some(plan))).optimize_resilient(&mut f);
+        assert_eq!(rep.outcome, ResilientOutcome::Optimized(RungId::Practical));
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].rung, RungId::Full);
+        assert_eq!(rep.failures[0].error.kind(), "internal_invariant");
+        assert_eq!(rep.report.gvn_stats.ladder_rung, 1);
+        assert_eq!(rep.report.gvn_stats.ladder_failures, 1);
+        verify(&f).expect("committed output verifies");
+    }
+
+    #[test]
+    fn sticky_panic_degrades_to_identity() {
+        let plan = FaultPlan::new(pgvn_core::FaultKind::Panic, FaultSite::Eval).sticky();
+        let original = sample();
+        let mut f = original.clone();
+        let rep =
+            Pipeline::new(GvnConfig::full().fault_plan(Some(plan))).optimize_resilient(&mut f);
+        assert_eq!(rep.outcome, ResilientOutcome::Identity);
+        assert_eq!(rep.failures.len(), 3, "every analysis rung failed");
+        assert!(rep.failures.iter().all(|f| f.error.kind() == "panicked"));
+        assert_eq!(rep.report.gvn_stats.ladder_rung, RungId::Identity.index());
+        assert_eq!(format!("{original}"), format!("{f}"), "identity returns the input unchanged");
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        use pgvn_telemetry::json::{parse, JsonValue};
+
+        let plan = FaultPlan::new(pgvn_core::FaultKind::VerifierReject, FaultSite::Rewrite);
+        let mut f = sample();
+        let rep =
+            Pipeline::new(GvnConfig::full().fault_plan(Some(plan))).optimize_resilient(&mut f);
+        let v = parse(&rep.to_json()).expect("report renders valid JSON");
+        assert_eq!(v.get("outcome").and_then(JsonValue::as_str), Some("optimized"));
+        assert_eq!(v.get("rung").and_then(JsonValue::as_str), Some("practical"));
+        let failures = match v.get("failures") {
+            Some(JsonValue::Arr(a)) => a,
+            other => panic!("failures not an array: {other:?}"),
+        };
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].get("error").and_then(JsonValue::as_str), Some("verifier_rejected"));
+    }
+}

@@ -75,7 +75,9 @@ pub fn eliminate_unreachable(func: &mut Function, results: &GvnResults) -> UceRe
             if let InstKind::Phi(args) = func.kind(inst) {
                 if args.len() == 1 {
                     let src = args[0];
-                    let result = func.inst_result(inst).expect("φ defines a value");
+                    // A φ without a result is malformed IR; leave it for
+                    // the verifier gate instead of panicking mid-rewrite.
+                    let Some(result) = func.inst_result(inst) else { continue };
                     func.replace_phi_with_copy(result, src);
                     report.phis_simplified += 1;
                 }

@@ -16,7 +16,12 @@
 //!   --trace                                        trace events to stderr
 //!   --trace-json <path>                            trace events as JSONL
 //!   --profile                                      per-phase wall-clock report
-//!   --stats-json                                   stats + strength as JSON
+//!   --stats-json                                   stats + strength + resilience as JSON
+//!   --budget-passes N                              per-routine pass ceiling
+//!   --budget-ms N                                  per-routine wall-clock deadline
+//!   --budget-touches N                             per-routine touched-work quota
+//!   --inject kind@site                             deterministic fault injection
+//!   --inject-seed N / --inject-sticky              fault trigger seed / every rung
 //!
 //! pgvn fuzz [options]              # differential-oracle fuzzing
 //!
@@ -28,14 +33,41 @@
 //!   --report <path>                                JSONL failure report
 //!   --fixture-dir <dir>                            write .pgvn reproducers
 //!   --no-shrink                                    keep failures unminimized
+//!   --no-resilient                                 skip the degradation-ladder oracle
 //!   --inject-bug                                   self-test: plant a miscompile
+//!
+//! pgvn batch [options]             # resilient batch optimization
+//!
+//! options:
+//!   --dir <dir>                                    optimize every .pgvn file in dir
+//!   --gen N                                        or: generate N routines
+//!   --seed N                                       generator seed (default: 2002)
+//!   --limit N                                      stop after N routines
+//!   --config/--mode/--variant                      as for single-routine mode
+//!   --rounds N                                     pipeline rounds (default: 2)
+//!   --budget-passes/--budget-ms/--budget-touches   per-routine budgets
+//!   --inject kind@site [--inject-seed N] [--inject-sticky]
+//!   --report <path>                                per-routine JSONL report
+//!
+//! Exit codes: 0 success, 1 failures found (fuzz/batch) or internal
+//! error, 2 usage or I/O errors. Batch mode isolates every routine with
+//! `catch_unwind`: one poisoned routine cannot sink the batch.
 //! ```
 
-use pgvn::core::run_traced as gvn_run_traced;
+use pgvn::core::{try_run_traced, FaultPlan, GvnBudget};
 use pgvn::prelude::*;
 use pgvn::telemetry::{JsonlSink, Phase, TeeSink, Telemetry, TextSink};
 use std::io::Read;
 use std::process::ExitCode;
+
+/// Usage and I/O errors: one-line diagnostic, never a panic backtrace.
+const EXIT_USAGE: u8 = 2;
+
+/// Prints a one-line diagnostic and returns the usage/I/O exit code.
+fn fail_io(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("pgvn: {msg}");
+    ExitCode::from(EXIT_USAGE)
+}
 
 struct Options {
     path: String,
@@ -48,6 +80,7 @@ struct Options {
     trace_json: Option<String>,
     profile: bool,
     stats_json: bool,
+    res: ResilienceFlags,
 }
 
 fn usage() -> ! {
@@ -56,9 +89,75 @@ fn usage() -> ! {
          \x20           [--mode optimistic|balanced|pessimistic] [--variant practical|complete]\n\
          \x20           [--ssa minimal|semi-pruned|pruned] [--dense]\n\
          \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]\n\
-         \x20           [--trace] [--trace-json <path>] [--profile] [--stats-json]"
+         \x20           [--trace] [--trace-json <path>] [--profile] [--stats-json]\n\
+         \x20           [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
+         \x20           [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
+         \x20      pgvn fuzz --help | pgvn batch --help"
     );
     std::process::exit(2);
+}
+
+/// The budget/fault flags shared by the single-routine and batch modes.
+#[derive(Default)]
+struct ResilienceFlags {
+    budget: GvnBudget,
+    inject: Option<FaultPlan>,
+    inject_seed: u64,
+    inject_sticky: bool,
+}
+
+impl ResilienceFlags {
+    /// Consumes the flag if it matches, pulling its value from `args`.
+    /// `Ok(true)` means handled; `Err` carries the one-line diagnostic.
+    fn consume(
+        &mut self,
+        flag: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut num = |what: &str| -> Result<u64, String> {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{flag} requires a numeric {what}"))
+        };
+        match flag {
+            "--budget-passes" => self.budget.max_passes = Some(num("pass count")? as u32),
+            "--budget-ms" => {
+                self.budget.time_limit = Some(std::time::Duration::from_millis(num("deadline")?));
+            }
+            "--budget-touches" => self.budget.max_touches = Some(num("quota")?),
+            "--inject" => {
+                let spec = args.next().ok_or("--inject requires kind@site")?;
+                self.inject = Some(FaultPlan::parse(&spec).ok_or_else(|| {
+                    format!(
+                        "--inject {spec}: expected kind@site with kind one of \
+                         panic|invariant|budget|verifier-reject and site one of \
+                         eval|edges|phipred|rewrite"
+                    )
+                })?);
+            }
+            "--inject-seed" => self.inject_seed = num("seed")?,
+            "--inject-sticky" => self.inject_sticky = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The assembled fault plan, seed and stickiness applied.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inject.map(|p| {
+            let p = p.seeded(self.inject_seed);
+            if self.inject_sticky {
+                p.sticky()
+            } else {
+                p
+            }
+        })
+    }
+
+    /// Applies the budget and fault plan to a configuration.
+    fn apply(&self, cfg: GvnConfig) -> GvnConfig {
+        cfg.budget(self.budget).fault_plan(self.fault_plan())
+    }
 }
 
 fn parse_options() -> Options {
@@ -76,7 +175,16 @@ fn parse_options() -> Options {
     let mut trace_json = None;
     let mut profile = false;
     let mut stats_json = false;
+    let mut res = ResilienceFlags::default();
     while let Some(a) = args.next() {
+        match res.consume(a.as_str(), &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("pgvn: {msg}");
+                std::process::exit(2);
+            }
+        }
         match a.as_str() {
             "--config" => {
                 config = match args.next().as_deref() {
@@ -143,7 +251,19 @@ fn parse_options() -> Options {
         emit.push("optimized".to_string());
     }
     let config = config.mode(mode).variant(variant).sparse(!dense);
-    Options { path, config, style, emit, run_args, stats, trace, trace_json, profile, stats_json }
+    Options {
+        path,
+        config,
+        style,
+        emit,
+        run_args,
+        stats,
+        trace,
+        trace_json,
+        profile,
+        stats_json,
+        res,
+    }
 }
 
 fn wants_source(emit: &[String]) -> bool {
@@ -154,7 +274,7 @@ fn fuzz_usage() -> ! {
     eprintln!(
         "usage: pgvn fuzz [--seed N] [--iters N] [--mode validate|lattice|both]\n\
          \x20               [--max-failures N] [--report <path>] [--fixture-dir <dir>]\n\
-         \x20               [--no-shrink] [--inject-bug]"
+         \x20               [--no-shrink] [--no-resilient] [--inject-bug]"
     );
     std::process::exit(2);
 }
@@ -197,6 +317,7 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
                 None => fuzz_usage(),
             },
             "--no-shrink" => opts.shrink = None,
+            "--no-resilient" => opts.check_resilient = false,
             "--inject-bug" => opts.inject_miscompile = true,
             _ => fuzz_usage(),
         }
@@ -227,20 +348,17 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
         lines.push('\n');
         let written = std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes()));
         if let Err(e) = written {
-            eprintln!("pgvn fuzz: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return fail_io(format_args!("fuzz: cannot write {path}: {e}"));
         }
     }
     if let Some(dir) = &fixture_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("pgvn fuzz: cannot create {dir}: {e}");
-            return ExitCode::FAILURE;
+            return fail_io(format_args!("fuzz: cannot create {dir}: {e}"));
         }
         for f in &result.failures {
             let path = format!("{dir}/fuzz-{}-{}.pgvn", f.kind, f.iteration);
             if let Err(e) = std::fs::write(&path, f.fixture()) {
-                eprintln!("pgvn fuzz: cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return fail_io(format_args!("fuzz: cannot write {path}: {e}"));
             }
             eprintln!("pgvn fuzz: wrote {path}");
         }
@@ -258,39 +376,251 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
     }
 }
 
+fn batch_usage() -> ! {
+    eprintln!(
+        "usage: pgvn batch (--dir <dir> | --gen N) [--seed N] [--limit N]\n\
+         \x20                [--config full|extended|click|sccp|awz|basic]\n\
+         \x20                [--mode optimistic|balanced|pessimistic]\n\
+         \x20                [--variant practical|complete] [--rounds N]\n\
+         \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
+         \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
+         \x20                [--report <path>]"
+    );
+    std::process::exit(2);
+}
+
+/// `pgvn batch`: resilient optimization over a suite of routines, one
+/// `catch_unwind`-isolated `optimize_resilient` call per routine, with a
+/// per-routine JSONL outcome report. One poisoned routine can never sink
+/// the batch — every routine ends in a classified record.
+fn batch_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::telemetry::json::JsonWriter;
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let mut dir: Option<String> = None;
+    let mut gen_count: Option<u64> = None;
+    let mut seed: u64 = 2002;
+    let mut limit: Option<usize> = None;
+    let mut config = GvnConfig::full();
+    let mut mode = Mode::Optimistic;
+    let mut variant = Variant::Practical;
+    let mut rounds: usize = 2;
+    let mut res = ResilienceFlags::default();
+    let mut report_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        match res.consume(a.as_str(), &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("pgvn: {msg}");
+                std::process::exit(2);
+            }
+        }
+        match a.as_str() {
+            "--dir" => match args.next() {
+                Some(d) => dir = Some(d),
+                None => batch_usage(),
+            },
+            "--gen" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => gen_count = Some(n),
+                None => batch_usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => batch_usage(),
+            },
+            "--limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => limit = Some(v),
+                None => batch_usage(),
+            },
+            "--config" => {
+                config = match args.next().as_deref() {
+                    Some("full") => GvnConfig::full(),
+                    Some("extended") => GvnConfig::extended(),
+                    Some("click") => GvnConfig::click(),
+                    Some("sccp") => GvnConfig::sccp(),
+                    Some("awz") => GvnConfig::awz(),
+                    Some("basic") => GvnConfig::basic(),
+                    _ => batch_usage(),
+                };
+            }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("optimistic") => Mode::Optimistic,
+                    Some("balanced") => Mode::Balanced,
+                    Some("pessimistic") => Mode::Pessimistic,
+                    _ => batch_usage(),
+                };
+            }
+            "--variant" => {
+                variant = match args.next().as_deref() {
+                    Some("practical") => Variant::Practical,
+                    Some("complete") => Variant::Complete,
+                    _ => batch_usage(),
+                };
+            }
+            "--rounds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => rounds = v,
+                None => batch_usage(),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => batch_usage(),
+            },
+            _ => batch_usage(),
+        }
+    }
+    if dir.is_none() && gen_count.is_none() {
+        batch_usage();
+    }
+    let cfg = res.apply(config.mode(mode).variant(variant));
+
+    // Gather the suite: (name, source) pairs. Unreadable or unparseable
+    // inputs become classified records, not early exits.
+    let mut sources: Vec<(String, Result<String, String>)> = Vec::new();
+    if let Some(dir) = &dir {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => return fail_io(format_args!("batch: cannot read {dir}: {e}")),
+        };
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pgvn"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let name = p.display().to_string();
+            let src = std::fs::read_to_string(&p).map_err(|e| e.to_string());
+            sources.push((name, src));
+        }
+    }
+    if let Some(n) = gen_count {
+        for i in 0..n {
+            let gen_seed = pgvn::oracle::mix64(seed ^ pgvn::oracle::mix64(i));
+            let gcfg = pgvn::workload::GenConfig { seed: gen_seed, ..Default::default() };
+            let routine = pgvn::workload::generate_routine(&format!("batch_{i}"), &gcfg);
+            sources.push((format!("batch_{i}"), Ok(pgvn::lang::print_routine(&routine))));
+        }
+    }
+    if let Some(n) = limit {
+        sources.truncate(n);
+    }
+
+    // Injected panics are classified at the catch_unwind boundary; the
+    // default hook would spray a backtrace per routine, so silence it
+    // for the duration of the batch.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut lines = String::new();
+    let (mut optimized, mut identity, mut rejected, mut errors, mut escaped) = (0u64, 0, 0, 0, 0);
+    for (name, src) in &sources {
+        let mut w = JsonWriter::object();
+        w.field_str("event", "routine").field_str("name", name);
+        let func = src
+            .as_ref()
+            .map_err(|e| e.clone())
+            .and_then(|s| compile(s, SsaStyle::Pruned).map_err(|e| e.to_string()));
+        match func {
+            Err(e) => {
+                errors += 1;
+                w.field_str("status", "input_error").field_str("detail", &e);
+                eprintln!("pgvn batch: {name}: input error: {e}");
+            }
+            Ok(mut f) => {
+                // The API contract says optimize_resilient never panics;
+                // the batch boundary still catches, so a violation is a
+                // classified record (and a batch failure), not a crash.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let pipeline = Pipeline::new(cfg.clone()).rounds(rounds);
+                    let rep = pipeline.optimize_resilient(&mut f);
+                    (rep, f.num_insts())
+                }));
+                match attempt {
+                    Ok((rep, insts)) => {
+                        match rep.outcome.kind() {
+                            "optimized" => optimized += 1,
+                            "identity" => identity += 1,
+                            _ => rejected += 1,
+                        }
+                        w.field_str("status", "classified")
+                            .field_u64("insts", insts as u64)
+                            .field_raw("resilience", &rep.to_json());
+                    }
+                    Err(_) => {
+                        escaped += 1;
+                        w.field_str("status", "escaped_panic");
+                        eprintln!("pgvn batch: {name}: PANIC escaped optimize_resilient");
+                    }
+                }
+            }
+        }
+        lines.push_str(&w.finish());
+        lines.push('\n');
+    }
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev_hook);
+
+    let mut w = JsonWriter::object();
+    w.field_str("event", "batch_summary")
+        .field_u64("seed", seed)
+        .field_u64("routines", sources.len() as u64)
+        .field_u64("optimized", optimized)
+        .field_u64("identity", identity)
+        .field_u64("rejected", rejected)
+        .field_u64("input_errors", errors)
+        .field_u64("escaped_panics", escaped);
+    lines.push_str(&w.finish());
+    lines.push('\n');
+    if let Some(path) = &report_path {
+        let written = std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes()));
+        if let Err(e) = written {
+            return fail_io(format_args!("batch: cannot write {path}: {e}"));
+        }
+    } else {
+        print!("{lines}");
+    }
+    eprintln!(
+        "pgvn batch: {} routine(s): {optimized} optimized, {identity} identity, \
+         {rejected} rejected, {errors} input error(s), {escaped} escaped panic(s)",
+        sources.len()
+    );
+    if rejected == 0 && errors == 0 && escaped == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     {
         let mut args = std::env::args();
         let _argv0 = args.next();
-        if args.next().as_deref() == Some("fuzz") {
-            return fuzz_main(args);
+        match args.next().as_deref() {
+            Some("fuzz") => return fuzz_main(args),
+            Some("batch") => return batch_main(args),
+            _ => {}
         }
     }
     let opts = parse_options();
     let source = if opts.path == "-" {
         let mut s = String::new();
-        if std::io::stdin().read_to_string(&mut s).is_err() {
-            eprintln!("pgvn: failed to read stdin");
-            return ExitCode::FAILURE;
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            return fail_io(format_args!("failed to read stdin: {e}"));
         }
         s
     } else {
         match std::fs::read_to_string(&opts.path) {
             Ok(s) => s,
-            Err(e) => {
-                eprintln!("pgvn: cannot read {}: {e}", opts.path);
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail_io(format_args!("cannot read {}: {e}", opts.path)),
         }
     };
 
     if wants_source(&opts.emit) {
         match pgvn::lang::parse(&source) {
             Ok(r) => println!("== source (pretty-printed) ==\n{}", pgvn::lang::print_routine(&r)),
-            Err(e) => {
-                eprintln!("pgvn: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail_io(e),
         }
     }
 
@@ -302,10 +632,7 @@ fn main() -> ExitCode {
     let mut json_sink = match &opts.trace_json {
         Some(path) => match std::fs::File::create(path) {
             Ok(f) => Some(JsonlSink::new(std::io::BufWriter::new(f))),
-            Err(e) => {
-                eprintln!("pgvn: cannot create {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return fail_io(format_args!("cannot create {path}: {e}")),
         },
         None => None,
     };
@@ -324,10 +651,7 @@ fn main() -> ExitCode {
     let t0 = tel.clock();
     let func = match compile(&source, opts.style) {
         Ok(f) => f,
-        Err(e) => {
-            eprintln!("pgvn: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail_io(e),
     };
     tel.record_phase(Phase::SsaBuild, t0);
 
@@ -337,27 +661,46 @@ fn main() -> ExitCode {
         println!("== ssa ==\n{func}");
     }
 
-    let results = gvn_run_traced(&func, &opts.config, &mut tel);
-    if wants("analysis") {
-        let s = results.strength();
-        println!("== analysis ==");
-        println!("passes:              {}", results.stats.passes);
-        println!("unreachable values:  {}", s.unreachable_values);
-        println!("constant values:     {}", s.constant_values);
-        println!("congruence classes:  {}", s.congruence_classes);
-        for b in func.blocks() {
-            if !results.is_block_reachable(b) {
-                println!("unreachable block:   {b}");
-            }
+    // The display analysis run carries the budget but not the fault
+    // plan — injected faults exercise the degradation ladder below.
+    let analysis_cfg = opts.config.clone().budget(opts.res.budget);
+    let results = match try_run_traced(&func, &analysis_cfg, &mut tel) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("pgvn: analysis failed ({}): {e}", e.kind());
+            None
         }
-        println!("\n{}", pgvn::core::annotated(&func, &results));
-        println!("{}", pgvn::core::class_report(&func, &results));
+    };
+    if wants("analysis") {
+        if let Some(results) = &results {
+            let s = results.strength();
+            println!("== analysis ==");
+            println!("passes:              {}", results.stats.passes);
+            println!("unreachable values:  {}", s.unreachable_values);
+            println!("constant values:     {}", s.constant_values);
+            println!("congruence classes:  {}", s.congruence_classes);
+            for b in func.blocks() {
+                if !results.is_block_reachable(b) {
+                    println!("unreachable block:   {b}");
+                }
+            }
+            println!("\n{}", pgvn::core::annotated(&func, results));
+            println!("{}", pgvn::core::class_report(&func, results));
+        }
     }
 
+    // Every optimization goes through the degradation ladder: budgets,
+    // panic isolation, verifier gating, identity fallback.
     let mut optimized = func.clone();
-    let report =
-        Pipeline::new(opts.config.clone()).rounds(2).optimize_traced(&mut optimized, &mut tel);
+    let resilience = Pipeline::new(opts.res.apply(opts.config.clone()))
+        .rounds(2)
+        .optimize_resilient_traced(&mut optimized, &mut tel);
     tel.flush();
+    let report = &resilience.report;
+    if !resilience.is_usable() {
+        eprintln!("pgvn: optimization rejected the input: {}", resilience.outcome.kind());
+        return ExitCode::FAILURE;
+    }
     if wants("optimized") {
         println!("== optimized ==\n{optimized}");
     }
@@ -369,6 +712,8 @@ fn main() -> ExitCode {
         println!("constants propagated:  {}", report.constants_propagated);
         println!("redundancies removed:  {}", report.redundancies_eliminated);
         println!("dead insts removed:    {}", report.dead_removed);
+        println!("ladder rung:           {}", report.gvn_stats.ladder_rung);
+        println!("ladder failures:       {}", report.gvn_stats.ladder_failures);
     }
     if opts.profile {
         if let Some(p) = tel.profiler() {
@@ -377,11 +722,15 @@ fn main() -> ExitCode {
     }
     if opts.stats_json {
         // One machine-readable object: the analysis run's expanded
-        // counters plus the strength triple (Figures 10–12 measures).
+        // counters, the strength triple (Figures 10–12 measures), and
+        // the degradation-ladder record (rung, failures, stats).
         let mut w = pgvn::telemetry::json::JsonWriter::object();
-        w.field_str("routine", func.name())
-            .field_raw("stats", &results.stats.to_json())
-            .field_raw("strength", &results.strength().to_json());
+        w.field_str("routine", func.name());
+        if let Some(results) = &results {
+            w.field_raw("stats", &results.stats.to_json())
+                .field_raw("strength", &results.strength().to_json());
+        }
+        w.field_raw("resilience", &resilience.to_json());
         println!("{}", w.finish());
     }
 

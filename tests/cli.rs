@@ -161,6 +161,17 @@ fn stats_json_emits_one_well_formed_object() {
             "strength.{field} missing in: {line}"
         );
     }
+
+    // The degradation-ladder record: a healthy routine commits on the
+    // strongest rung with zero failures, and the ladder counters are
+    // mirrored into the stats object.
+    let res = v.get("resilience").expect("has a resilience object");
+    assert_eq!(res.get("outcome").and_then(JsonValue::as_str), Some("optimized"), "{line}");
+    assert_eq!(res.get("rung").and_then(JsonValue::as_str), Some("full"), "{line}");
+    assert_eq!(stats.get("outcome").and_then(JsonValue::as_str), Some("converged"), "{line}");
+    let ladder = res.get("stats").expect("resilience embeds the committed rung's stats");
+    assert_eq!(ladder.get("ladder_rung").and_then(JsonValue::as_u64), Some(0), "{line}");
+    assert_eq!(ladder.get("ladder_failures").and_then(JsonValue::as_u64), Some(0), "{line}");
 }
 
 #[test]
@@ -259,4 +270,146 @@ fn fuzz_bad_flags_exit_with_usage() {
     let out = pgvn().args(["fuzz", "--mode", "bogus"]).output().expect("spawns");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn fuzz"));
+}
+
+#[test]
+fn io_and_parse_errors_exit_two_without_backtrace() {
+    // Malformed source: one-line diagnostic, exit code 2.
+    let path = write_temp("exit2.pg", "routine f( { return 0; }");
+    let out = pgvn().arg(&path).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no panic backtrace: {stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "no panic backtrace: {stderr}");
+
+    // Unreadable input path.
+    let out = pgvn().arg("/nonexistent/nope.pg").output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unwritable --trace-json path.
+    let good = write_temp("exit2-good.pg", "routine f(a) { return a; }");
+    let out = pgvn()
+        .arg(&good)
+        .args(["--trace-json", "/nonexistent-dir/trace.jsonl"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot create"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "no panic backtrace: {stderr}");
+
+    // Unwritable batch report path.
+    let out = pgvn()
+        .args(["batch", "--gen", "1", "--report", "/nonexistent-dir/report.jsonl"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn injected_fault_degrades_but_still_succeeds() {
+    let path = write_temp("inject.pg", pgvn_lang::fixtures::FIGURE1);
+    let out = pgvn()
+        .arg(&path)
+        .args(["--stats", "--inject", "invariant@eval", "--inject-seed", "2002"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ladder rung:           1"), "{stdout}");
+    assert!(stdout.contains("ladder failures:       1"), "{stdout}");
+}
+
+#[test]
+fn batch_generated_suite_writes_a_full_jsonl_report() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let report = std::env::temp_dir().join("pgvn-cli-tests").join("batch.jsonl");
+    std::fs::create_dir_all(report.parent().unwrap()).expect("temp dir");
+    let out = pgvn()
+        .args(["batch", "--gen", "6", "--seed", "2002"])
+        .args(["--inject", "invariant@eval", "--inject-seed", "2002"])
+        .args(["--report", report.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let body = std::fs::read_to_string(&report).expect("report written");
+    let events: Vec<_> = body
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    let kind = |ev: &pgvn::telemetry::json::JsonValue| {
+        ev.get("event").and_then(JsonValue::as_str).map(str::to_owned)
+    };
+    let routines: Vec<_> =
+        events.iter().filter(|e| kind(e).as_deref() == Some("routine")).collect();
+    assert_eq!(routines.len(), 6, "one record per generated routine");
+    for r in &routines {
+        assert_eq!(r.get("status").and_then(JsonValue::as_str), Some("classified"));
+        let res = r.get("resilience").expect("routine record embeds the resilience report");
+        let outcome = res.get("outcome").and_then(JsonValue::as_str).expect("outcome");
+        assert!(outcome == "optimized" || outcome == "identity", "{outcome}");
+    }
+    let summary =
+        events.iter().find(|e| kind(e).as_deref() == Some("batch_summary")).expect("summary");
+    assert_eq!(summary.get("routines").and_then(JsonValue::as_u64), Some(6));
+    assert_eq!(summary.get("escaped_panics").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(summary.get("rejected").and_then(JsonValue::as_u64), Some(0));
+}
+
+#[test]
+fn batch_isolates_sticky_panics_per_routine() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let out = pgvn()
+        .args(["batch", "--gen", "4", "--seed", "7"])
+        .args(["--inject", "panic@eval", "--inject-sticky"])
+        .output()
+        .expect("spawns");
+    // Every routine degrades to verified identity; the batch completes
+    // and no backtrace reaches stderr.
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("stack backtrace"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .filter_map(|l| parse(l).ok())
+        .find(|e| e.get("event").and_then(JsonValue::as_str) == Some("batch_summary"))
+        .expect("summary record on stdout");
+    assert_eq!(summary.get("identity").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(summary.get("escaped_panics").and_then(JsonValue::as_u64), Some(0));
+}
+
+#[test]
+fn batch_reports_malformed_inputs_and_fails() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let dir = std::env::temp_dir().join("pgvn-cli-tests").join("batch-dir");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::write(dir.join("good.pgvn"), "routine f(a) { return a + a; }").expect("write");
+    std::fs::write(dir.join("broken.pgvn"), "routine f( {").expect("write");
+    let out = pgvn().args(["batch", "--dir", dir.to_str().unwrap()]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "a malformed input fails the batch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let statuses: Vec<String> = stdout
+        .lines()
+        .filter_map(|l| parse(l).ok())
+        .filter(|e| e.get("event").and_then(JsonValue::as_str) == Some("routine"))
+        .filter_map(|e| e.get("status").and_then(JsonValue::as_str).map(str::to_owned))
+        .collect();
+    assert!(statuses.contains(&"classified".to_string()), "{stdout}");
+    assert!(statuses.contains(&"input_error".to_string()), "{stdout}");
+}
+
+#[test]
+fn batch_bad_flags_exit_with_usage() {
+    for bad in [&["batch"][..], &["batch", "--gen", "x"], &["batch", "--inject", "bogus@eval"]] {
+        let out = pgvn().args(bad).output().expect("spawns");
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+    let out = pgvn().args(["batch", "--bogus"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn batch"));
 }

@@ -137,6 +137,9 @@ fn gvn_stats_json_round_trips_every_field() {
         vi_cache_hits: 114,
         pi_cache_hits: 115,
         converged: true,
+        outcome: pgvn::core::RunOutcome::Converged,
+        ladder_rung: 1,
+        ladder_failures: 2,
     };
     let round = GvnStats::from_json(&stats.to_json()).unwrap();
     assert_eq!(round, stats);
