@@ -12,11 +12,24 @@
 
 use crate::expr::ExprId;
 use pgvn_ir::{EntityRef, Value};
-use std::collections::HashMap;
 
 /// A congruence class reference.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClassId(u32);
+
+/// Class ids are dense per-run indices (slot order of creation), so they
+/// key the dense entity maps used by the session context.
+impl EntityRef for ClassId {
+    #[inline]
+    fn new(index: usize) -> Self {
+        debug_assert!(index < u32::MAX as usize);
+        ClassId(index as u32)
+    }
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl ClassId {
     /// The `INITIAL` class holding all values at the start.
@@ -63,39 +76,52 @@ struct ClassData {
 
 /// The congruence class store: `CLASS`, `LEADER`, `EXPRESSION` and `TABLE`
 /// from the paper, in one structure.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Classes {
     class_of: Vec<ClassId>,
     next: Vec<Option<Value>>,
     prev: Vec<Option<Value>>,
     classes: Vec<ClassData>,
-    table: HashMap<ExprId, ClassId>,
+    /// `TABLE`, keyed by dense expression index (`None` = absent).
+    /// Expression ids are interned per run starting at 0, so a flat
+    /// vector replaces the former `HashMap<ExprId, ClassId>`.
+    table: Vec<Option<ClassId>>,
 }
 
 impl Classes {
     /// Creates the store with `num_values` values, all in `INITIAL`.
     pub fn new(num_values: usize) -> Self {
-        let mut c = Classes {
-            class_of: vec![ClassId::INITIAL; num_values],
-            next: vec![None; num_values],
-            prev: vec![None; num_values],
-            classes: vec![ClassData::default()],
-            table: HashMap::new(),
-        };
+        let mut c = Classes::default();
+        c.reset(num_values);
+        c
+    }
+
+    /// Resets the store to the initial state for `num_values` values —
+    /// all in `INITIAL` with leader ⊥, `TABLE` empty — keeping every
+    /// allocation so a session context can reuse it across runs.
+    pub fn reset(&mut self, num_values: usize) {
+        self.class_of.clear();
+        self.class_of.resize(num_values, ClassId::INITIAL);
+        self.next.clear();
+        self.next.resize(num_values, None);
+        self.prev.clear();
+        self.prev.resize(num_values, None);
+        self.classes.clear();
+        self.classes.push(ClassData::default());
+        self.table.clear();
         // Link all values into INITIAL.
         let mut prev: Option<Value> = None;
         for i in 0..num_values {
             let v = Value::new(i);
-            c.prev[i] = prev;
+            self.prev[i] = prev;
             if let Some(p) = prev {
-                c.next[p.index()] = Some(v);
+                self.next[p.index()] = Some(v);
             } else {
-                c.classes[0].head = Some(v);
+                self.classes[0].head = Some(v);
             }
             prev = Some(v);
         }
-        c.classes[0].size = num_values as u32;
-        c
+        self.classes[0].size = num_values as u32;
     }
 
     /// The class of `v`.
@@ -125,7 +151,7 @@ impl Classes {
 
     /// Looks up the class of an expression in `TABLE`.
     pub fn lookup(&self, e: ExprId) -> Option<ClassId> {
-        self.table.get(&e).copied()
+        self.table.get(e.index()).copied().flatten()
     }
 
     /// Iterates over the members of `c`.
@@ -138,7 +164,10 @@ impl Classes {
     pub fn create_class(&mut self, leader: Leader, e: ExprId) -> ClassId {
         let id = ClassId(self.classes.len() as u32);
         self.classes.push(ClassData { head: None, size: 0, leader, expression: Some(e) });
-        self.table.insert(e, id);
+        if e.index() >= self.table.len() {
+            self.table.resize(e.index() + 1, None);
+        }
+        self.table[e.index()] = Some(id);
         id
     }
 
@@ -185,8 +214,8 @@ impl Classes {
             if let Some(e) = self.classes[from.index()].expression.take() {
                 // Only remove if the table still points at this class (it
                 // may have been re-keyed meanwhile).
-                if self.table.get(&e) == Some(&from) {
-                    self.table.remove(&e);
+                if self.table.get(e.index()).copied().flatten() == Some(from) {
+                    self.table[e.index()] = None;
                 }
             }
             self.classes[from.index()].leader = Leader::Undetermined;
@@ -203,6 +232,21 @@ impl Classes {
     /// Number of currently non-empty classes, excluding `INITIAL`.
     pub fn num_live_classes(&self) -> usize {
         self.classes.iter().skip(1).filter(|c| c.size > 0).count()
+    }
+
+    /// Capacity of the class arena (allocation-amortization metric).
+    pub fn slot_capacity(&self) -> usize {
+        self.classes.capacity()
+    }
+
+    /// Capacity of the dense `TABLE` (allocation-amortization metric).
+    pub fn table_capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Capacity of the per-value arrays (allocation-amortization metric).
+    pub fn value_capacity(&self) -> usize {
+        self.class_of.capacity()
     }
 }
 
@@ -274,6 +318,34 @@ mod tests {
         assert_eq!(c.leader(k1), Leader::Undetermined);
         assert_eq!(c.expression(k1), None);
         assert_eq!(c.lookup(e2), Some(k2));
+    }
+
+    #[test]
+    fn reset_restores_initial_state_keeping_capacity() {
+        let mut c = Classes::new(6);
+        let e = ExprId::from_raw(3);
+        let k = c.create_class(Leader::Const(9), e);
+        for i in 0..6 {
+            c.move_value(v(i), k);
+        }
+        let slots = c.slot_capacity();
+        let table = c.table_capacity();
+        let values = c.value_capacity();
+        c.reset(6);
+        assert_eq!(c.size(ClassId::INITIAL), 6);
+        assert_eq!(c.num_live_classes(), 0);
+        assert_eq!(c.lookup(e), None, "reset empties TABLE");
+        for i in 0..6 {
+            assert_eq!(c.class_of(v(i)), ClassId::INITIAL);
+        }
+        assert_eq!(c.members(ClassId::INITIAL).count(), 6);
+        assert!(c.slot_capacity() >= slots);
+        assert!(c.table_capacity() >= table);
+        assert!(c.value_capacity() >= values);
+        // Shrinking the value count keeps the larger allocation too.
+        c.reset(2);
+        assert_eq!(c.size(ClassId::INITIAL), 2);
+        assert_eq!(c.value_capacity(), values);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use super::*;
 
-impl Run<'_, '_, '_> {
+impl Run<'_, '_, '_, '_> {
     pub(super) fn process_outgoing_edges(&mut self, b: Block) {
         let Some(term) = self.func.terminator(b) else {
             return;

@@ -4,7 +4,7 @@
 
 use super::*;
 
-impl Run<'_, '_, '_> {
+impl Run<'_, '_, '_, '_> {
     /// The leader of `v`'s class as an expression; `None` while ⊥.
     pub(super) fn leader_expr(&mut self, v: Value) -> Option<ExprId> {
         match self.classes.leader(self.classes.class_of(v)) {
@@ -321,8 +321,8 @@ impl Run<'_, '_, '_> {
         // Forward propagation cancelled (§2.2 footnote 4): retry with the
         // operands as atoms instead of their defining expressions.
         self.stats.reassoc_cap_hits += 1;
-        let la = atomic_linear(&self.interner, ae)?;
-        let lb = atomic_linear(&self.interner, be)?;
+        let la = atomic_linear(self.interner, ae)?;
+        let lb = atomic_linear(self.interner, be)?;
         let out = apply(&la, &lb, &self.rank_of);
         (out.size() <= limit).then_some(out)
     }

@@ -13,7 +13,7 @@ use super::*;
 /// Maximum nesting of joint-domination recursion.
 const MAX_JOIN_DEPTH: u32 = 4;
 
-impl Run<'_, '_, '_> {
+impl Run<'_, '_, '_, '_> {
     /// Figure 4 lines 28–29: if the evaluated expression is a predicate,
     /// try to decide it from a dominating edge (Figure 7, lines 1–16).
     pub(super) fn apply_predicate_inference(&mut self, e: ExprId, b: Block) -> ExprId {
@@ -25,7 +25,7 @@ impl Run<'_, '_, '_> {
         };
         // §3: a query predicate that shares no operand with any edge
         // predicate can never be decided — skip the walk.
-        if !self.pred_operands.contains(&lhs) && !self.pred_operands.contains(&rhs) {
+        if !self.pred_operands.contains(lhs) && !self.pred_operands.contains(rhs) {
             self.stats.pi_gate_skips += 1;
             return e;
         }
@@ -63,7 +63,7 @@ impl Run<'_, '_, '_> {
                         return None;
                     }
                     if let Some(known) = self.edge_pred[edge.index()] {
-                        if let Some(truth) = implies(&self.interner, known, query) {
+                        if let Some(truth) = implies(self.interner, known, query) {
                             return Some(truth);
                         }
                     }
@@ -99,7 +99,7 @@ impl Run<'_, '_, '_> {
                 return None;
             }
             let own =
-                self.edge_pred[e.index()].and_then(|known| implies(&self.interner, known, query));
+                self.edge_pred[e.index()].and_then(|known| implies(self.interner, known, query));
             let t = match own {
                 Some(t) => t,
                 None => self.decide_predicate(Some(self.func.edge_from(e)), query, join_depth)?,
@@ -169,11 +169,11 @@ impl Run<'_, '_, '_> {
         }
         // §3: only members of classes with an inferenceable value can be
         // refined; everything else skips the dominator walk entirely.
-        if !self.inferenceable_classes.contains(&self.classes.class_of(v)) {
+        if !self.inferenceable_classes.contains(self.classes.class_of(v)) {
             self.stats.vi_gate_skips += 1;
             return Some(cur_expr);
         }
-        if let Some(&hit) = self.vi_cache.get(&(b, v)) {
+        if let Some(hit) = self.vi_cache.get(b, v) {
             self.stats.vi_cache_hits += 1;
             return Some(hit);
         }
@@ -186,7 +186,7 @@ impl Run<'_, '_, '_> {
             }
         }
         self.tel.record(Phase::ValueInference, t0);
-        self.vi_cache.insert((b, v), cur_expr);
+        self.vi_cache.insert(b, v, cur_expr);
         Some(cur_expr)
     }
 

@@ -17,6 +17,7 @@ mod phipred;
 
 use crate::classes::{ClassId, Classes, Leader};
 use crate::config::{GvnConfig, Mode, Variant};
+use crate::context::{GvnContext, ViCache};
 use crate::error::{BudgetKind, FaultKind, FaultSite, GvnError};
 use crate::expr::{ExprId, ExprKind, Interner, PhiKey};
 use crate::linear::LinearExpr;
@@ -27,6 +28,7 @@ use pgvn_ir::{
     BinOp, Block, CmpOp, DefUse, Edge, EntityRef, EntitySet, Function, Inst, InstKind, UnOp, Value,
 };
 use pgvn_telemetry::{Phase, Telemetry, TextSink, TraceEvent};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Hard cap on RPO passes; hit only on non-convergence bugs (the stats
@@ -61,6 +63,15 @@ const OSC_PASS_THRESHOLD: u32 = 64;
 /// assert!(results.congruent(a, c));
 /// ```
 pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
+    run_in_context(&mut GvnContext::new(), func, cfg)
+}
+
+/// [`run`] against a reusable [`GvnContext`]: all scratch state (interner,
+/// partition, worklists, predicate tables, inference caches) lives in the
+/// context and is reset-without-free at run start, so a stream of
+/// routines is allocation-amortized. Results never depend on what the
+/// context previously ran — see the `context` module docs.
+pub fn run_in_context(ctx: &mut GvnContext, func: &Function, cfg: &GvnConfig) -> GvnResults {
     // Back-compat: `PGVN_DEBUG_OSC` predates the telemetry layer and used
     // to switch on an ad-hoc stderr dump of late-pass class movement. It
     // now enables the text trace sink, whose `oscillation` events carry
@@ -68,9 +79,9 @@ pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
     if std::env::var_os("PGVN_DEBUG_OSC").is_some() {
         let mut sink = TextSink::stderr();
         let mut tel = Telemetry::with_sink(&mut sink);
-        return run_traced(func, cfg, &mut tel);
+        return run_traced_in_context(ctx, func, cfg, &mut tel);
     }
-    run_traced(func, cfg, &mut Telemetry::off())
+    run_traced_in_context(ctx, func, cfg, &mut Telemetry::off())
 }
 
 /// Entry point with observability: per-pass [`TraceEvent`]s go to the
@@ -83,7 +94,17 @@ pub fn run(func: &Function, cfg: &GvnConfig) -> GvnResults {
 /// injected fault). Use [`try_run_traced`] where failures must be
 /// contained and classified.
 pub fn run_traced(func: &Function, cfg: &GvnConfig, tel: &mut Telemetry<'_>) -> GvnResults {
-    match Run::new(func, cfg.clone(), tel).execute() {
+    run_traced_in_context(&mut GvnContext::new(), func, cfg, tel)
+}
+
+/// [`run_traced`] against a reusable [`GvnContext`].
+pub fn run_traced_in_context(
+    ctx: &mut GvnContext,
+    func: &Function,
+    cfg: &GvnConfig,
+    tel: &mut Telemetry<'_>,
+) -> GvnResults {
+    match Run::new(ctx, func, cfg.clone(), tel).execute() {
         Ok(results) => results,
         Err(err) => panic!("pgvn analysis failed: {err} (use try_run/try_run_traced to recover)"),
     }
@@ -100,13 +121,34 @@ pub fn try_run(func: &Function, cfg: &GvnConfig) -> Result<GvnResults, GvnError>
     try_run_traced(func, cfg, &mut Telemetry::off())
 }
 
+/// [`try_run`] against a reusable [`GvnContext`].
+pub fn try_run_in_context(
+    ctx: &mut GvnContext,
+    func: &Function,
+    cfg: &GvnConfig,
+) -> Result<GvnResults, GvnError> {
+    try_run_traced_in_context(ctx, func, cfg, &mut Telemetry::off())
+}
+
 /// [`try_run`] with observability (see [`run_traced`]).
 pub fn try_run_traced(
     func: &Function,
     cfg: &GvnConfig,
     tel: &mut Telemetry<'_>,
 ) -> Result<GvnResults, GvnError> {
-    let results = Run::new(func, cfg.clone(), tel).execute()?;
+    try_run_traced_in_context(&mut GvnContext::new(), func, cfg, tel)
+}
+
+/// [`try_run_traced`] against a reusable [`GvnContext`]. A failed run
+/// leaves the context reusable: the next run re-prepares all scratch
+/// state, so no partial results can leak out of an error.
+pub fn try_run_traced_in_context(
+    ctx: &mut GvnContext,
+    func: &Function,
+    cfg: &GvnConfig,
+    tel: &mut Telemetry<'_>,
+) -> Result<GvnResults, GvnError> {
+    let results = Run::new(ctx, func, cfg.clone(), tel).execute()?;
     classify(cfg, results)
 }
 
@@ -140,7 +182,11 @@ fn classify(cfg: &GvnConfig, results: GvnResults) -> Result<GvnResults, GvnError
     }
 }
 
-struct Run<'f, 't, 's> {
+/// One analysis run: per-function analyses (`rpo`, ranks, dominator
+/// trees, def-use) are owned and computed fresh per run, while all
+/// *scratch* state is `&mut`-borrowed from a [`GvnContext`] so capacity
+/// survives across runs. The `'c` lifetime is that borrow split.
+struct Run<'f, 'c, 't, 's> {
     tel: &'t mut Telemetry<'s>,
     func: &'f Function,
     cfg: GvnConfig,
@@ -150,34 +196,36 @@ struct Run<'f, 't, 's> {
     postdom: PostDomTree,
     defuse: DefUse,
     rdt: Option<ReachableDomTree>,
-    interner: Interner,
-    classes: Classes,
-    reach_blocks: EntitySet<Block>,
-    reach_edges: EntitySet<Edge>,
-    touched_insts: EntitySet<Inst>,
-    touched_blocks: EntitySet<Block>,
-    changed: EntitySet<Value>,
-    edge_pred: Vec<Option<Pred>>,
-    block_pred: Vec<Option<ExprId>>,
-    canonical: Vec<Vec<Edge>>,
+    interner: &'c mut Interner,
+    classes: &'c mut Classes,
+    reach_blocks: &'c mut EntitySet<Block>,
+    reach_edges: &'c mut EntitySet<Edge>,
+    touched_insts: &'c mut EntitySet<Inst>,
+    touched_blocks: &'c mut EntitySet<Block>,
+    changed: &'c mut EntitySet<Value>,
+    edge_pred: &'c mut Vec<Option<Pred>>,
+    block_pred: &'c mut Vec<Option<ExprId>>,
+    canonical: &'c mut Vec<Vec<Edge>>,
     /// §3: classes that currently appear as the higher-ranked side of an
     /// equality edge predicate — the only classes value inference can
     /// refine. Grows monotonically (a conservative superset).
-    inferenceable_classes: std::collections::HashSet<ClassId>,
+    inferenceable_classes: &'c mut EntitySet<ClassId>,
     /// §3: operand expressions of current edge predicates — a query
     /// predicate sharing no operand with any edge predicate can never be
     /// decided. Grows monotonically (a conservative superset).
-    pred_operands: std::collections::HashSet<ExprId>,
+    pred_operands: &'c mut EntitySet<ExprId>,
     /// §3: blocks whose φ-predication aborted; permanently nullified when
     /// the corresponding config flag is set.
-    nullified_blocks: EntitySet<Block>,
+    nullified_blocks: &'c mut EntitySet<Block>,
     /// §3: memo for value inference ("the result of the first value
     /// inference can be cached"), keyed by the walk's *starting block*
     /// and the value; invalidated on class movement.
-    vi_cache: std::collections::HashMap<(Block, Value), ExprId>,
+    vi_cache: &'c mut ViCache,
     /// §3: memo for predicate inference, keyed by starting block and
     /// canonical predicate.
-    pi_cache: std::collections::HashMap<(Block, CmpOp, ExprId, ExprId), ExprId>,
+    pi_cache: &'c mut HashMap<(Block, CmpOp, ExprId, ExprId), ExprId>,
+    /// φ-predication OR-operand scratch, recycled per traversal.
+    or_ops: &'c mut Vec<Vec<ExprId>>,
     stats: GvnStats,
     any_change: bool,
     /// Wall-clock deadline derived from the budget, checked per block.
@@ -187,8 +235,13 @@ struct Run<'f, 't, 's> {
     fault_countdown: Option<u64>,
 }
 
-impl<'f, 't, 's> Run<'f, 't, 's> {
-    fn new(func: &'f Function, cfg: GvnConfig, tel: &'t mut Telemetry<'s>) -> Self {
+impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
+    fn new(
+        ctx: &'c mut GvnContext,
+        func: &'f Function,
+        cfg: GvnConfig,
+        tel: &'t mut Telemetry<'s>,
+    ) -> Self {
         let t0 = tel.clock();
         let rpo = Rpo::compute(func);
         let ranks = Ranks::assign(func, &rpo);
@@ -201,10 +254,31 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
         let postdom = PostDomTree::compute(func, &rpo);
         let rdt = (cfg.variant == Variant::Complete).then(|| ReachableDomTree::new(func));
         tel.record_phase(Phase::DomTree, t0);
-        let classes = Classes::new(func.value_capacity());
         let deadline = cfg.budget.time_limit.map(|limit| Instant::now() + limit);
         let fault_countdown =
             cfg.fault_plan.filter(|p| p.site != FaultSite::Rewrite).map(|p| p.countdown());
+        // Wipe and size every scratch structure (keeping allocations),
+        // then split the context into independent `&mut` borrows.
+        ctx.prepare(func);
+        let GvnContext {
+            interner,
+            classes,
+            reach_blocks,
+            reach_edges,
+            touched_insts,
+            touched_blocks,
+            changed,
+            edge_pred,
+            block_pred,
+            canonical,
+            inferenceable_classes,
+            pred_operands,
+            nullified_blocks,
+            vi_cache,
+            pi_cache,
+            or_ops,
+            ..
+        } = ctx;
         Run {
             tel,
             func,
@@ -215,21 +289,22 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
             postdom,
             defuse,
             rdt,
-            interner: Interner::new(),
+            interner,
             classes,
-            reach_blocks: EntitySet::with_capacity(func.block_capacity()),
-            reach_edges: EntitySet::with_capacity(func.edge_capacity()),
-            touched_insts: EntitySet::with_capacity(func.inst_capacity()),
-            touched_blocks: EntitySet::with_capacity(func.block_capacity()),
-            changed: EntitySet::with_capacity(func.value_capacity()),
-            edge_pred: vec![None; func.edge_capacity()],
-            block_pred: vec![None; func.block_capacity()],
-            canonical: vec![Vec::new(); func.block_capacity()],
-            inferenceable_classes: std::collections::HashSet::new(),
-            pred_operands: std::collections::HashSet::new(),
-            nullified_blocks: EntitySet::with_capacity(func.block_capacity()),
-            vi_cache: std::collections::HashMap::new(),
-            pi_cache: std::collections::HashMap::new(),
+            reach_blocks,
+            reach_edges,
+            touched_insts,
+            touched_blocks,
+            changed,
+            edge_pred,
+            block_pred,
+            canonical,
+            inferenceable_classes,
+            pred_operands,
+            nullified_blocks,
+            vi_cache,
+            pi_cache,
+            or_ops,
             stats: GvnStats::default(),
             any_change: false,
             deadline,
@@ -364,6 +439,21 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
                         return Ok(RunOutcome::BudgetTime);
                     }
                 }
+                // Inference-cache invalidation audit (see also the clears
+                // on class movement in `congruence_finding`): both memos
+                // are keyed by the walk's *starting block*, and a cached
+                // answer depends on (a) the current edge-predicate tables
+                // and (b) the current partition along the dominator walk.
+                // Clearing at every block boundary and on every class
+                // movement over-approximates both dependencies within a
+                // pass. Across passes nothing needs special handling:
+                // reachability only *grows* (monotone, §2.4), it never
+                // refines away an edge mid-run, and every pass re-enters
+                // this loop which clears before the first query of each
+                // block. A cached inference can therefore never outlive
+                // the facts it was derived from; cross-*run* staleness is
+                // impossible because `GvnContext::prepare` wipes both
+                // caches at run start (asserted by tests/session.rs).
                 self.vi_cache.clear();
                 self.pi_cache.clear();
                 if self.touched_blocks.remove(b)
@@ -459,8 +549,9 @@ impl<'f, 't, 's> Run<'f, 't, 's> {
             .map(|i| self.classes.leader(ClassId::from_raw(i as u32)))
             .collect();
         GvnResults {
-            reachable_blocks: self.reach_blocks,
-            reachable_edges: self.reach_edges,
+            // The sets are context-owned scratch; the results get a copy.
+            reachable_blocks: self.reach_blocks.clone(),
+            reachable_edges: self.reach_edges.clone(),
             class_of,
             leaders,
             stats,

@@ -3,7 +3,7 @@
 
 use super::*;
 
-impl Run<'_, '_, '_> {
+impl Run<'_, '_, '_, '_> {
     pub(super) fn eval_phi(&mut self, v: Value, b: Block, args: &[Value]) -> Option<ExprId> {
         let preds = self.func.preds(b).to_vec();
         if self.cfg.mode != Mode::Optimistic && preds.iter().any(|&e| self.rpo.is_back_edge(e)) {

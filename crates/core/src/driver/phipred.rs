@@ -4,7 +4,7 @@
 
 use super::*;
 
-impl Run<'_, '_, '_> {
+impl Run<'_, '_, '_, '_> {
     pub(super) fn compute_block_predicate(&mut self, b0: Block) {
         if self.nullified_blocks.contains(b0) {
             return; // §3: permanently nullified after an aborted traversal
@@ -21,15 +21,26 @@ impl Run<'_, '_, '_> {
             Some(d0)
                 if d0 != b0 && self.postdom.postdominates(b0, d0) && reachable_incoming >= 1 =>
             {
+                // Recycle the per-block OR-operand table from the session
+                // context (empty inner vec = unvisited); it is cleared and
+                // returned below, so each traversal starts blank.
+                let mut or_ops = std::mem::take(self.or_ops);
+                for ops in &mut or_ops {
+                    ops.clear();
+                }
+                if or_ops.len() < self.func.block_capacity() {
+                    or_ops.resize_with(self.func.block_capacity(), Vec::new);
+                }
                 let mut ctx = PredCtx {
                     b0,
                     aborted: false,
                     incomplete: false,
                     canonical: Vec::new(),
-                    or_ops: vec![None; self.func.block_capacity()],
+                    or_ops,
                     result: Vec::new(),
                 };
                 self.compute_partial(d0, None, true, &mut ctx);
+                *self.or_ops = std::mem::take(&mut ctx.or_ops);
                 if ctx.aborted && self.cfg.nullify_aborted_predicates {
                     self.nullified_blocks.insert(b0);
                 }
@@ -91,7 +102,7 @@ impl Run<'_, '_, '_> {
             // A confluence node inside the region: accumulate one operand
             // per incoming path and proceed only once complete.
             let t = self.interner.constant(1);
-            let ops = ctx.or_ops[b.index()].get_or_insert_with(Vec::new);
+            let ops = &mut ctx.or_ops[b.index()];
             ops.push(pp.unwrap_or(t));
             if ops.len() < reachable_in {
                 return;
@@ -191,6 +202,8 @@ pub(super) struct PredCtx {
     /// predicate: the formula is unknowable *this pass* (not nullified).
     incomplete: bool,
     canonical: Vec<Edge>,
-    or_ops: Vec<Option<Vec<ExprId>>>,
+    /// Per-block accumulated OR operands; an empty vec means unvisited.
+    /// Borrowed from the session context for the traversal's duration.
+    or_ops: Vec<Vec<ExprId>>,
     result: Vec<Option<ExprId>>,
 }

@@ -35,6 +35,21 @@ impl std::fmt::Display for ExprId {
     }
 }
 
+/// Expression ids are dense per-run indices, so they key the dense
+/// entity maps (`EntitySet`, flat vectors) used by the session context.
+impl pgvn_ir::EntityRef for ExprId {
+    #[inline]
+    fn new(index: usize) -> Self {
+        debug_assert!(index < u32::MAX as usize);
+        ExprId(index as u32)
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// The distinguishing context of a φ expression (§2.2, §2.8): a φ's
 /// expression carries either its block or — when φ-predication computed
 /// one — the block's predicate, which lets φs of *different* blocks with
@@ -104,6 +119,27 @@ impl Interner {
         id
     }
 
+    /// Empties the interner, keeping its allocations: ids restart at 0
+    /// and the hit/miss counters reset. Part of the session-context
+    /// reset — a reused interner performs no per-run capacity growth
+    /// once warm.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.kinds.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Capacity of the expression arena (amortization metric).
+    pub fn expr_capacity(&self) -> usize {
+        self.kinds.capacity()
+    }
+
+    /// Capacity of the hash-cons table (amortization metric).
+    pub fn table_capacity(&self) -> usize {
+        self.map.capacity()
+    }
+
     /// Lookups answered by the hash-cons table.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -159,56 +195,114 @@ impl Interner {
     }
 
     /// Renders `id` for diagnostics.
+    ///
+    /// The walk uses an explicit work stack writing into one buffer:
+    /// deep expressions (reassociated sums and predicate formulas chain
+    /// through thousands of nodes) must not recurse, and per-node
+    /// intermediate `String`s would make rendering quadratic.
     pub fn display(&self, id: ExprId) -> String {
-        match self.kind(id) {
-            ExprKind::Const(c) => c.to_string(),
-            ExprKind::Leader(v) => v.to_string(),
-            ExprKind::Unique(v) => format!("unique({v})"),
-            ExprKind::Opaque(t) => format!("opaque({t})"),
-            ExprKind::Linear(l) => {
-                let mut s = String::new();
-                for (i, t) in l.terms.iter().enumerate() {
-                    if i > 0 {
-                        s.push_str(" + ");
+        enum Task {
+            Expr(ExprId),
+            Lit(&'static str),
+            Sep(String),
+        }
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut stack = vec![Task::Expr(id)];
+        // Children are pushed in reverse so they pop in source order,
+        // interleaved with the separators/closers that follow them.
+        let push_args = |stack: &mut Vec<Task>, args: &[ExprId], sep: &'static str| {
+            stack.push(Task::Lit(")"));
+            for (i, &a) in args.iter().enumerate().rev() {
+                stack.push(Task::Expr(a));
+                if i > 0 {
+                    stack.push(Task::Lit(sep));
+                }
+            }
+        };
+        while let Some(task) = stack.pop() {
+            let id = match task {
+                Task::Lit(s) => {
+                    out.push_str(s);
+                    continue;
+                }
+                Task::Sep(s) => {
+                    out.push_str(&s);
+                    continue;
+                }
+                Task::Expr(id) => id,
+            };
+            match self.kind(id) {
+                ExprKind::Const(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                ExprKind::Leader(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                ExprKind::Unique(v) => {
+                    let _ = write!(out, "unique({v})");
+                }
+                ExprKind::Opaque(t) => {
+                    let _ = write!(out, "opaque({t})");
+                }
+                ExprKind::Linear(l) => {
+                    for (i, t) in l.terms.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" + ");
+                        }
+                        let _ = write!(out, "{}", t.coeff);
+                        for f in &t.factors {
+                            let _ = write!(out, "·{f}");
+                        }
                     }
-                    s.push_str(&t.coeff.to_string());
-                    for f in &t.factors {
-                        s.push_str(&format!("·{f}"));
+                    if l.constant != 0 || l.terms.is_empty() {
+                        if !l.terms.is_empty() {
+                            out.push_str(" + ");
+                        }
+                        let _ = write!(out, "{}", l.constant);
                     }
                 }
-                if l.constant != 0 || l.terms.is_empty() {
-                    if !l.terms.is_empty() {
-                        s.push_str(" + ");
-                    }
-                    s.push_str(&l.constant.to_string());
+                ExprKind::Op(op, args) => {
+                    let _ = write!(out, "({op} ");
+                    push_args(&mut stack, args, " ");
                 }
-                s
-            }
-            ExprKind::Op(op, args) => {
-                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                format!("({op} {})", parts.join(" "))
-            }
-            ExprKind::Un(op, a) => format!("({op} {})", self.display(*a)),
-            ExprKind::Cmp(op, a, b) => {
-                format!("({} {} {})", self.display(*a), op.symbol(), self.display(*b))
-            }
-            ExprKind::Phi(key, args) => {
-                let k = match key {
-                    PhiKey::Block(b) => b.to_string(),
-                    PhiKey::Pred(p) => self.display(*p),
-                };
-                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                format!("φ[{k}]({})", parts.join(", "))
-            }
-            ExprKind::PredAnd(args) => {
-                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                format!("({})", parts.join(" ∧ "))
-            }
-            ExprKind::PredOr(args) => {
-                let parts: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                format!("({})", parts.join(" ∨ "))
+                ExprKind::Un(op, a) => {
+                    let _ = write!(out, "({op} ");
+                    stack.push(Task::Lit(")"));
+                    stack.push(Task::Expr(*a));
+                }
+                ExprKind::Cmp(op, a, b) => {
+                    out.push('(');
+                    stack.push(Task::Lit(")"));
+                    stack.push(Task::Expr(*b));
+                    stack.push(Task::Sep(format!(" {} ", op.symbol())));
+                    stack.push(Task::Expr(*a));
+                }
+                ExprKind::Phi(key, args) => {
+                    out.push_str("φ[");
+                    match key {
+                        PhiKey::Block(b) => {
+                            let _ = write!(out, "{b}](");
+                            push_args(&mut stack, args, ", ");
+                        }
+                        PhiKey::Pred(p) => {
+                            push_args(&mut stack, args, ", ");
+                            stack.push(Task::Lit("]("));
+                            stack.push(Task::Expr(*p));
+                        }
+                    }
+                }
+                ExprKind::PredAnd(args) => {
+                    out.push('(');
+                    push_args(&mut stack, args, " ∧ ");
+                }
+                ExprKind::PredOr(args) => {
+                    out.push('(');
+                    push_args(&mut stack, args, " ∨ ");
+                }
             }
         }
+        out
     }
 }
 
@@ -275,6 +369,61 @@ mod tests {
         let p3 = i.intern(ExprKind::Phi(PhiKey::Pred(pred), vec![x, x]));
         let p4 = i.intern(ExprKind::Phi(PhiKey::Pred(pred), vec![x, x]));
         assert_eq!(p3, p4, "φs with congruent predicates collide");
+    }
+
+    #[test]
+    fn display_walks_deep_chains_without_recursion() {
+        // A ~10k-deep chain: the old recursive renderer overflowed the
+        // stack (and was quadratic in intermediate strings) on inputs
+        // like this long before real reassociated sums hit it.
+        const DEPTH: usize = 10_000;
+        let mut i = Interner::new();
+        let mut e = i.constant(0);
+        for _ in 0..DEPTH {
+            e = i.intern(ExprKind::Un(pgvn_ir::UnOp::Neg, e));
+        }
+        let s = i.display(e);
+        assert_eq!(s.matches('(').count(), DEPTH);
+        assert_eq!(s.matches(')').count(), DEPTH);
+        assert!(s.ends_with(&format!("0{}", ")".repeat(DEPTH))));
+    }
+
+    #[test]
+    fn display_interleaves_nested_compounds() {
+        let mut i = Interner::new();
+        let x = i.leader(Value::new(1));
+        let y = i.leader(Value::new(2));
+        let c = i.constant(3);
+        let cmp = i.intern(ExprKind::Cmp(CmpOp::Lt, x, c));
+        let cmp2 = i.intern(ExprKind::Cmp(CmpOp::Eq, y, c));
+        let and = i.intern(ExprKind::PredAnd(vec![cmp, cmp2]));
+        let or = i.intern(ExprKind::PredOr(vec![and, cmp]));
+        assert_eq!(i.display(or), "(((v1 < 3) ∧ (v2 == 3)) ∨ (v1 < 3))");
+        let phi = i.intern(ExprKind::Phi(PhiKey::Pred(cmp), vec![x, y]));
+        assert_eq!(i.display(phi), "φ[(v1 < 3)](v1, v2)");
+        let phi_b = i.intern(ExprKind::Phi(PhiKey::Block(Block::new(4)), vec![x, y]));
+        assert_eq!(i.display(phi_b), "φ[bb4](v1, v2)");
+        let neg = i.intern(ExprKind::Un(pgvn_ir::UnOp::Neg, x));
+        let op = i.intern(ExprKind::Op(BinOp::Mul, vec![neg, y]));
+        assert_eq!(i.display(op), format!("({} ({} v1) v2)", BinOp::Mul, pgvn_ir::UnOp::Neg));
+    }
+
+    #[test]
+    fn clear_keeps_allocations_and_restarts_ids() {
+        let mut i = Interner::new();
+        for k in 0..100 {
+            i.constant(k);
+        }
+        assert_eq!(i.len(), 100);
+        let exprs = i.expr_capacity();
+        let table = i.table_capacity();
+        i.clear();
+        assert!(i.is_empty());
+        assert_eq!(i.hits(), 0);
+        assert_eq!(i.misses(), 0);
+        assert_eq!(i.expr_capacity(), exprs, "clear must keep the arena");
+        assert_eq!(i.table_capacity(), table, "clear must keep the table");
+        assert_eq!(i.constant(42), ExprId::from_raw(0), "ids restart at 0");
     }
 
     #[test]

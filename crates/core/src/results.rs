@@ -159,6 +159,52 @@ impl GvnStats {
         w.finish()
     }
 
+    /// Folds another run's counters into this one, for merged batch
+    /// reports: numeric counters saturating-add; `converged` is the
+    /// conjunction; `outcome` keeps the first non-`Converged` outcome
+    /// (so a merged report surfaces the earliest failure) and otherwise
+    /// adopts any non-`NotRun` outcome; `ladder_rung` keeps the deepest
+    /// rung reached and `ladder_failures` accumulates. Merging is
+    /// associative over routine order, which keeps parallel batch output
+    /// identical to sequential as long as both merge in input order.
+    pub fn merge(&mut self, other: &GvnStats) {
+        self.passes = self.passes.saturating_add(other.passes);
+        self.insts_processed = self.insts_processed.saturating_add(other.insts_processed);
+        self.touches = self.touches.saturating_add(other.touches);
+        self.value_inference_visits =
+            self.value_inference_visits.saturating_add(other.value_inference_visits);
+        self.predicate_inference_visits =
+            self.predicate_inference_visits.saturating_add(other.predicate_inference_visits);
+        self.phi_predication_visits =
+            self.phi_predication_visits.saturating_add(other.phi_predication_visits);
+        self.num_insts = self.num_insts.saturating_add(other.num_insts);
+        self.hash_cons_hits = self.hash_cons_hits.saturating_add(other.hash_cons_hits);
+        self.hash_cons_misses = self.hash_cons_misses.saturating_add(other.hash_cons_misses);
+        self.interned_exprs = self.interned_exprs.saturating_add(other.interned_exprs);
+        self.class_merges = self.class_merges.saturating_add(other.class_merges);
+        self.reassoc_cap_hits = self.reassoc_cap_hits.saturating_add(other.reassoc_cap_hits);
+        self.vi_gate_skips = self.vi_gate_skips.saturating_add(other.vi_gate_skips);
+        self.pi_gate_skips = self.pi_gate_skips.saturating_add(other.pi_gate_skips);
+        self.vi_cache_hits = self.vi_cache_hits.saturating_add(other.vi_cache_hits);
+        self.pi_cache_hits = self.pi_cache_hits.saturating_add(other.pi_cache_hits);
+        // An untouched accumulator (outcome `NotRun`) adopts the first
+        // run's convergence flag instead of pinning it to the default
+        // `false`.
+        self.converged = if self.outcome == RunOutcome::NotRun {
+            other.converged
+        } else {
+            self.converged && other.converged
+        };
+        self.outcome = match (self.outcome, other.outcome) {
+            (RunOutcome::NotRun, o) => o,
+            (s, RunOutcome::NotRun) => s,
+            (RunOutcome::Converged, o) => o,
+            (s, _) => s,
+        };
+        self.ladder_rung = self.ladder_rung.max(other.ladder_rung);
+        self.ladder_failures = self.ladder_failures.saturating_add(other.ladder_failures);
+    }
+
     /// Parses the output of [`GvnStats::to_json`]. Every field must be
     /// present with the right type.
     pub fn from_json(text: &str) -> Result<GvnStats, String> {
@@ -390,14 +436,16 @@ impl GvnResults {
 
     /// The number of congruence classes among determined values.
     pub fn num_congruence_classes(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        for (i, &c) in self.class_of.iter().enumerate() {
-            let _ = i;
-            if c != ClassId::INITIAL {
-                seen.insert(c);
+        // Class ids are dense slot indices, so a flat bitmap replaces the
+        // former hash set.
+        let mut seen = vec![false; self.leaders.len()];
+        let mut count = 0;
+        for &c in &self.class_of {
+            if c != ClassId::INITIAL && !std::mem::replace(&mut seen[c.index()], true) {
+                count += 1;
             }
         }
-        seen.len()
+        count
     }
 
     /// Extracts the congruence partition the run computed, in the
@@ -406,7 +454,9 @@ impl GvnResults {
     /// leaders. Values still in `INITIAL` (unreachable/undetermined) are
     /// ⊥ — congruent to everything, constant of every value.
     pub fn partition(&self) -> Partition {
-        let mut canon: std::collections::HashMap<ClassId, u32> = std::collections::HashMap::new();
+        // Class ids are dense slot indices, so the canonicalization map
+        // is a flat vector (first-appearance order, as before).
+        let mut canon: Vec<Option<u32>> = vec![None; self.leaders.len()];
         let mut class = Vec::with_capacity(self.class_of.len());
         let mut constants = Vec::new();
         for &c in &self.class_of {
@@ -414,8 +464,8 @@ impl GvnResults {
                 class.push(None);
                 continue;
             }
-            let next = canon.len() as u32;
-            let id = *canon.entry(c).or_insert_with(|| {
+            let id = *canon[c.index()].get_or_insert_with(|| {
+                let next = constants.len() as u32;
                 constants.push(match self.leaders[c.index()] {
                     Leader::Const(k) => Some(k),
                     _ => None,

@@ -247,11 +247,19 @@ impl<K: EntityRef, V: Clone> std::ops::IndexMut<K> for SecondaryMap<K, V> {
 /// `TOUCHED`, `REACHABLE` and `CHANGED` sets: "values, instructions and
 /// blocks can contain bit masks which specify the sets they belong to" and
 /// "a count of the touched instructions and blocks can be maintained".
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EntitySet<K> {
     bits: Vec<u64>,
     len: usize,
     marker: PhantomData<K>,
+}
+
+// Manual impl: the derive would demand `K: Default`, but the key type is
+// only an index and never constructed by `default()`.
+impl<K> Default for EntitySet<K> {
+    fn default() -> Self {
+        EntitySet { bits: Vec::new(), len: 0, marker: PhantomData }
+    }
 }
 
 impl<K: EntityRef> EntitySet<K> {

@@ -9,11 +9,13 @@
 //! telemetry sinks) and to self-contained `.pgvn` fixtures (for the
 //! regression suite).
 
-use crate::lattice::{check_lattice, default_relations, Relation};
+use crate::lattice::{check_lattice, check_lattice_with, default_relations, Relation};
 use crate::outcome::mix64;
 use crate::shrink::{shrink_routine, ShrinkOptions};
-use crate::validator::{validate_function, validate_optimized, ValidatorOptions};
-use pgvn_core::{FaultKind, FaultPlan, FaultSite, GvnConfig};
+use crate::validator::{
+    validate_function, validate_function_with, validate_optimized, ValidatorOptions,
+};
+use pgvn_core::{FaultKind, FaultPlan, FaultSite, GvnConfig, GvnContext};
 use pgvn_ir::Function;
 use pgvn_lang::Routine;
 use pgvn_ssa::SsaStyle;
@@ -207,6 +209,7 @@ fn resilient_fault(iteration: u64, gen_seed: u64) -> Option<FaultPlan> {
 /// committed function must verify, and translation validation must
 /// agree. Returns a one-line description of the first violation.
 fn check_resilient(
+    ctx: &mut GvnContext,
     func: &Function,
     iteration: u64,
     gen_seed: u64,
@@ -219,7 +222,8 @@ fn check_resilient(
     };
     let cfg = GvnConfig::full().fault_plan(plan);
     let mut optimized = func.clone();
-    let rep = Pipeline::new(cfg).rounds(validator.rounds).optimize_resilient(&mut optimized);
+    let rep =
+        Pipeline::new(cfg).rounds(validator.rounds).optimize_resilient_with(ctx, &mut optimized);
     if !rep.is_usable() {
         return Err(format!(
             "[{label}] ladder rejected a verified input: outcome {}",
@@ -250,6 +254,11 @@ pub fn fuzz_with(
     if opts.inject_miscompile {
         validator.configs.push(("injected-bug".to_string(), GvnConfig::full().miscompile(true)));
     }
+    // One analysis context for the whole campaign: every oracle run of
+    // every iteration reuses the same arenas (cross-run isolation is the
+    // driver's job, asserted by tests/session.rs). Shrink predicates
+    // below own fresh contexts instead, since they outlive this loop.
+    let mut ctx = GvnContext::new();
     for i in 0..opts.iterations {
         let gen_seed = mix64(opts.seed ^ mix64(i));
         let cfg = profile(i, gen_seed);
@@ -265,7 +274,7 @@ pub fn fuzz_with(
         let mut failing_predicate: Option<FailurePredicate> = None;
 
         if opts.mode.runs_validate() {
-            if let Err(e) = validate_function(&func, &validator) {
+            if let Err(e) = validate_function_with(&mut ctx, &func, &validator) {
                 // Shrink against the one configuration that failed — an
                 // 8× cheaper predicate, and the minimizer cannot wander
                 // off to a different config's unrelated failure.
@@ -279,7 +288,7 @@ pub fn fuzz_with(
             }
         }
         if failure.is_none() && opts.mode.runs_lattice() {
-            if let Err(v) = check_lattice(&func, &opts.relations) {
+            if let Err(v) = check_lattice_with(&mut ctx, &func, &opts.relations) {
                 let mut rels: Vec<Relation> = opts
                     .relations
                     .iter()
@@ -303,12 +312,14 @@ pub fn fuzz_with(
             }
         }
         if failure.is_none() && opts.check_resilient {
-            if let Err(detail) = check_resilient(&func, i, gen_seed, &validator) {
+            if let Err(detail) = check_resilient(&mut ctx, &func, i, gen_seed, &validator) {
                 let v = validator.clone();
+                let mut pred_ctx = GvnContext::new();
                 failure = Some(("resilient".to_string(), detail));
                 failing_predicate = Some(Box::new(move |r: &Routine| {
-                    compile_routine(r)
-                        .is_some_and(|f| check_resilient(&f, i, gen_seed, &v).is_err())
+                    compile_routine(r).is_some_and(|f| {
+                        check_resilient(&mut pred_ctx, &f, i, gen_seed, &v).is_err()
+                    })
                 }));
             }
         }

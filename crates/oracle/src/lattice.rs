@@ -20,7 +20,7 @@
 //! compare `full` against the emulations only where the ordering is
 //! guaranteed (the emulations have no inference of their own).
 
-use pgvn_core::{run, GvnConfig, GvnResults, Mode};
+use pgvn_core::{GvnConfig, GvnResults, Mode};
 use pgvn_ir::Function;
 use std::fmt;
 
@@ -159,10 +159,23 @@ fn check_pair(
 /// Returns the first [`LatticeViolation`]; also reports non-convergence
 /// of any run as a violation of that run against itself.
 pub fn check_lattice(func: &Function, relations: &[Relation]) -> Result<(), LatticeViolation> {
+    check_lattice_with(&mut pgvn_core::GvnContext::new(), func, relations)
+}
+
+/// [`check_lattice`] against a reusable [`pgvn_core::GvnContext`]: the
+/// per-configuration analysis runs share the session's arenas.
+pub fn check_lattice_with(
+    ctx: &mut pgvn_core::GvnContext,
+    func: &Function,
+    relations: &[Relation],
+) -> Result<(), LatticeViolation> {
     use std::collections::HashMap;
     let mut cache: HashMap<String, GvnResults> = HashMap::new();
     let mut results_for = |name: &str, cfg: &GvnConfig| -> GvnResults {
-        cache.entry(name.to_string()).or_insert_with(|| run(func, cfg)).clone()
+        cache
+            .entry(name.to_string())
+            .or_insert_with(|| pgvn_core::run_in_context(ctx, func, cfg))
+            .clone()
     };
     for rel in relations {
         let s = results_for(&rel.stronger.0, &rel.stronger.1);

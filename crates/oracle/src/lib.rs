@@ -47,9 +47,12 @@ pub mod shrink;
 pub mod validator;
 
 pub use fuzz::{fuzz, fuzz_with, FuzzFailure, FuzzMode, FuzzOptions, FuzzReport};
-pub use lattice::{check_lattice, default_relations, LatticeViolation, Relation};
+pub use lattice::{
+    check_lattice, check_lattice_with, default_relations, LatticeViolation, Relation,
+};
 pub use outcome::{mix64, run_outcome, Outcome};
 pub use shrink::{shrink_routine, ShrinkOptions};
 pub use validator::{
-    default_validation_configs, validate_function, validate_optimized, Failure, ValidatorOptions,
+    default_validation_configs, validate_function, validate_function_with, validate_optimized,
+    Failure, ValidatorOptions,
 };

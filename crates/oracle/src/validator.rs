@@ -169,12 +169,24 @@ pub fn argument_vectors(num_params: usize, vectors: usize, seed: u64) -> Vec<(Ve
 /// [`Failure::Verify`] if a pipeline produced ill-formed IR, and
 /// [`Failure::Mismatch`] if original and optimized executions disagree.
 pub fn validate_function(func: &Function, opts: &ValidatorOptions) -> Result<(), Failure> {
+    validate_function_with(&mut pgvn_core::GvnContext::new(), func, opts)
+}
+
+/// [`validate_function`] against a reusable [`pgvn_core::GvnContext`]:
+/// every configured pipeline run borrows the same session arenas, so a
+/// fuzz campaign amortizes allocation across its whole iteration stream.
+pub fn validate_function_with(
+    ctx: &mut pgvn_core::GvnContext,
+    func: &Function,
+    opts: &ValidatorOptions,
+) -> Result<(), Failure> {
     let vectors = argument_vectors(func.params().len(), opts.vectors, opts.input_seed);
     let originals: Vec<Outcome> =
         vectors.iter().map(|(args, os)| run_outcome(func, args, *os, opts.fuel)).collect();
     for (name, cfg) in &opts.configs {
         let mut optimized = func.clone();
-        let report = Pipeline::new(cfg.clone()).rounds(opts.rounds).optimize(&mut optimized);
+        let report =
+            Pipeline::new(cfg.clone()).rounds(opts.rounds).optimize_with(ctx, &mut optimized);
         if !report.gvn_stats.converged {
             return Err(Failure::NotConverged { config: name.clone() });
         }

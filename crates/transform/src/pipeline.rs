@@ -14,7 +14,7 @@ use crate::dce::eliminate_dead_code;
 use crate::rewrite::{
     eliminate_redundancies, eliminate_unreachable, forward_copies, propagate_constants, UceReport,
 };
-use pgvn_core::{run_traced, GvnConfig, GvnStats};
+use pgvn_core::{run_traced_in_context, GvnConfig, GvnContext, GvnStats};
 use pgvn_ir::Function;
 use pgvn_telemetry::{Phase, Telemetry};
 
@@ -69,15 +69,33 @@ impl Pipeline {
         self.optimize_traced(func, &mut Telemetry::off())
     }
 
+    /// [`Pipeline::optimize`] against a reusable [`GvnContext`]: every
+    /// GVN round borrows the context's arenas instead of allocating
+    /// fresh ones, so a routine stream sharing one context is
+    /// allocation-amortized. Results are identical to [`Pipeline::optimize`].
+    pub fn optimize_with(&self, ctx: &mut GvnContext, func: &mut Function) -> OptimizeReport {
+        self.optimize_traced_with(ctx, func, &mut Telemetry::off())
+    }
+
     /// [`Pipeline::optimize`] with observability: the GVN runs of every
     /// round trace into `tel`'s sink, and the rewrite stages record
     /// per-phase timings into its profiler.
     pub fn optimize_traced(&self, func: &mut Function, tel: &mut Telemetry<'_>) -> OptimizeReport {
+        self.optimize_traced_with(&mut GvnContext::new(), func, tel)
+    }
+
+    /// [`Pipeline::optimize_traced`] against a reusable [`GvnContext`].
+    pub fn optimize_traced_with(
+        &self,
+        ctx: &mut GvnContext,
+        func: &mut Function,
+        tel: &mut Telemetry<'_>,
+    ) -> OptimizeReport {
         let t0 = std::time::Instant::now();
         let mut report = OptimizeReport::default();
         for _ in 0..self.rounds {
             let g0 = std::time::Instant::now();
-            let results = run_traced(func, &self.cfg, tel);
+            let results = run_traced_in_context(ctx, func, &self.cfg, tel);
             report.gvn_nanos += g0.elapsed().as_nanos();
             report.gvn_stats = results.stats;
             let p0 = tel.clock();

@@ -15,7 +15,8 @@
 
 use crate::pipeline::{OptimizeReport, Pipeline};
 use pgvn_core::{
-    try_run_traced, BudgetKind, FaultKind, FaultSite, GvnConfig, GvnError, Mode, Variant,
+    try_run_traced_in_context, BudgetKind, FaultKind, FaultSite, GvnConfig, GvnContext, GvnError,
+    Mode, Variant,
 };
 use pgvn_ir::{verify, Function};
 use pgvn_telemetry::json::JsonWriter;
@@ -224,11 +225,36 @@ impl Pipeline {
         self.optimize_resilient_traced(func, &mut Telemetry::off())
     }
 
+    /// [`Pipeline::optimize_resilient`] against a reusable
+    /// [`GvnContext`]: one context serves every rung of the ladder (and
+    /// every routine of a batch). This is safe precisely because a
+    /// context is rollback-safe — a rung that panics or errors leaves
+    /// only scratch state behind, which the next rung's run re-prepares
+    /// wholesale.
+    pub fn optimize_resilient_with(
+        &self,
+        ctx: &mut GvnContext,
+        func: &mut Function,
+    ) -> ResilienceReport {
+        self.optimize_resilient_traced_with(ctx, func, &mut Telemetry::off())
+    }
+
     /// [`Pipeline::optimize_resilient`] with observability: each rung's
     /// analysis traces into `tel`, and every rung commit/failure emits a
     /// [`TraceEvent::Rung`].
     pub fn optimize_resilient_traced(
         &self,
+        func: &mut Function,
+        tel: &mut Telemetry<'_>,
+    ) -> ResilienceReport {
+        self.optimize_resilient_traced_with(&mut GvnContext::new(), func, tel)
+    }
+
+    /// [`Pipeline::optimize_resilient_traced`] against a reusable
+    /// [`GvnContext`] (see [`Pipeline::optimize_resilient_with`]).
+    pub fn optimize_resilient_traced_with(
+        &self,
+        ctx: &mut GvnContext,
         func: &mut Function,
         tel: &mut Telemetry<'_>,
     ) -> ResilienceReport {
@@ -255,8 +281,13 @@ impl Pipeline {
                 rung_cfg.fault_plan = None;
             }
             let mut candidate = pristine.clone();
+            // AssertUnwindSafe is justified for the context (not just the
+            // candidate, which is discarded on failure): all context
+            // contents are scratch that the next run re-prepares from
+            // zero, so observing it after an unwind cannot expose a
+            // broken invariant.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                self.run_rung(&rung_cfg, rung, &mut candidate, tel)
+                self.run_rung(&mut *ctx, &rung_cfg, rung, &mut candidate, tel)
             }));
             let error = match attempt {
                 Ok(Ok(mut report)) => {
@@ -310,6 +341,7 @@ impl Pipeline {
     /// any `Err` means the candidate must be discarded.
     fn run_rung(
         &self,
+        ctx: &mut GvnContext,
         cfg: &GvnConfig,
         rung: RungId,
         func: &mut Function,
@@ -321,7 +353,7 @@ impl Pipeline {
         let mut rewrite_countdown = rewrite_fault.map(|p| p.countdown());
         for _ in 0..self.rounds {
             let g0 = std::time::Instant::now();
-            let results = try_run_traced(func, cfg, tel)?;
+            let results = try_run_traced_in_context(ctx, func, cfg, tel)?;
             report.gvn_nanos += g0.elapsed().as_nanos();
             report.gvn_stats = results.stats;
             if let Some(plan) = rewrite_fault {

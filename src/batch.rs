@@ -1,0 +1,355 @@
+//! The parallel batch engine behind `pgvn batch`.
+//!
+//! A batch is a list of named routine sources processed independently:
+//! each routine is compiled, pushed through the resilient degradation
+//! ladder ([`Pipeline::optimize_resilient_with`]), and classified into a
+//! per-routine record. Workers are `std::thread::scope` threads, each
+//! owning a private [`GvnContext`] so the whole shard it processes is
+//! allocation-amortized, plus a private record buffer so no worker ever
+//! blocks on another's output.
+//!
+//! ## Determinism
+//!
+//! Parallel and sequential runs produce **byte-identical** reports.
+//! Work is handed out through a shared atomic cursor, so *which* worker
+//! processes a given routine varies from run to run — but every routine
+//! is independent (its own compiled [`Function`], a context wiped by
+//! `prepare()` at every analysis run) and its record depends only on its
+//! input, so the records themselves are identical no matter which thread
+//! produced them. Records are merged back in original input order, and
+//! the aggregate [`GvnStats::merge`] is associative and applied in that
+//! same order, so `--jobs 1` and `--jobs N` agree byte for byte. Nothing
+//! in a record derives from wall-clock time or scheduling.
+//!
+//! [`Function`]: pgvn_ir::Function
+
+use crate::prelude::*;
+use pgvn_core::GvnContext;
+use pgvn_telemetry::json::JsonWriter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One routine to process: a display name and its source text (or the
+/// I/O error that prevented reading it — unreadable inputs become
+/// classified records, not early exits).
+#[derive(Clone, Debug)]
+pub struct BatchInput {
+    /// Display name used in records and diagnostics.
+    pub name: String,
+    /// Source text, or the I/O error message from gathering it.
+    pub source: Result<String, String>,
+}
+
+/// Tuning for one [`run_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchOptions {
+    /// The GVN configuration (budgets and fault plan applied).
+    pub cfg: GvnConfig,
+    /// Pipeline rounds per routine.
+    pub rounds: usize,
+    /// Worker threads. Clamped to at least one; values above the input
+    /// count just leave the extra workers idle.
+    pub jobs: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { cfg: GvnConfig::full(), rounds: 2, jobs: 1 }
+    }
+}
+
+/// How one routine ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutineStatus {
+    /// The ladder committed a changed function.
+    Optimized,
+    /// The ladder committed, but nothing changed.
+    Identity,
+    /// The ladder exhausted its rungs and fell back to identity.
+    Rejected,
+    /// The source failed to read, parse or compile.
+    InputError,
+    /// A panic escaped `optimize_resilient` — an API-contract violation,
+    /// classified at the batch boundary rather than crashing the batch.
+    EscapedPanic,
+}
+
+/// One routine's classified outcome.
+#[derive(Clone, Debug)]
+pub struct RoutineRecord {
+    /// The input's display name.
+    pub name: String,
+    /// Classification of the outcome.
+    pub status: RoutineStatus,
+    /// The JSONL record line (no trailing newline), byte-stable across
+    /// worker counts.
+    pub json: String,
+    /// A one-line stderr diagnostic for error outcomes.
+    pub diagnostic: Option<String>,
+    /// The routine's GVN statistics, when the ladder produced them.
+    pub gvn_stats: Option<GvnStats>,
+}
+
+/// The merged outcome of a batch: per-routine records in input order,
+/// the classification counts, and the [`GvnStats::merge`] aggregate.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-routine records, in original input order.
+    pub records: Vec<RoutineRecord>,
+    /// Routines whose ladder committed a changed function.
+    pub optimized: u64,
+    /// Routines whose ladder committed an unchanged function.
+    pub identity: u64,
+    /// Routines whose ladder fell back to identity.
+    pub rejected: u64,
+    /// Routines whose input failed to read or compile.
+    pub input_errors: u64,
+    /// Routines that violated the no-panic contract.
+    pub escaped_panics: u64,
+    /// All per-routine [`GvnStats`] merged in input order.
+    pub merged_stats: GvnStats,
+}
+
+impl BatchReport {
+    /// Whether every routine optimized cleanly (the batch exit-code
+    /// criterion: no rejections, input errors or escaped panics).
+    pub fn is_clean(&self) -> bool {
+        self.rejected == 0 && self.input_errors == 0 && self.escaped_panics == 0
+    }
+
+    /// The `batch_summary` JSONL record (no trailing newline).
+    pub fn summary_json(&self, seed: u64) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("event", "batch_summary")
+            .field_u64("seed", seed)
+            .field_u64("routines", self.records.len() as u64)
+            .field_u64("optimized", self.optimized)
+            .field_u64("identity", self.identity)
+            .field_u64("rejected", self.rejected)
+            .field_u64("input_errors", self.input_errors)
+            .field_u64("escaped_panics", self.escaped_panics);
+        w.finish()
+    }
+
+    /// The merged-statistics JSONL record (no trailing newline): the
+    /// batch-wide [`GvnStats::merge`] aggregate plus the classification
+    /// counts, independent of worker count.
+    pub fn stats_json(&self, seed: u64) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("event", "batch_stats")
+            .field_u64("seed", seed)
+            .field_u64("routines", self.records.len() as u64)
+            .field_u64("optimized", self.optimized)
+            .field_u64("identity", self.identity)
+            .field_u64("rejected", self.rejected)
+            .field_u64("input_errors", self.input_errors)
+            .field_u64("escaped_panics", self.escaped_panics)
+            .field_raw("gvn_stats", &self.merged_stats.to_json());
+        w.finish()
+    }
+}
+
+/// Compiles and optimizes one routine against a worker's private
+/// context, producing its classified record. This is the unit of work a
+/// batch distributes; it depends only on `(input, opts)`, never on the
+/// worker or the schedule.
+fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) -> RoutineRecord {
+    let mut w = JsonWriter::object();
+    w.field_str("event", "routine").field_str("name", &input.name);
+    let func = input
+        .source
+        .as_ref()
+        .map_err(|e| e.clone())
+        .and_then(|s| compile(s, SsaStyle::Pruned).map_err(|e| e.to_string()));
+    match func {
+        Err(e) => {
+            w.field_str("status", "input_error").field_str("detail", &e);
+            RoutineRecord {
+                name: input.name.clone(),
+                status: RoutineStatus::InputError,
+                json: w.finish(),
+                diagnostic: Some(format!("pgvn batch: {}: input error: {e}", input.name)),
+                gvn_stats: None,
+            }
+        }
+        Ok(mut f) => {
+            // The API contract says optimize_resilient never panics; the
+            // batch boundary still catches, so a violation is a
+            // classified record (and a batch failure), not a crash. The
+            // context is unwind-safe here for the same reason the ladder
+            // itself may catch over it: every analysis run begins with
+            // `prepare()`, which rebuilds all scratch state from zero.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let pipeline = Pipeline::new(opts.cfg.clone()).rounds(opts.rounds);
+                let rep = pipeline.optimize_resilient_with(ctx, &mut f);
+                (rep, f.num_insts())
+            }));
+            match attempt {
+                Ok((rep, insts)) => {
+                    let status = match rep.outcome.kind() {
+                        "optimized" => RoutineStatus::Optimized,
+                        "identity" => RoutineStatus::Identity,
+                        _ => RoutineStatus::Rejected,
+                    };
+                    w.field_str("status", "classified")
+                        .field_u64("insts", insts as u64)
+                        .field_raw("resilience", &rep.to_json());
+                    RoutineRecord {
+                        name: input.name.clone(),
+                        status,
+                        json: w.finish(),
+                        diagnostic: None,
+                        gvn_stats: Some(rep.report.gvn_stats),
+                    }
+                }
+                Err(_) => {
+                    w.field_str("status", "escaped_panic");
+                    RoutineRecord {
+                        name: input.name.clone(),
+                        status: RoutineStatus::EscapedPanic,
+                        json: w.finish(),
+                        diagnostic: Some(format!(
+                            "pgvn batch: {}: PANIC escaped optimize_resilient",
+                            input.name
+                        )),
+                        gvn_stats: None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Processes every input and merges the records in input order.
+///
+/// With `opts.jobs > 1`, inputs are sharded dynamically over scoped
+/// worker threads, each with a private [`GvnContext`]; see the module
+/// docs for why the output is identical to a sequential run. The caller
+/// owns panic-hook policy — `pgvn batch` silences the hook so injected
+/// faults don't spray backtraces, but library callers keep theirs.
+pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
+    let jobs = opts.jobs.max(1).min(inputs.len().max(1));
+    let mut slots: Vec<Option<RoutineRecord>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut ctx = GvnContext::new();
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(i) else { break };
+                        produced.push((i, process_one(&mut ctx, input, opts)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, rec) in h.join().expect("batch worker panicked outside catch_unwind") {
+                slots[i] = Some(rec);
+            }
+        }
+    });
+
+    let records: Vec<RoutineRecord> =
+        slots.into_iter().map(|r| r.expect("every input produces a record")).collect();
+    let mut report = BatchReport {
+        records,
+        optimized: 0,
+        identity: 0,
+        rejected: 0,
+        input_errors: 0,
+        escaped_panics: 0,
+        merged_stats: GvnStats::default(),
+    };
+    for rec in &report.records {
+        match rec.status {
+            RoutineStatus::Optimized => report.optimized += 1,
+            RoutineStatus::Identity => report.identity += 1,
+            RoutineStatus::Rejected => report.rejected += 1,
+            RoutineStatus::InputError => report.input_errors += 1,
+            RoutineStatus::EscapedPanic => report.escaped_panics += 1,
+        }
+        if let Some(stats) = &rec.gvn_stats {
+            report.merged_stats.merge(stats);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_inputs(n: u64, seed: u64) -> Vec<BatchInput> {
+        (0..n)
+            .map(|i| {
+                let gen_seed = crate::oracle::mix64(seed ^ crate::oracle::mix64(i));
+                let gcfg = crate::workload::GenConfig { seed: gen_seed, ..Default::default() };
+                let routine = crate::workload::generate_routine(&format!("batch_{i}"), &gcfg);
+                BatchInput {
+                    name: format!("batch_{i}"),
+                    source: Ok(crate::lang::print_routine(&routine)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let inputs = gen_inputs(12, 2002);
+        let seq = run_batch(&inputs, &BatchOptions { jobs: 1, ..Default::default() });
+        let par = run_batch(&inputs, &BatchOptions { jobs: 4, ..Default::default() });
+        let lines = |r: &BatchReport| {
+            r.records.iter().map(|rec| rec.json.clone()).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(lines(&seq), lines(&par));
+        assert_eq!(seq.summary_json(2002), par.summary_json(2002));
+        assert_eq!(seq.stats_json(2002), par.stats_json(2002));
+        assert_eq!(seq.merged_stats, par.merged_stats);
+    }
+
+    #[test]
+    fn records_keep_input_order_and_classify_errors() {
+        let mut inputs = gen_inputs(3, 7);
+        inputs.insert(
+            1,
+            BatchInput { name: "broken".to_string(), source: Ok("routine nope {".to_string()) },
+        );
+        inputs.push(BatchInput {
+            name: "unreadable".to_string(),
+            source: Err("permission denied".to_string()),
+        });
+        let report = run_batch(&inputs, &BatchOptions { jobs: 3, ..Default::default() });
+        let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["batch_0", "broken", "batch_1", "batch_2", "unreadable"]);
+        assert_eq!(report.input_errors, 2);
+        assert_eq!(report.records[1].status, RoutineStatus::InputError);
+        assert!(report.records[4].json.contains("permission denied"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn merged_stats_accumulate_across_routines() {
+        let inputs = gen_inputs(4, 11);
+        let whole = run_batch(&inputs, &BatchOptions::default());
+        let mut expected = GvnStats::default();
+        for rec in &whole.records {
+            expected.merge(rec.gvn_stats.as_ref().expect("generated routines classify"));
+        }
+        assert_eq!(whole.merged_stats, expected);
+        assert!(whole.merged_stats.passes > 0);
+        assert!(whole.is_clean());
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_input_are_harmless() {
+        let report = run_batch(&[], &BatchOptions { jobs: 0, ..Default::default() });
+        assert!(report.records.is_empty());
+        assert!(report.is_clean());
+        assert_eq!(report.merged_stats, GvnStats::default());
+    }
+}

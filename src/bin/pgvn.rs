@@ -48,10 +48,13 @@
 //!   --budget-passes/--budget-ms/--budget-touches   per-routine budgets
 //!   --inject kind@site [--inject-seed N] [--inject-sticky]
 //!   --report <path>                                per-routine JSONL report
+//!   --jobs N                                       worker threads (default: 1)
+//!   --stats-json <path>                            merged GvnStats as JSONL
 //!
 //! Exit codes: 0 success, 1 failures found (fuzz/batch) or internal
 //! error, 2 usage or I/O errors. Batch mode isolates every routine with
-//! `catch_unwind`: one poisoned routine cannot sink the batch.
+//! `catch_unwind`: one poisoned routine cannot sink the batch. The
+//! report is byte-identical at any `--jobs` count.
 //! ```
 
 use pgvn::core::{try_run_traced, FaultPlan, GvnBudget};
@@ -384,7 +387,7 @@ fn batch_usage() -> ! {
          \x20                [--variant practical|complete] [--rounds N]\n\
          \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
          \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
-         \x20                [--report <path>]"
+         \x20                [--report <path>] [--jobs N] [--stats-json <path>]"
     );
     std::process::exit(2);
 }
@@ -392,11 +395,12 @@ fn batch_usage() -> ! {
 /// `pgvn batch`: resilient optimization over a suite of routines, one
 /// `catch_unwind`-isolated `optimize_resilient` call per routine, with a
 /// per-routine JSONL outcome report. One poisoned routine can never sink
-/// the batch — every routine ends in a classified record.
+/// the batch — every routine ends in a classified record. Processing is
+/// delegated to [`pgvn::batch::run_batch`], whose report is
+/// byte-identical at any `--jobs` count.
 fn batch_main(mut args: std::env::Args) -> ExitCode {
-    use pgvn::telemetry::json::JsonWriter;
+    use pgvn::batch::{run_batch, BatchInput, BatchOptions};
     use std::io::Write;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let mut dir: Option<String> = None;
     let mut gen_count: Option<u64> = None;
@@ -406,8 +410,10 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     let mut mode = Mode::Optimistic;
     let mut variant = Variant::Practical;
     let mut rounds: usize = 2;
+    let mut jobs: usize = 1;
     let mut res = ResilienceFlags::default();
     let mut report_path: Option<String> = None;
+    let mut stats_path: Option<String> = None;
     while let Some(a) = args.next() {
         match res.consume(a.as_str(), &mut args) {
             Ok(true) => continue,
@@ -464,8 +470,16 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
                 Some(v) => rounds = v,
                 None => batch_usage(),
             },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => batch_usage(),
+            },
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
+                None => batch_usage(),
+            },
+            "--stats-json" => match args.next() {
+                Some(p) => stats_path = Some(p),
                 None => batch_usage(),
             },
             _ => batch_usage(),
@@ -476,9 +490,9 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     }
     let cfg = res.apply(config.mode(mode).variant(variant));
 
-    // Gather the suite: (name, source) pairs. Unreadable or unparseable
-    // inputs become classified records, not early exits.
-    let mut sources: Vec<(String, Result<String, String>)> = Vec::new();
+    // Gather the suite. Unreadable or unparseable inputs become
+    // classified records, not early exits.
+    let mut inputs: Vec<BatchInput> = Vec::new();
     if let Some(dir) = &dir {
         let entries = match std::fs::read_dir(dir) {
             Ok(e) => e,
@@ -491,8 +505,8 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
         paths.sort();
         for p in paths {
             let name = p.display().to_string();
-            let src = std::fs::read_to_string(&p).map_err(|e| e.to_string());
-            sources.push((name, src));
+            let source = std::fs::read_to_string(&p).map_err(|e| e.to_string());
+            inputs.push(BatchInput { name, source });
         }
     }
     if let Some(n) = gen_count {
@@ -500,11 +514,14 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
             let gen_seed = pgvn::oracle::mix64(seed ^ pgvn::oracle::mix64(i));
             let gcfg = pgvn::workload::GenConfig { seed: gen_seed, ..Default::default() };
             let routine = pgvn::workload::generate_routine(&format!("batch_{i}"), &gcfg);
-            sources.push((format!("batch_{i}"), Ok(pgvn::lang::print_routine(&routine))));
+            inputs.push(BatchInput {
+                name: format!("batch_{i}"),
+                source: Ok(pgvn::lang::print_routine(&routine)),
+            });
         }
     }
     if let Some(n) = limit {
-        sources.truncate(n);
+        inputs.truncate(n);
     }
 
     // Injected panics are classified at the catch_unwind boundary; the
@@ -512,66 +529,21 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     // for the duration of the batch.
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-
-    let mut lines = String::new();
-    let (mut optimized, mut identity, mut rejected, mut errors, mut escaped) = (0u64, 0, 0, 0, 0);
-    for (name, src) in &sources {
-        let mut w = JsonWriter::object();
-        w.field_str("event", "routine").field_str("name", name);
-        let func = src
-            .as_ref()
-            .map_err(|e| e.clone())
-            .and_then(|s| compile(s, SsaStyle::Pruned).map_err(|e| e.to_string()));
-        match func {
-            Err(e) => {
-                errors += 1;
-                w.field_str("status", "input_error").field_str("detail", &e);
-                eprintln!("pgvn batch: {name}: input error: {e}");
-            }
-            Ok(mut f) => {
-                // The API contract says optimize_resilient never panics;
-                // the batch boundary still catches, so a violation is a
-                // classified record (and a batch failure), not a crash.
-                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    let pipeline = Pipeline::new(cfg.clone()).rounds(rounds);
-                    let rep = pipeline.optimize_resilient(&mut f);
-                    (rep, f.num_insts())
-                }));
-                match attempt {
-                    Ok((rep, insts)) => {
-                        match rep.outcome.kind() {
-                            "optimized" => optimized += 1,
-                            "identity" => identity += 1,
-                            _ => rejected += 1,
-                        }
-                        w.field_str("status", "classified")
-                            .field_u64("insts", insts as u64)
-                            .field_raw("resilience", &rep.to_json());
-                    }
-                    Err(_) => {
-                        escaped += 1;
-                        w.field_str("status", "escaped_panic");
-                        eprintln!("pgvn batch: {name}: PANIC escaped optimize_resilient");
-                    }
-                }
-            }
-        }
-        lines.push_str(&w.finish());
-        lines.push('\n');
-    }
+    let batch = run_batch(&inputs, &BatchOptions { cfg, rounds, jobs });
     let _ = std::panic::take_hook();
     std::panic::set_hook(prev_hook);
 
-    let mut w = JsonWriter::object();
-    w.field_str("event", "batch_summary")
-        .field_u64("seed", seed)
-        .field_u64("routines", sources.len() as u64)
-        .field_u64("optimized", optimized)
-        .field_u64("identity", identity)
-        .field_u64("rejected", rejected)
-        .field_u64("input_errors", errors)
-        .field_u64("escaped_panics", escaped);
-    lines.push_str(&w.finish());
+    // Records come back in input order whatever the worker count, so
+    // both the report and the diagnostics stream are deterministic.
+    let mut lines = String::new();
+    for rec in &batch.records {
+        if let Some(d) = &rec.diagnostic {
+            eprintln!("{d}");
+        }
+        lines.push_str(&rec.json);
+        lines.push('\n');
+    }
+    lines.push_str(&batch.summary_json(seed));
     lines.push('\n');
     if let Some(path) = &report_path {
         let written = std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes()));
@@ -581,12 +553,25 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     } else {
         print!("{lines}");
     }
+    if let Some(path) = &stats_path {
+        let mut stats = batch.stats_json(seed);
+        stats.push('\n');
+        let written = std::fs::File::create(path).and_then(|mut f| f.write_all(stats.as_bytes()));
+        if let Err(e) = written {
+            return fail_io(format_args!("batch: cannot write {path}: {e}"));
+        }
+    }
     eprintln!(
-        "pgvn batch: {} routine(s): {optimized} optimized, {identity} identity, \
-         {rejected} rejected, {errors} input error(s), {escaped} escaped panic(s)",
-        sources.len()
+        "pgvn batch: {} routine(s): {} optimized, {} identity, \
+         {} rejected, {} input error(s), {} escaped panic(s)",
+        batch.records.len(),
+        batch.optimized,
+        batch.identity,
+        batch.rejected,
+        batch.input_errors,
+        batch.escaped_panics
     );
-    if rejected == 0 && errors == 0 && escaped == 0 {
+    if batch.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -18,7 +18,11 @@
 //!   the evaluation harness;
 //! - [`oracle`] — the differential correctness oracle: interpreter-backed
 //!   translation validation, emulation-lattice checking, fuzzing and
-//!   shrinking (see `docs/ORACLE.md`).
+//!   shrinking (see `docs/ORACLE.md`);
+//! - [`batch`] — the deterministic parallel batch engine behind
+//!   `pgvn batch`: scoped worker threads, one reusable
+//!   [`GvnContext`](pgvn_core::GvnContext) per worker, byte-identical
+//!   reports at any `--jobs` count (see `docs/ARCHITECTURE.md`).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +43,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
+
 pub use pgvn_analysis as analysis;
 pub use pgvn_core as core;
 pub use pgvn_ir as ir;
@@ -52,7 +58,7 @@ pub use pgvn_workload as workload;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use pgvn_core::run as gvn;
-    pub use pgvn_core::{GvnConfig, GvnResults, GvnStats, Mode, Strength, Variant};
+    pub use pgvn_core::{GvnConfig, GvnContext, GvnResults, GvnStats, Mode, Strength, Variant};
     pub use pgvn_ir::{Function, HashedOpaques, Interpreter};
     pub use pgvn_lang::compile;
     pub use pgvn_ssa::SsaStyle;

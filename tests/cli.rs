@@ -413,3 +413,57 @@ fn batch_bad_flags_exit_with_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn batch"));
 }
+
+#[test]
+fn batch_parallel_report_and_stats_match_sequential() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let dir = std::env::temp_dir().join("pgvn-cli-tests").join("batch-jobs");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |jobs: &str, tag: &str| {
+        let report = dir.join(format!("report-{tag}.jsonl"));
+        let stats = dir.join(format!("stats-{tag}.jsonl"));
+        let out = pgvn()
+            .args(["batch", "--gen", "10", "--seed", "2002", "--jobs", jobs])
+            .args(["--report", report.to_str().unwrap()])
+            .args(["--stats-json", stats.to_str().unwrap()])
+            .output()
+            .expect("spawns");
+        assert!(out.status.success(), "--jobs {jobs}: {}", String::from_utf8_lossy(&out.stderr));
+        (
+            std::fs::read(&report).expect("report written"),
+            std::fs::read(&stats).expect("stats written"),
+        )
+    };
+    let (report1, stats1) = run("1", "seq");
+    let (report4, stats4) = run("4", "par");
+    // The whole point of the deterministic sharding: byte-identical
+    // JSONL report and merged statistics at any worker count.
+    assert_eq!(report1, report4, "parallel batch report must be byte-identical");
+    assert_eq!(stats1, stats4, "merged stats must be byte-identical");
+
+    // The merged-stats record is well formed and aggregates all routines.
+    let body = String::from_utf8(stats1).expect("utf-8");
+    let v = parse(body.trim()).expect("stats record parses");
+    assert_eq!(v.get("event").and_then(JsonValue::as_str), Some("batch_stats"));
+    assert_eq!(v.get("routines").and_then(JsonValue::as_u64), Some(10));
+    let gvn = v.get("gvn_stats").expect("embeds the merged GvnStats");
+    assert!(gvn.get("passes").and_then(JsonValue::as_u64).unwrap() >= 10);
+    assert_eq!(gvn.get("converged").and_then(JsonValue::as_bool), Some(true));
+}
+
+#[test]
+fn batch_parallel_isolates_injected_faults_deterministically() {
+    let run = |jobs: &str| {
+        let out = pgvn()
+            .args(["batch", "--gen", "6", "--seed", "7", "--jobs", jobs])
+            .args(["--inject", "panic@eval", "--inject-sticky"])
+            .output()
+            .expect("spawns");
+        assert!(out.status.success(), "--jobs {jobs}: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("stack backtrace"), "{stderr}");
+        out.stdout
+    };
+    assert_eq!(run("1"), run("4"), "fault classification must not depend on worker count");
+}

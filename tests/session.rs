@@ -1,0 +1,207 @@
+//! Session-context tests: a long-lived [`GvnContext`] shared across a
+//! routine stream must behave exactly like a fresh context per routine,
+//! and nothing cached in one run (predicate/value inferences, interned
+//! expressions, class structure) may leak into the next.
+
+use pgvn::core::{run, run_in_context, GvnConfig, GvnContext, GvnResults, Mode};
+use pgvn::ir::{Function, InstKind};
+use pgvn::prelude::*;
+
+fn compile_src(src: &str) -> Function {
+    compile(src, SsaStyle::Pruned).unwrap()
+}
+
+fn corpus(n: u64, seed: u64) -> Vec<Function> {
+    (0..n)
+        .map(|i| {
+            let gen_seed = pgvn::oracle::mix64(seed ^ pgvn::oracle::mix64(i));
+            let gcfg = pgvn::workload::GenConfig { seed: gen_seed, ..Default::default() };
+            let routine = pgvn::workload::generate_routine(&format!("s_{i}"), &gcfg);
+            compile_src(&pgvn::lang::print_routine(&routine))
+        })
+        .collect()
+}
+
+/// The configurations a session is expected to interleave freely.
+fn session_configs() -> Vec<GvnConfig> {
+    vec![
+        GvnConfig::full(),
+        GvnConfig::extended(),
+        GvnConfig::click(),
+        GvnConfig::sccp(),
+        GvnConfig::awz(),
+        GvnConfig::full().mode(Mode::Balanced),
+        GvnConfig::full().mode(Mode::Pessimistic),
+    ]
+}
+
+fn assert_same_results(func: &Function, shared: &GvnResults, fresh: &GvnResults, what: &str) {
+    assert_eq!(shared.stats, fresh.stats, "{what}: stats diverged");
+    assert_eq!(shared.partition(), fresh.partition(), "{what}: partition diverged");
+    for b in func.blocks() {
+        assert_eq!(
+            shared.is_block_reachable(b),
+            fresh.is_block_reachable(b),
+            "{what}: reachability of {b} diverged"
+        );
+    }
+    for e in func.edges() {
+        assert_eq!(
+            shared.is_edge_reachable(e),
+            fresh.is_edge_reachable(e),
+            "{what}: reachability of {e} diverged"
+        );
+    }
+}
+
+/// The tentpole equivalence: one context across a whole generated
+/// corpus, under every configuration, must reproduce the fresh-context
+/// analysis bit for bit.
+#[test]
+fn shared_context_matches_fresh_context_over_a_corpus() {
+    let funcs = corpus(12, 2002);
+    let mut ctx = GvnContext::new();
+    for cfg in session_configs() {
+        for (i, f) in funcs.iter().enumerate() {
+            let shared = run_in_context(&mut ctx, f, &cfg);
+            let fresh = run(f, &cfg);
+            assert_same_results(f, &shared, &fresh, &format!("routine {i} under {cfg:?}"));
+        }
+    }
+    // Every (config × routine) analysis reused the same arenas.
+    assert_eq!(ctx.runs(), 7 * 12);
+}
+
+/// The same equivalence one layer up: `Pipeline::optimize_with` against
+/// a shared context rewrites the function identically to the
+/// throwaway-context `optimize`.
+#[test]
+fn pipeline_with_shared_context_rewrites_identically() {
+    let funcs = corpus(8, 7);
+    let mut ctx = GvnContext::new();
+    let pipeline = Pipeline::new(GvnConfig::full()).rounds(2);
+    for (i, f) in funcs.iter().enumerate() {
+        let mut shared = f.clone();
+        let mut fresh = f.clone();
+        let rs = pipeline.optimize_with(&mut ctx, &mut shared);
+        let rf = pipeline.optimize(&mut fresh);
+        assert_eq!(shared.to_string(), fresh.to_string(), "routine {i}: rewrites diverged");
+        assert_eq!(rs.gvn_stats, rf.gvn_stats, "routine {i}");
+        assert_eq!(rs.constants_propagated, rf.constants_propagated, "routine {i}");
+        assert_eq!(rs.redundancies_eliminated, rf.redundancies_eliminated, "routine {i}");
+        assert_eq!(rs.dead_removed, rf.dead_removed, "routine {i}");
+    }
+}
+
+/// Targeted cross-run isolation: routine `a` populates the inference
+/// caches with "x is 5 under this guard" facts; routine `b` has the
+/// *same shape* — identical block and value indices — but guards on 7.
+/// A stale cache entry surviving `prepare()` would alias by index and
+/// fold `b`'s guarded region to 5.
+#[test]
+fn cached_inference_from_one_run_cannot_leak_into_the_next() {
+    let a = compile_src("routine a(x) { if (x == 5) { y = x + 0; return y; } return 0; }");
+    let b = compile_src("routine b(x) { if (x == 7) { y = x + 0; return y; } return 0; }");
+    for cfg in session_configs() {
+        let mut ctx = GvnContext::new();
+        let ra = run_in_context(&mut ctx, &a, &cfg);
+        let rb = run_in_context(&mut ctx, &b, &cfg);
+        let fresh = run(&b, &cfg);
+        assert_same_results(&b, &rb, &fresh, &format!("b after a under {cfg:?}"));
+        // The sharpest form of the leak: no value of `b` may be proven
+        // equal to 5 — that constant exists only in `a`'s world.
+        for v in b.values() {
+            assert_ne!(rb.constant_value(v), Some(5), "stale 5 leaked into {v} under {cfg:?}");
+        }
+        // Sanity for the full configuration: the caches really were
+        // populated — `a`'s guarded return folds to 5, `b`'s to 7.
+        if cfg == GvnConfig::full() {
+            assert!(b.values().any(|v| rb.constant_value(v) == Some(7)), "b folds under full");
+            assert!(a.values().any(|v| ra.constant_value(v) == Some(5)), "a folds under full");
+        }
+    }
+}
+
+/// The satellite audit's test: an inference cached while exploring a
+/// region the final fixed point proves unreachable must not surface in
+/// the final partition. The inner guard would fold `y` to `x` with a
+/// "x is 5" fact live; outside the dead region `y = x + 0` must stay
+/// congruent to the parameter, never constant.
+#[test]
+fn inference_from_an_unreachable_region_cannot_reach_the_final_partition() {
+    let src = "routine f(x) {
+        if (1 == 2) {
+            if (x == 5) { d = x + 1; return d; }
+            return 6;
+        }
+        y = x + 0;
+        return y;
+    }";
+    let f = compile_src(src);
+    let live_return = {
+        // The reachable return is the one whose block survives analysis.
+        let res = run(&f, &GvnConfig::full());
+        f.blocks()
+            .filter(|&b| res.is_block_reachable(b))
+            .filter_map(|b| f.terminator(b))
+            .find_map(|t| match f.kind(t) {
+                InstKind::Return(v) => Some(*v),
+                _ => None,
+            })
+            .expect("a reachable return")
+    };
+    let mut ctx = GvnContext::new();
+    for cfg in session_configs() {
+        let res = run_in_context(&mut ctx, &f, &cfg);
+        assert_eq!(
+            res.constant_value(live_return),
+            None,
+            "dead-region inference leaked a constant under {cfg:?}"
+        );
+        // End to end: the optimized routine must still echo its input.
+        let mut opt = f.clone();
+        Pipeline::new(cfg.clone()).rounds(2).optimize_with(&mut ctx, &mut opt);
+        let mut o = pgvn::ir::HashedOpaques::new(0);
+        assert_eq!(pgvn::ir::Interpreter::new(&opt).run(&[9], &mut o), Ok(9), "under {cfg:?}");
+    }
+}
+
+/// Clearing is rollback-safe: after a mid-run panic (injected fault in a
+/// debug-only knob), the poisoned context must serve the next routine
+/// exactly like a fresh one.
+#[test]
+fn context_survives_a_panicking_run() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let good = compile_src("routine g(a, b) { x = a + b; y = b + a; return x - y; }");
+    let mut ctx = GvnContext::new();
+    let cfg = GvnConfig::full()
+        .fault_plan(Some(pgvn::core::FaultPlan::parse("panic@eval").unwrap().sticky()));
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let attempt = catch_unwind(AssertUnwindSafe(|| run_in_context(&mut ctx, &good, &cfg)));
+    std::panic::set_hook(prev);
+    assert!(attempt.is_err(), "the injected fault must fire");
+    let shared = run_in_context(&mut ctx, &good, &GvnConfig::full());
+    let fresh = run(&good, &GvnConfig::full());
+    assert_same_results(&good, &shared, &fresh, "after a panicked run");
+}
+
+/// A warmed context stops growing: replaying the same corpus must not
+/// enlarge any arena, and the run counter keeps advancing.
+#[test]
+fn warm_context_capacities_are_stable() {
+    let funcs = corpus(10, 11);
+    let cfg = GvnConfig::full();
+    let mut ctx = GvnContext::new();
+    for f in &funcs {
+        run_in_context(&mut ctx, f, &cfg);
+    }
+    let warm = ctx.capacities();
+    let runs = ctx.runs();
+    for f in &funcs {
+        run_in_context(&mut ctx, f, &cfg);
+    }
+    assert_eq!(ctx.capacities(), warm, "replaying a seen corpus must not grow the arenas");
+    assert_eq!(ctx.runs(), runs + funcs.len() as u64);
+}
