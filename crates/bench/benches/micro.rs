@@ -10,7 +10,7 @@ use pgvn_analysis::{DomTree, PostDomTree, Rpo};
 use pgvn_core::{run, run_traced, GvnConfig};
 use pgvn_lang::{lower, parse};
 use pgvn_ssa::{build_ssa, SsaStyle};
-use pgvn_telemetry::Telemetry;
+use pgvn_telemetry::{MetricsRegistry, Telemetry};
 use pgvn_workload::{generate_routine, GenConfig};
 
 fn bench_analyses(c: &mut Criterion) {
@@ -58,6 +58,24 @@ fn bench_telemetry_off(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("gvn_telemetry_off", stmts), &f, |bencher, f| {
             bencher.iter(|| run_traced(f, &cfg, &mut Telemetry::off()).stats.passes);
+        });
+        // The metrics mirror of the same guard: a handle with no
+        // registry attached must also sit within noise of `gvn_untraced`
+        // (the recording sites are one untaken branch), while
+        // `gvn_metrics_on` shows the full metered cost for reference.
+        group.bench_with_input(BenchmarkId::new("gvn_metrics_off", stmts), &f, |bencher, f| {
+            bencher.iter(|| {
+                let mut tel = Telemetry::off();
+                run_traced(f, &cfg, &mut tel).stats.passes
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gvn_metrics_on", stmts), &f, |bencher, f| {
+            let reg = MetricsRegistry::new();
+            bencher.iter(|| {
+                let mut tel = Telemetry::off();
+                tel.attach_metrics(&reg);
+                run_traced(f, &cfg, &mut tel).stats.passes
+            });
         });
     }
     group.finish();

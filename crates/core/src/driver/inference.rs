@@ -177,6 +177,7 @@ impl Run<'_, '_, '_, '_> {
             self.stats.vi_cache_hits += 1;
             return Some(hit);
         }
+        self.stats.vi_cache_misses += 1;
         let join_depth = if self.cfg.joint_domination { MAX_JOIN_DEPTH } else { 0 };
         let t0 = self.tel.clock();
         while self.interner.as_value(cur_expr).is_some() {

@@ -27,7 +27,7 @@ use pgvn_analysis::{DomTree, PostDomTree, Ranks, ReachableDomTree, Rpo};
 use pgvn_ir::{
     BinOp, Block, CmpOp, DefUse, Edge, EntityRef, EntitySet, Function, Inst, InstKind, UnOp, Value,
 };
-use pgvn_telemetry::{Phase, Telemetry, TextSink, TraceEvent};
+use pgvn_telemetry::{Metric, Phase, Telemetry, TextSink, TraceEvent};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -259,7 +259,24 @@ impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
             cfg.fault_plan.filter(|p| p.site != FaultSite::Rewrite).map(|p| p.countdown());
         // Wipe and size every scratch structure (keeping allocations),
         // then split the context into independent `&mut` borrows.
+        let caps_before = ctx.capacities();
         ctx.prepare(func);
+        if tel.is_active() {
+            let caps = ctx.capacities();
+            let reused = caps == caps_before;
+            tel.count(Metric::ContextPrepares, 1);
+            if reused {
+                tel.count(Metric::ContextPrepareReuses, 1);
+            }
+            tel.gauge_max(Metric::ContextValueSlots, caps.value_slots as u64);
+            let runs = ctx.runs();
+            tel.emit(|| TraceEvent::ContextPrepare {
+                runs,
+                reused_capacity: reused,
+                value_slots: caps.value_slots as u64,
+                interner_exprs: caps.interner_exprs as u64,
+            });
+        }
         let GvnContext {
             interner,
             classes,
@@ -430,6 +447,7 @@ impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
                 touched_insts: ti0,
                 touched_blocks: tb0,
             });
+            self.tel.observe(Metric::DriverTouchedInstsPass, ti0);
             let snap = self.stats;
             let pass_t0 = self.tel.clock();
             for bi in 0..self.rpo.order().len() {
@@ -456,6 +474,7 @@ impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
                 // caches at run start (asserted by tests/session.rs).
                 self.vi_cache.clear();
                 self.pi_cache.clear();
+                self.stats.vi_cache_evictions += 1;
                 if self.touched_blocks.remove(b)
                     && self.reach_blocks.contains(b)
                     && self.cfg.phi_predication
@@ -504,6 +523,7 @@ impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
                 any_change,
                 nanos,
             });
+            self.tel.observe(Metric::DriverMergesPass, stats.class_merges - snap.class_merges);
             if self.cfg.mode != Mode::Optimistic {
                 return Ok(RunOutcome::Converged);
             }
@@ -540,6 +560,19 @@ impl<'f, 'c, 't, 's> Run<'f, 'c, 't, 's> {
         stats.hash_cons_hits = self.interner.hits();
         stats.hash_cons_misses = self.interner.misses();
         stats.interned_exprs = self.interner.len() as u64;
+        if self.tel.is_metering() {
+            self.tel.count(Metric::DriverRuns, 1);
+            self.tel.observe(Metric::DriverPasses, u64::from(stats.passes));
+            self.tel.count(Metric::DriverTouches, stats.touches);
+            self.tel.count(Metric::DriverInstsProcessed, stats.insts_processed);
+            self.tel.count(Metric::InternerHits, stats.hash_cons_hits);
+            self.tel.count(Metric::InternerMisses, stats.hash_cons_misses);
+            self.tel.count(Metric::InternerTableGrowths, self.interner.growths());
+            self.tel.observe(Metric::InternerExprs, stats.interned_exprs);
+            self.tel.count(Metric::ViCacheHits, stats.vi_cache_hits);
+            self.tel.count(Metric::ViCacheMisses, stats.vi_cache_misses);
+            self.tel.count(Metric::ViCacheEvictions, stats.vi_cache_evictions);
+        }
         self.tel.emit(|| TraceEvent::RunEnd { passes: stats.passes, converged });
         self.tel.flush();
         let nvals = self.func.value_capacity();

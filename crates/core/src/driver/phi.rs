@@ -101,6 +101,7 @@ impl Run<'_, '_, '_, '_> {
         // Class movement can invalidate memoized inference results.
         self.vi_cache.clear();
         self.pi_cache.clear();
+        self.stats.vi_cache_evictions += 1;
         if c0 != ClassId::INITIAL
             && self.classes.size(c0) > 0
             && self.classes.leader(c0) == Leader::Value(v)

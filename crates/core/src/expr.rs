@@ -98,6 +98,7 @@ pub struct Interner {
     kinds: Vec<ExprKind>,
     hits: u64,
     misses: u64,
+    growths: u64,
 }
 
 impl Interner {
@@ -115,7 +116,11 @@ impl Interner {
         self.misses += 1;
         let id = ExprId(self.kinds.len() as u32);
         self.kinds.push(kind.clone());
+        let before = self.map.capacity();
         self.map.insert(kind, id);
+        if self.map.capacity() > before {
+            self.growths += 1;
+        }
         id
     }
 
@@ -128,6 +133,7 @@ impl Interner {
         self.kinds.clear();
         self.hits = 0;
         self.misses = 0;
+        self.growths = 0;
     }
 
     /// Capacity of the expression arena (amortization metric).
@@ -148,6 +154,13 @@ impl Interner {
     /// Lookups that interned a fresh expression (equals [`Self::len`]).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Hash-cons table capacity growths (rehashes) since the last
+    /// [`Interner::clear`]. Zero on a warm session context whose table
+    /// already fits the routine.
+    pub fn growths(&self) -> u64 {
+        self.growths
     }
 
     /// The expression for `id`.
@@ -415,15 +428,23 @@ mod tests {
             i.constant(k);
         }
         assert_eq!(i.len(), 100);
+        assert!(i.growths() > 0, "a cold table grows while filling");
         let exprs = i.expr_capacity();
         let table = i.table_capacity();
         i.clear();
         assert!(i.is_empty());
         assert_eq!(i.hits(), 0);
         assert_eq!(i.misses(), 0);
+        assert_eq!(i.growths(), 0);
         assert_eq!(i.expr_capacity(), exprs, "clear must keep the arena");
         assert_eq!(i.table_capacity(), table, "clear must keep the table");
         assert_eq!(i.constant(42), ExprId::from_raw(0), "ids restart at 0");
+        // Refilling a warm table performs no capacity growth.
+        i.clear();
+        for k in 0..100 {
+            i.constant(k);
+        }
+        assert_eq!(i.growths(), 0, "warm table must not regrow");
     }
 
     #[test]

@@ -54,6 +54,22 @@ impl RunOutcome {
             _ => None,
         }
     }
+
+    /// Severity rank used by [`GvnStats::merge`]: `NotRun` (identity)
+    /// below `Converged`, budget outcomes in escalation order, and
+    /// `NonConverged` (the convergence bug) on top. The mapping is
+    /// injective, so equal severity means equal outcome and taking the
+    /// maximum is a commutative, associative merge.
+    pub fn severity(self) -> u8 {
+        match self {
+            RunOutcome::NotRun => 0,
+            RunOutcome::Converged => 1,
+            RunOutcome::BudgetPasses => 2,
+            RunOutcome::BudgetTime => 3,
+            RunOutcome::BudgetWork => 4,
+            RunOutcome::NonConverged => 5,
+        }
+    }
 }
 
 impl std::fmt::Display for RunOutcome {
@@ -100,6 +116,12 @@ pub struct GvnStats {
     pub pi_gate_skips: u64,
     /// Value-inference queries answered from the per-block memo.
     pub vi_cache_hits: u64,
+    /// Value-inference queries that missed the memo and walked the
+    /// dominator tree.
+    pub vi_cache_misses: u64,
+    /// Epoch bumps that invalidated the whole value-inference memo
+    /// (block-boundary and φ-predication clears).
+    pub vi_cache_evictions: u64,
     /// Predicate-inference queries answered from the per-block memo.
     pub pi_cache_hits: u64,
     /// `false` if the pass cap was hit before the fixed point (should
@@ -151,6 +173,8 @@ impl GvnStats {
             .field_u64("vi_gate_skips", self.vi_gate_skips)
             .field_u64("pi_gate_skips", self.pi_gate_skips)
             .field_u64("vi_cache_hits", self.vi_cache_hits)
+            .field_u64("vi_cache_misses", self.vi_cache_misses)
+            .field_u64("vi_cache_evictions", self.vi_cache_evictions)
             .field_u64("pi_cache_hits", self.pi_cache_hits)
             .field_bool("converged", self.converged)
             .field_str("outcome", self.outcome.name())
@@ -161,12 +185,13 @@ impl GvnStats {
 
     /// Folds another run's counters into this one, for merged batch
     /// reports: numeric counters saturating-add; `converged` is the
-    /// conjunction; `outcome` keeps the first non-`Converged` outcome
-    /// (so a merged report surfaces the earliest failure) and otherwise
-    /// adopts any non-`NotRun` outcome; `ladder_rung` keeps the deepest
-    /// rung reached and `ladder_failures` accumulates. Merging is
-    /// associative over routine order, which keeps parallel batch output
-    /// identical to sequential as long as both merge in input order.
+    /// conjunction (with `NotRun` as the identity); `outcome` keeps the
+    /// most severe outcome by [`RunOutcome::severity`] (so a merged
+    /// report surfaces the worst failure); `ladder_rung` keeps the
+    /// deepest rung reached and `ladder_failures` accumulates. Merging
+    /// is associative *and* commutative (guarded by a proptest), so
+    /// merged parallel batch output is identical to sequential however
+    /// the per-worker partial sums are folded.
     pub fn merge(&mut self, other: &GvnStats) {
         self.passes = self.passes.saturating_add(other.passes);
         self.insts_processed = self.insts_processed.saturating_add(other.insts_processed);
@@ -186,21 +211,20 @@ impl GvnStats {
         self.vi_gate_skips = self.vi_gate_skips.saturating_add(other.vi_gate_skips);
         self.pi_gate_skips = self.pi_gate_skips.saturating_add(other.pi_gate_skips);
         self.vi_cache_hits = self.vi_cache_hits.saturating_add(other.vi_cache_hits);
+        self.vi_cache_misses = self.vi_cache_misses.saturating_add(other.vi_cache_misses);
+        self.vi_cache_evictions = self.vi_cache_evictions.saturating_add(other.vi_cache_evictions);
         self.pi_cache_hits = self.pi_cache_hits.saturating_add(other.pi_cache_hits);
-        // An untouched accumulator (outcome `NotRun`) adopts the first
-        // run's convergence flag instead of pinning it to the default
-        // `false`.
-        self.converged = if self.outcome == RunOutcome::NotRun {
-            other.converged
-        } else {
-            self.converged && other.converged
+        // `NotRun` (an untouched accumulator) is the identity on both
+        // sides; otherwise `converged` is the conjunction. Symmetric, so
+        // the merge stays commutative.
+        self.converged = match (self.outcome, other.outcome) {
+            (RunOutcome::NotRun, _) => other.converged,
+            (_, RunOutcome::NotRun) => self.converged,
+            _ => self.converged && other.converged,
         };
-        self.outcome = match (self.outcome, other.outcome) {
-            (RunOutcome::NotRun, o) => o,
-            (s, RunOutcome::NotRun) => s,
-            (RunOutcome::Converged, o) => o,
-            (s, _) => s,
-        };
+        if other.outcome.severity() > self.outcome.severity() {
+            self.outcome = other.outcome;
+        }
         self.ladder_rung = self.ladder_rung.max(other.ladder_rung);
         self.ladder_failures = self.ladder_failures.saturating_add(other.ladder_failures);
     }
@@ -230,6 +254,8 @@ impl GvnStats {
             vi_gate_skips: u("vi_gate_skips")?,
             pi_gate_skips: u("pi_gate_skips")?,
             vi_cache_hits: u("vi_cache_hits")?,
+            vi_cache_misses: u("vi_cache_misses")?,
+            vi_cache_evictions: u("vi_cache_evictions")?,
             pi_cache_hits: u("pi_cache_hits")?,
             converged: v
                 .get("converged")

@@ -99,6 +99,33 @@ pub enum TraceEvent {
         /// committed.
         detail: String,
     },
+    /// A degradation-ladder rung failed and its rewrites were rolled
+    /// back to the pre-rewrite clone. Follows the corresponding
+    /// `Rung { status: "failed" }` event and makes the restore itself —
+    /// previously silent — visible in the trace.
+    Rollback {
+        /// 0-based index of the rung that was rolled back.
+        rung: u32,
+        /// Name of the rung that was rolled back.
+        name: String,
+        /// Classified error kind that triggered the rollback.
+        error: String,
+        /// Human-readable failure detail.
+        detail: String,
+    },
+    /// A `GvnContext` was prepared for a run: scratch state wiped and
+    /// resized to the routine. Reports whether every capacity was
+    /// already large enough (the warm-context fast path).
+    ContextPrepare {
+        /// Runs this context has served, including this one.
+        runs: u64,
+        /// `true` when no scratch structure had to grow.
+        reused_capacity: bool,
+        /// Value-slot capacity after preparation.
+        value_slots: u64,
+        /// Interner expression capacity after preparation.
+        interner_exprs: u64,
+    },
 }
 
 impl TraceEvent {
@@ -112,6 +139,8 @@ impl TraceEvent {
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::Rung { .. } => "rung",
+            TraceEvent::Rollback { .. } => "rollback",
+            TraceEvent::ContextPrepare { .. } => "context_prepare",
         }
     }
 
@@ -174,6 +203,18 @@ impl TraceEvent {
                     .field_str("status", status)
                     .field_str("detail", detail);
             }
+            TraceEvent::Rollback { rung, name, error, detail } => {
+                w.field_u64("rung", u64::from(*rung))
+                    .field_str("name", name)
+                    .field_str("error", error)
+                    .field_str("detail", detail);
+            }
+            TraceEvent::ContextPrepare { runs, reused_capacity, value_slots, interner_exprs } => {
+                w.field_u64("runs", *runs)
+                    .field_bool("reused_capacity", *reused_capacity)
+                    .field_u64("value_slots", *value_slots)
+                    .field_u64("interner_exprs", *interner_exprs);
+            }
         }
         w.finish()
     }
@@ -227,6 +268,20 @@ impl fmt::Display for TraceEvent {
                     write!(f, " — {detail}")?;
                 }
                 Ok(())
+            }
+            TraceEvent::Rollback { rung, name, error, detail } => {
+                write!(f, "rollback rung {rung} ({name}): {error}")?;
+                if !detail.is_empty() {
+                    write!(f, " — {detail}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::ContextPrepare { runs, reused_capacity, value_slots, interner_exprs } => {
+                write!(
+                    f,
+                    "context prepare: run {runs}, {} (slots {value_slots}, exprs {interner_exprs})",
+                    if *reused_capacity { "capacity reused" } else { "capacity grew" }
+                )
             }
         }
     }
@@ -294,6 +349,44 @@ mod tests {
             detail: String::new(),
         };
         assert!(!ok.to_string().contains('—'));
+    }
+
+    #[test]
+    fn rollback_events_encode_and_display() {
+        let ev = TraceEvent::Rollback {
+            rung: 0,
+            name: "full".into(),
+            error: "escaped_panic".into(),
+            detail: "index out of bounds".into(),
+        };
+        let v = parse(&ev.to_json()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("rollback"));
+        assert_eq!(v.get("rung").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("escaped_panic"));
+        assert!(ev.to_string().contains("rollback rung 0"));
+        assert!(ev.to_string().contains("index out of bounds"));
+    }
+
+    #[test]
+    fn context_prepare_events_encode_and_display() {
+        let ev = TraceEvent::ContextPrepare {
+            runs: 7,
+            reused_capacity: true,
+            value_slots: 128,
+            interner_exprs: 256,
+        };
+        let v = parse(&ev.to_json()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("context_prepare"));
+        assert_eq!(v.get("runs").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("reused_capacity").unwrap().as_bool(), Some(true));
+        assert!(ev.to_string().contains("capacity reused"));
+        let cold = TraceEvent::ContextPrepare {
+            runs: 1,
+            reused_capacity: false,
+            value_slots: 64,
+            interner_exprs: 0,
+        };
+        assert!(cold.to_string().contains("capacity grew"));
     }
 
     #[test]

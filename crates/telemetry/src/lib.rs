@@ -32,10 +32,12 @@
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod sink;
 
 pub use event::TraceEvent;
+pub use metrics::{Metric, MetricKind, MetricsRegistry, MetricsSnapshot, METRICS, NUM_BUCKETS};
 pub use profile::{Phase, Profiler, PHASES};
 pub use sink::{JsonlSink, MemorySink, NullSink, TeeSink, TextSink, TraceSink};
 
@@ -52,18 +54,58 @@ use std::time::Instant;
 pub struct Telemetry<'a> {
     sink: Option<&'a mut dyn TraceSink>,
     profiler: Option<Profiler>,
+    metrics: Option<&'a MetricsRegistry>,
 }
 
 impl<'a> Telemetry<'a> {
     /// A disabled handle: no events, no timers, no overhead.
     pub fn off() -> Telemetry<'a> {
-        Telemetry { sink: None, profiler: None }
+        Telemetry { sink: None, profiler: None, metrics: None }
     }
 
     /// A handle that forwards events to `sink`. Profiling stays off
     /// until [`Telemetry::enable_profiling`].
     pub fn with_sink(sink: &'a mut dyn TraceSink) -> Telemetry<'a> {
-        Telemetry { sink: Some(sink), profiler: None }
+        Telemetry { sink: Some(sink), profiler: None, metrics: None }
+    }
+
+    /// Attaches a metrics registry: recording calls below start landing
+    /// in `reg`. The registry is shared (`&`, lock-free), so multiple
+    /// handles — one per batch worker — can feed the same registry.
+    pub fn attach_metrics(&mut self, reg: &'a MetricsRegistry) {
+        self.metrics = Some(reg);
+    }
+
+    /// True if a metrics registry is attached.
+    #[inline]
+    pub fn is_metering(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Adds `n` to counter `m` when a registry is attached; one untaken
+    /// branch otherwise.
+    #[inline]
+    pub fn count(&self, m: Metric, n: u64) {
+        if let Some(reg) = self.metrics {
+            reg.add(m, n);
+        }
+    }
+
+    /// Records one observation of `v` into histogram `m` when a
+    /// registry is attached.
+    #[inline]
+    pub fn observe(&self, m: Metric, v: u64) {
+        if let Some(reg) = self.metrics {
+            reg.observe(m, v);
+        }
+    }
+
+    /// Raises gauge `m` to at least `v` when a registry is attached.
+    #[inline]
+    pub fn gauge_max(&self, m: Metric, v: u64) {
+        if let Some(reg) = self.metrics {
+            reg.gauge_max(m, v);
+        }
     }
 
     /// Turns on the per-phase wall-clock timers.
@@ -85,10 +127,10 @@ impl<'a> Telemetry<'a> {
         self.profiler.is_some()
     }
 
-    /// True if either tracing or profiling is on.
+    /// True if tracing, profiling, or metering is on.
     #[inline]
     pub fn is_active(&self) -> bool {
-        self.is_tracing() || self.is_profiling()
+        self.is_tracing() || self.is_profiling() || self.is_metering()
     }
 
     /// Delivers an event to the sink, if one is attached. The closure
@@ -205,6 +247,27 @@ mod tests {
         }
         assert_eq!(sink.events().len(), 1);
         assert!(matches!(sink.events()[0], TraceEvent::Phase { phase: Phase::Uce, .. }));
+    }
+
+    #[test]
+    fn metrics_attach_and_record_through_handle() {
+        let reg = MetricsRegistry::new();
+        let mut tel = Telemetry::off();
+        // Off handle: recording calls are no-ops, not errors.
+        tel.count(Metric::DriverRuns, 1);
+        tel.observe(Metric::DriverPasses, 3);
+        tel.gauge_max(Metric::ContextValueSlots, 5);
+        assert!(!tel.is_metering());
+        tel.attach_metrics(&reg);
+        assert!(tel.is_metering());
+        assert!(tel.is_active());
+        tel.count(Metric::DriverRuns, 1);
+        tel.observe(Metric::DriverPasses, 3);
+        tel.gauge_max(Metric::ContextValueSlots, 5);
+        let s = reg.snapshot();
+        assert_eq!(s.value(Metric::DriverRuns), 1);
+        assert_eq!(s.count(Metric::DriverPasses), 1);
+        assert_eq!(s.value(Metric::ContextValueSlots), 5);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! Performance metrics: lock-free counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Where [`crate::TraceEvent`]s narrate *what happened* and the
+//! [`crate::Profiler`] times *how long phases took*, a
+//! [`MetricsRegistry`] aggregates *how much work* the hot layers did:
+//! worklist dynamics, hash-cons hit rates, inference-cache behavior,
+//! degradation-ladder rung occupancy, and batch-engine shard balance.
+//! Every metric in the catalog ([`Metric`]) has a fixed kind, a stable
+//! snake_case name, and a unit, so snapshots are machine-readable
+//! without a schema side-channel (`pgvn perf` embeds them in
+//! `BENCH_*.json`).
+//!
+//! # Lock freedom and sharing
+//!
+//! All slots are relaxed [`AtomicU64`]s, so recording takes `&self`: a
+//! registry can be shared across the parallel batch engine's worker
+//! threads without a mutex, and a recording site is one atomic add.
+//! There is no cross-metric consistency guarantee — a snapshot taken
+//! while workers run is a per-slot-atomic view, which is all the
+//! consumers (aggregate reports) need.
+//!
+//! # Zero cost when off
+//!
+//! Instrumented code records through [`crate::Telemetry`], whose
+//! metrics handle is an `Option<&MetricsRegistry>`: with the default
+//! [`crate::Telemetry::off`] every recording call is one untaken
+//! branch, mirroring the event-sink design. The
+//! `telemetry_overhead/gvn_metrics_off` pair in
+//! `crates/bench/benches/micro.rs` guards the claim.
+//!
+//! # Determinism
+//!
+//! Counters and histograms are additive and gauges merge by max, so a
+//! snapshot merged from per-worker registries is independent of
+//! scheduling — *provided the recorded quantities are*. Metrics whose
+//! value depends on worker/context history or wall clock (capacity
+//! growth, shard sizes, wait times) are marked not [`Metric::stable`];
+//! [`MetricsSnapshot::stable_only`] filters to the
+//! scheduling-independent subset used by byte-identical batch reports.
+
+use crate::json::{JsonValue, JsonWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per histogram: powers of two. Bucket `0` holds zero, bucket
+/// `i` (1 ≤ i < 31) holds `2^(i-1) ..= 2^i - 1`, and the last bucket
+/// holds everything from `2^30` up.
+pub const NUM_BUCKETS: usize = 32;
+
+/// The shape of one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing sum.
+    Counter,
+    /// A high-water mark (merged by maximum).
+    Gauge,
+    /// A fixed-bucket distribution with count and sum.
+    Histogram,
+}
+
+/// The metric catalog. Every metric the system can record, with a
+/// stable name, kind, and unit — see `docs/OBSERVABILITY.md` for the
+/// full table of where each is emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Analysis runs completed (driver `finish`).
+    DriverRuns,
+    /// RPO passes to convergence, per run (driver `finish`).
+    DriverPasses,
+    /// Touch operations performed (driver `finish`).
+    DriverTouches,
+    /// Touched instructions actually processed (driver `finish`).
+    DriverInstsProcessed,
+    /// TOUCHED-instruction worklist size at each pass start.
+    DriverTouchedInstsPass,
+    /// Congruence-class merges per pass.
+    DriverMergesPass,
+    /// Expression lookups answered by the hash-cons table.
+    InternerHits,
+    /// Expression lookups that interned a fresh expression.
+    InternerMisses,
+    /// Distinct expressions interned, per run.
+    InternerExprs,
+    /// Hash-cons table capacity growths (rehashes). Zero once a session
+    /// context is warm — scheduling-dependent in a batch.
+    InternerTableGrowths,
+    /// Value-inference queries answered from the per-block memo.
+    ViCacheHits,
+    /// Value-inference queries that missed the memo and walked.
+    ViCacheMisses,
+    /// Epoch bumps invalidating the whole value-inference memo.
+    ViCacheEvictions,
+    /// Committed degradation-ladder rung index, per routine (occupancy).
+    LadderRung,
+    /// Ladder rungs that failed and were rolled back.
+    LadderRollbacks,
+    /// `GvnContext::prepare` calls (one per analysis run).
+    ContextPrepares,
+    /// Prepares that reused every capacity (no allocation growth).
+    /// Depends on what the context ran before — scheduling-dependent.
+    ContextPrepareReuses,
+    /// High-water value-slot capacity of a prepared context.
+    ContextValueSlots,
+    /// Routines processed by the batch engine.
+    BatchRoutines,
+    /// Routines processed per worker (shard balance distribution).
+    BatchWorkerRoutines,
+    /// Nanoseconds the batch merger waited on worker joins.
+    BatchMergeWaitNanos,
+    /// Per-routine wall-clock nanoseconds in the batch engine.
+    BatchRoutineNanos,
+}
+
+/// All metrics, in catalog (and snapshot) order.
+pub const METRICS: [Metric; 22] = [
+    Metric::DriverRuns,
+    Metric::DriverPasses,
+    Metric::DriverTouches,
+    Metric::DriverInstsProcessed,
+    Metric::DriverTouchedInstsPass,
+    Metric::DriverMergesPass,
+    Metric::InternerHits,
+    Metric::InternerMisses,
+    Metric::InternerExprs,
+    Metric::InternerTableGrowths,
+    Metric::ViCacheHits,
+    Metric::ViCacheMisses,
+    Metric::ViCacheEvictions,
+    Metric::LadderRung,
+    Metric::LadderRollbacks,
+    Metric::ContextPrepares,
+    Metric::ContextPrepareReuses,
+    Metric::ContextValueSlots,
+    Metric::BatchRoutines,
+    Metric::BatchWorkerRoutines,
+    Metric::BatchMergeWaitNanos,
+    Metric::BatchRoutineNanos,
+];
+
+impl Metric {
+    /// Stable snake_case name used in snapshots and `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::DriverRuns => "driver_runs",
+            Metric::DriverPasses => "driver_passes",
+            Metric::DriverTouches => "driver_touches",
+            Metric::DriverInstsProcessed => "driver_insts_processed",
+            Metric::DriverTouchedInstsPass => "driver_touched_insts_pass",
+            Metric::DriverMergesPass => "driver_merges_pass",
+            Metric::InternerHits => "interner_hits",
+            Metric::InternerMisses => "interner_misses",
+            Metric::InternerExprs => "interner_exprs",
+            Metric::InternerTableGrowths => "interner_table_growths",
+            Metric::ViCacheHits => "vi_cache_hits",
+            Metric::ViCacheMisses => "vi_cache_misses",
+            Metric::ViCacheEvictions => "vi_cache_evictions",
+            Metric::LadderRung => "ladder_rung",
+            Metric::LadderRollbacks => "ladder_rollbacks",
+            Metric::ContextPrepares => "context_prepares",
+            Metric::ContextPrepareReuses => "context_prepare_reuses",
+            Metric::ContextValueSlots => "context_value_slots",
+            Metric::BatchRoutines => "batch_routines",
+            Metric::BatchWorkerRoutines => "batch_worker_routines",
+            Metric::BatchMergeWaitNanos => "batch_merge_wait_nanos",
+            Metric::BatchRoutineNanos => "batch_routine_nanos",
+        }
+    }
+
+    /// The metric's shape.
+    pub fn kind(self) -> MetricKind {
+        match self {
+            Metric::DriverRuns
+            | Metric::DriverTouches
+            | Metric::DriverInstsProcessed
+            | Metric::InternerHits
+            | Metric::InternerMisses
+            | Metric::InternerTableGrowths
+            | Metric::ViCacheHits
+            | Metric::ViCacheMisses
+            | Metric::ViCacheEvictions
+            | Metric::LadderRollbacks
+            | Metric::ContextPrepares
+            | Metric::ContextPrepareReuses
+            | Metric::BatchRoutines
+            | Metric::BatchMergeWaitNanos => MetricKind::Counter,
+            Metric::ContextValueSlots => MetricKind::Gauge,
+            Metric::DriverPasses
+            | Metric::DriverTouchedInstsPass
+            | Metric::DriverMergesPass
+            | Metric::InternerExprs
+            | Metric::LadderRung
+            | Metric::BatchWorkerRoutines
+            | Metric::BatchRoutineNanos => MetricKind::Histogram,
+        }
+    }
+
+    /// The unit of the recorded quantity.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Metric::DriverRuns => "runs",
+            Metric::DriverPasses => "passes",
+            Metric::DriverTouches => "touches",
+            Metric::DriverInstsProcessed | Metric::DriverTouchedInstsPass => "insts",
+            Metric::DriverMergesPass => "merges",
+            Metric::InternerHits | Metric::InternerMisses => "lookups",
+            Metric::InternerExprs => "exprs",
+            Metric::InternerTableGrowths => "rehashes",
+            Metric::ViCacheHits | Metric::ViCacheMisses => "queries",
+            Metric::ViCacheEvictions => "epochs",
+            Metric::LadderRung => "rung",
+            Metric::LadderRollbacks => "rollbacks",
+            Metric::ContextPrepares | Metric::ContextPrepareReuses => "prepares",
+            Metric::ContextValueSlots => "slots",
+            Metric::BatchRoutines | Metric::BatchWorkerRoutines => "routines",
+            Metric::BatchMergeWaitNanos | Metric::BatchRoutineNanos => "nanos",
+        }
+    }
+
+    /// `true` when the metric's value is fully determined by the inputs
+    /// processed, independent of scheduling, context history, and wall
+    /// clock. Only stable metrics may appear in byte-identical batch
+    /// reports; the rest belong to the timing domain (`pgvn perf`).
+    pub fn stable(self) -> bool {
+        !matches!(
+            self,
+            Metric::InternerTableGrowths
+                | Metric::ContextPrepareReuses
+                | Metric::ContextValueSlots
+                | Metric::BatchRoutines
+                | Metric::BatchWorkerRoutines
+                | Metric::BatchMergeWaitNanos
+                | Metric::BatchRoutineNanos
+        )
+    }
+
+    fn index(self) -> usize {
+        METRICS.iter().position(|m| *m == self).unwrap()
+    }
+}
+
+/// Maps an observed value to its histogram bucket: `0 → 0`, otherwise
+/// the value's bit length, clipped to the overflow bucket.
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` (`None` for the overflow
+/// bucket).
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    match i {
+        0 => Some(0),
+        _ if i < NUM_BUCKETS - 1 => Some((1u64 << i) - 1),
+        _ => None,
+    }
+}
+
+/// A lock-free registry of every metric in the catalog.
+///
+/// Recording methods take `&self` (relaxed atomics), so a registry can
+/// be attached to a [`crate::Telemetry`] handle per thread or shared
+/// across the batch engine's workers.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Counter total / gauge high-water mark / histogram observation
+    /// count, one slot per metric.
+    scalars: Vec<AtomicU64>,
+    /// Histogram value sums (zero and unused for scalar metrics).
+    sums: Vec<AtomicU64>,
+    /// Histogram buckets, `NUM_BUCKETS` per metric.
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry with every slot at zero.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            scalars: (0..METRICS.len()).map(|_| AtomicU64::new(0)).collect(),
+            sums: (0..METRICS.len()).map(|_| AtomicU64::new(0)).collect(),
+            buckets: (0..METRICS.len() * NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        debug_assert_eq!(m.kind(), MetricKind::Counter);
+        self.scalars[m.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a gauge to at least `v`.
+    #[inline]
+    pub fn gauge_max(&self, m: Metric, v: u64) {
+        debug_assert_eq!(m.kind(), MetricKind::Gauge);
+        self.scalars[m.index()].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation of `v` into a histogram.
+    #[inline]
+    pub fn observe(&self, m: Metric, v: u64) {
+        debug_assert_eq!(m.kind(), MetricKind::Histogram);
+        let i = m.index();
+        self.scalars[i].fetch_add(1, Ordering::Relaxed);
+        self.sums[i].fetch_add(v, Ordering::Relaxed);
+        self.buckets[i * NUM_BUCKETS + bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resets every slot to zero.
+    pub fn clear(&self) {
+        for s in &self.scalars {
+            s.store(0, Ordering::Relaxed);
+        }
+        for s in &self.sums {
+            s.store(0, Ordering::Relaxed);
+        }
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-data copy of the current values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            scalars: self.scalars.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            sums: self.sums.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            buckets: self.buckets.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`]: plain `u64`s, so it
+/// can be diffed, merged, filtered, and serialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    scalars: Vec<u64>,
+    sums: Vec<u64>,
+    buckets: Vec<u64>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            scalars: vec![0; METRICS.len()],
+            sums: vec![0; METRICS.len()],
+            buckets: vec![0; METRICS.len() * NUM_BUCKETS],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The counter total or gauge value of `m` (histograms: the
+    /// observation count — see [`MetricsSnapshot::count`]).
+    pub fn value(&self, m: Metric) -> u64 {
+        self.scalars[m.index()]
+    }
+
+    /// The number of observations recorded into histogram `m`.
+    pub fn count(&self, m: Metric) -> u64 {
+        self.scalars[m.index()]
+    }
+
+    /// The sum of observations recorded into histogram `m`.
+    pub fn sum(&self, m: Metric) -> u64 {
+        self.sums[m.index()]
+    }
+
+    /// The population of bucket `i` of histogram `m`.
+    pub fn bucket(&self, m: Metric, i: usize) -> u64 {
+        self.buckets[m.index() * NUM_BUCKETS + i]
+    }
+
+    /// `true` when nothing was recorded for `m`.
+    pub fn is_zero(&self, m: Metric) -> bool {
+        self.scalars[m.index()] == 0 && self.sums[m.index()] == 0
+    }
+
+    /// Folds `other` into `self`: counters and histograms add
+    /// (saturating), gauges take the maximum. Associative and
+    /// commutative, so per-worker snapshots merge order-independently.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for m in METRICS {
+            let i = m.index();
+            match m.kind() {
+                MetricKind::Gauge => self.scalars[i] = self.scalars[i].max(other.scalars[i]),
+                _ => self.scalars[i] = self.scalars[i].saturating_add(other.scalars[i]),
+            }
+            self.sums[i] = self.sums[i].saturating_add(other.sums[i]);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b = b.saturating_add(*o);
+        }
+    }
+
+    /// The change since `earlier`: counters and histograms subtract
+    /// (saturating — `earlier` must be an older snapshot of the same
+    /// registry), gauges keep the current value.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for m in METRICS {
+            let i = m.index();
+            if m.kind() != MetricKind::Gauge {
+                out.scalars[i] = self.scalars[i].saturating_sub(earlier.scalars[i]);
+            }
+            out.sums[i] = self.sums[i].saturating_sub(earlier.sums[i]);
+        }
+        for (b, e) in out.buckets.iter_mut().zip(&earlier.buckets) {
+            *b = b.saturating_sub(*e);
+        }
+        out
+    }
+
+    /// A copy with every non-[`Metric::stable`] metric zeroed — the
+    /// scheduling-independent subset safe for byte-identical reports.
+    pub fn stable_only(&self) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for m in METRICS {
+            if !m.stable() {
+                let i = m.index();
+                out.scalars[i] = 0;
+                out.sums[i] = 0;
+                out.buckets[i * NUM_BUCKETS..(i + 1) * NUM_BUCKETS].fill(0);
+            }
+        }
+        out
+    }
+
+    /// One JSON object per recorded metric: counters/gauges as
+    /// `{"kind","unit","value"}`, histograms as
+    /// `{"kind","unit","count","sum","buckets":[[bound,n],...]}` with
+    /// only populated buckets listed (`null` bound = overflow).
+    /// Untouched metrics are omitted.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        for m in METRICS {
+            if self.is_zero(m) {
+                continue;
+            }
+            let mut inner = JsonWriter::object();
+            inner.field_str("unit", m.unit());
+            match m.kind() {
+                MetricKind::Counter => {
+                    inner.field_str("kind", "counter").field_u64("value", self.value(m));
+                }
+                MetricKind::Gauge => {
+                    inner.field_str("kind", "gauge").field_u64("value", self.value(m));
+                }
+                MetricKind::Histogram => {
+                    inner
+                        .field_str("kind", "histogram")
+                        .field_u64("count", self.count(m))
+                        .field_u64("sum", self.sum(m));
+                    let mut buckets = String::from("[");
+                    let mut first = true;
+                    for i in 0..NUM_BUCKETS {
+                        let n = self.bucket(m, i);
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first {
+                            buckets.push(',');
+                        }
+                        first = false;
+                        match bucket_bound(i) {
+                            Some(bound) => buckets.push_str(&format!("[{bound},{n}]")),
+                            None => buckets.push_str(&format!("[null,{n}]")),
+                        }
+                    }
+                    buckets.push(']');
+                    inner.field_raw("buckets", &buckets);
+                }
+            }
+            w.field_raw(m.name(), &inner.finish());
+        }
+        w.finish()
+    }
+
+    /// Parses the output of [`MetricsSnapshot::to_json`]. Unknown metric
+    /// names are ignored (forward compatibility); known metrics must
+    /// have the right shape.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let v = crate::json::parse(text)?;
+        let mut out = MetricsSnapshot::default();
+        for m in METRICS {
+            let Some(entry) = v.get(m.name()) else { continue };
+            let i = m.index();
+            match m.kind() {
+                MetricKind::Counter | MetricKind::Gauge => {
+                    out.scalars[i] = entry
+                        .get("value")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("metric `{}`: missing value", m.name()))?;
+                }
+                MetricKind::Histogram => {
+                    out.scalars[i] = entry
+                        .get("count")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("metric `{}`: missing count", m.name()))?;
+                    out.sums[i] = entry
+                        .get("sum")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("metric `{}`: missing sum", m.name()))?;
+                    let Some(JsonValue::Arr(pairs)) = entry.get("buckets") else {
+                        return Err(format!("metric `{}`: missing buckets", m.name()));
+                    };
+                    for pair in pairs {
+                        let JsonValue::Arr(kv) = pair else {
+                            return Err(format!("metric `{}`: bad bucket entry", m.name()));
+                        };
+                        let (bound, n) = match (kv.first(), kv.get(1).and_then(JsonValue::as_u64)) {
+                            (Some(b), Some(n)) => (b, n),
+                            _ => return Err(format!("metric `{}`: bad bucket pair", m.name())),
+                        };
+                        let idx = match bound {
+                            JsonValue::Null => NUM_BUCKETS - 1,
+                            b => bucket_index(
+                                b.as_u64()
+                                    .ok_or_else(|| format!("metric `{}`: bad bound", m.name()))?,
+                            ),
+                        };
+                        out.buckets[i * NUM_BUCKETS + idx] = n;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_consistent() {
+        for (i, m) in METRICS.iter().enumerate() {
+            assert_eq!(m.index(), i);
+            assert!(!m.name().is_empty());
+            assert!(!m.unit().is_empty());
+        }
+        let mut names: Vec<_> = METRICS.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), METRICS.len(), "metric names are unique");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1 << 29), 30);
+        assert_eq!(bucket_index((1 << 30) - 1), 30);
+        assert_eq!(bucket_index(1 << 30), NUM_BUCKETS - 1, "2^30 overflows");
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Bounds agree with the index mapping: a bucket's inclusive
+        // upper bound maps back into that bucket, and the next value up
+        // maps into the next.
+        for i in 0..NUM_BUCKETS - 1 {
+            let bound = bucket_bound(i).unwrap();
+            assert_eq!(bucket_index(bound), i, "bound {bound} of bucket {i}");
+            assert_eq!(bucket_index(bound + 1), i + 1);
+        }
+        assert_eq!(bucket_bound(NUM_BUCKETS - 1), None, "overflow bucket is unbounded");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_record() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::InternerHits, 3);
+        reg.add(Metric::InternerHits, 4);
+        reg.gauge_max(Metric::ContextValueSlots, 10);
+        reg.gauge_max(Metric::ContextValueSlots, 7);
+        reg.observe(Metric::DriverPasses, 2);
+        reg.observe(Metric::DriverPasses, 3);
+        let s = reg.snapshot();
+        assert_eq!(s.value(Metric::InternerHits), 7);
+        assert_eq!(s.value(Metric::ContextValueSlots), 10, "gauge keeps the max");
+        assert_eq!(s.count(Metric::DriverPasses), 2);
+        assert_eq!(s.sum(Metric::DriverPasses), 5);
+        assert_eq!(s.bucket(Metric::DriverPasses, 2), 2, "2 and 3 share bucket 2");
+        reg.clear();
+        assert_eq!(reg.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |hits: u64, slots: u64, pass: u64| {
+            let r = MetricsRegistry::new();
+            r.add(Metric::InternerHits, hits);
+            r.gauge_max(Metric::ContextValueSlots, slots);
+            r.observe(Metric::DriverPasses, pass);
+            r.snapshot()
+        };
+        let (a, b, c) = (mk(1, 5, 2), mk(10, 3, 9), mk(100, 8, 300));
+        let fold = |order: [&MetricsSnapshot; 3]| {
+            let mut out = MetricsSnapshot::default();
+            for s in order {
+                out.merge(s);
+            }
+            out
+        };
+        let abc = fold([&a, &b, &c]);
+        assert_eq!(abc, fold([&c, &a, &b]));
+        assert_eq!(abc, fold([&b, &c, &a]));
+        assert_eq!(abc.value(Metric::InternerHits), 111);
+        assert_eq!(abc.value(Metric::ContextValueSlots), 8);
+        assert_eq!(abc.count(Metric::DriverPasses), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::InternerHits, 5);
+        reg.observe(Metric::DriverPasses, 4);
+        reg.gauge_max(Metric::ContextValueSlots, 9);
+        let before = reg.snapshot();
+        reg.add(Metric::InternerHits, 2);
+        reg.observe(Metric::DriverPasses, 1);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.value(Metric::InternerHits), 2);
+        assert_eq!(d.count(Metric::DriverPasses), 1);
+        assert_eq!(d.bucket(Metric::DriverPasses, 1), 1);
+        assert_eq!(d.bucket(Metric::DriverPasses, 3), 0, "earlier observation removed");
+        assert_eq!(d.value(Metric::ContextValueSlots), 9, "gauge keeps current value");
+    }
+
+    #[test]
+    fn stable_only_zeroes_timing_domain_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::InternerHits, 5);
+        reg.add(Metric::InternerTableGrowths, 2);
+        reg.observe(Metric::BatchRoutineNanos, 1234);
+        let s = reg.snapshot().stable_only();
+        assert_eq!(s.value(Metric::InternerHits), 5);
+        assert!(s.is_zero(Metric::InternerTableGrowths));
+        assert!(s.is_zero(Metric::BatchRoutineNanos));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::InternerHits, 42);
+        reg.gauge_max(Metric::ContextValueSlots, 17);
+        reg.observe(Metric::LadderRung, 0);
+        reg.observe(Metric::LadderRung, 3);
+        reg.observe(Metric::BatchRoutineNanos, u64::from(u32::MAX));
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let round = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(round, snap);
+        // Untouched metrics are omitted from the text entirely.
+        assert!(!json.contains("driver_runs"));
+        assert!(MetricsSnapshot::from_json("{}").unwrap().is_zero(Metric::InternerHits));
+        assert!(MetricsSnapshot::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add(Metric::DriverTouches, 1);
+                        reg.observe(Metric::DriverMergesPass, 2);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.value(Metric::DriverTouches), 4000);
+        assert_eq!(snap.count(Metric::DriverMergesPass), 4000);
+        assert_eq!(snap.bucket(Metric::DriverMergesPass, 2), 4000);
+    }
+}

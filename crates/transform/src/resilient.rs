@@ -20,7 +20,7 @@ use pgvn_core::{
 };
 use pgvn_ir::{verify, Function};
 use pgvn_telemetry::json::JsonWriter;
-use pgvn_telemetry::{Telemetry, TraceEvent};
+use pgvn_telemetry::{Metric, Telemetry, TraceEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A rung of the degradation ladder, strongest first.
@@ -300,6 +300,7 @@ impl Pipeline {
                         status: "committed".to_string(),
                         detail: String::new(),
                     });
+                    tel.observe(Metric::LadderRung, u64::from(rung.index()));
                     tel.flush();
                     return ResilienceReport {
                         outcome: ResilientOutcome::Optimized(rung),
@@ -316,6 +317,15 @@ impl Pipeline {
                 status: "failed".to_string(),
                 detail: format!("{}: {error}", error.kind()),
             });
+            // The restore itself: the candidate clone is discarded and
+            // the ladder steps down from the pristine input.
+            tel.emit(|| TraceEvent::Rollback {
+                rung: rung.index(),
+                name: rung.name().to_string(),
+                error: error.kind().to_string(),
+                detail: error.to_string(),
+            });
+            tel.count(Metric::LadderRollbacks, 1);
             if rung_cfg.fault_plan.is_some_and(|p| !p.sticky) {
                 strip_fault = true;
             }
@@ -331,6 +341,7 @@ impl Pipeline {
             status: "committed".to_string(),
             detail: String::new(),
         });
+        tel.observe(Metric::LadderRung, u64::from(RungId::Identity.index()));
         tel.flush();
         ResilienceReport { outcome: ResilientOutcome::Identity, failures, report }
     }
@@ -475,6 +486,44 @@ mod tests {
         assert!(rep.failures.iter().all(|f| f.error.kind() == "panicked"));
         assert_eq!(rep.report.gvn_stats.ladder_rung, RungId::Identity.index());
         assert_eq!(format!("{original}"), format!("{f}"), "identity returns the input unchanged");
+    }
+
+    #[test]
+    fn rung_failure_emits_rollback_event_and_metric() {
+        use pgvn_telemetry::{MemorySink, MetricsRegistry};
+
+        let plan = FaultPlan::new(pgvn_core::FaultKind::Invariant, FaultSite::Eval);
+        let mut f = sample();
+        let mut sink = MemorySink::new();
+        let reg = MetricsRegistry::new();
+        let mut tel = Telemetry::with_sink(&mut sink);
+        tel.attach_metrics(&reg);
+        let rep = Pipeline::new(GvnConfig::full().fault_plan(Some(plan)))
+            .optimize_resilient_traced(&mut f, &mut tel);
+        drop(tel);
+        assert_eq!(rep.outcome, ResilientOutcome::Optimized(RungId::Practical));
+        let rollbacks: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Rollback { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(rollbacks.len(), 1, "one failed rung, one rollback event");
+        match &rollbacks[0] {
+            TraceEvent::Rollback { rung, name, error, detail } => {
+                assert_eq!(*rung, 0);
+                assert_eq!(name, "full");
+                assert_eq!(error, "internal_invariant");
+                assert!(detail.contains("injected fault"));
+            }
+            _ => unreachable!(),
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.value(Metric::LadderRollbacks), 1);
+        assert_eq!(snap.count(Metric::LadderRung), 1, "one committed rung observed");
+        assert_eq!(snap.bucket(Metric::LadderRung, 1), 1, "practical = rung 1");
+        // Prepare events surfaced too: one per analysis attempt.
+        assert!(sink.events().iter().any(|e| matches!(e, TraceEvent::ContextPrepare { .. })));
     }
 
     #[test]

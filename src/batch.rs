@@ -21,13 +21,25 @@
 //! same order, so `--jobs 1` and `--jobs N` agree byte for byte. Nothing
 //! in a record derives from wall-clock time or scheduling.
 //!
+//! Metrics keep that invariant by living in two domains. Each worker
+//! owns a private [`MetricsRegistry`] whose per-routine deltas (filtered
+//! to [`Metric::stable`] metrics — the subset independent of context
+//! history) land in the record JSON and merge into
+//! [`BatchReport::metrics`]; both are byte-identical at any `--jobs`.
+//! Scheduling- and wall-clock-dependent measurements (per-worker shard
+//! sizes, per-routine nanoseconds, merge wait) go to a separate shared
+//! timing registry surfaced as [`BatchReport::timing`] and — only when
+//! [`BatchOptions::timings`] is set — as `wall_nanos` in the records.
+//!
 //! [`Function`]: pgvn_ir::Function
 
 use crate::prelude::*;
 use pgvn_core::GvnContext;
 use pgvn_telemetry::json::JsonWriter;
+use pgvn_telemetry::{Metric, MetricsRegistry, MetricsSnapshot, Telemetry};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One routine to process: a display name and its source text (or the
 /// I/O error that prevented reading it — unreadable inputs become
@@ -50,11 +62,15 @@ pub struct BatchOptions {
     /// Worker threads. Clamped to at least one; values above the input
     /// count just leave the extra workers idle.
     pub jobs: usize,
+    /// Include per-routine wall-clock time (`wall_nanos`) in the JSONL
+    /// records. Off by default: wall time is scheduling-dependent, so
+    /// enabling it forfeits byte-identical output across `--jobs`.
+    pub timings: bool,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { cfg: GvnConfig::full(), rounds: 2, jobs: 1 }
+        BatchOptions { cfg: GvnConfig::full(), rounds: 2, jobs: 1, timings: false }
     }
 }
 
@@ -88,6 +104,24 @@ pub struct RoutineRecord {
     pub diagnostic: Option<String>,
     /// The routine's GVN statistics, when the ladder produced them.
     pub gvn_stats: Option<GvnStats>,
+    /// Wall-clock nanoseconds spent processing this routine. Always
+    /// measured; rendered into the JSONL line only on request (see
+    /// [`RoutineRecord::json_line`]).
+    pub wall_nanos: u64,
+}
+
+impl RoutineRecord {
+    /// The JSONL line for this record. With `timings` the
+    /// scheduling-dependent `wall_nanos` field is spliced in; without it
+    /// the line is exactly [`RoutineRecord::json`], byte-stable across
+    /// worker counts.
+    pub fn json_line(&self, timings: bool) -> String {
+        if !timings {
+            return self.json.clone();
+        }
+        let body = self.json.strip_suffix('}').unwrap_or(&self.json);
+        format!("{body},\"wall_nanos\":{}}}", self.wall_nanos)
+    }
 }
 
 /// The merged outcome of a batch: per-routine records in input order,
@@ -108,6 +142,16 @@ pub struct BatchReport {
     pub escaped_panics: u64,
     /// All per-routine [`GvnStats`] merged in input order.
     pub merged_stats: GvnStats,
+    /// Per-worker analysis metrics, merged and filtered to the stable
+    /// (scheduling-independent) subset — identical at any `--jobs`.
+    pub metrics: MetricsSnapshot,
+    /// Scheduling/timing measurements: routines per worker (shard
+    /// balance), per-routine nanoseconds, merge wait. Varies run to run;
+    /// consumed by `pgvn perf`, never by the deterministic reports.
+    pub timing: MetricsSnapshot,
+    /// Routines processed per worker, sorted ascending — the shard
+    /// imbalance profile behind [`Metric::BatchWorkerRoutines`].
+    pub worker_routines: Vec<u64>,
 }
 
 impl BatchReport {
@@ -144,16 +188,41 @@ impl BatchReport {
             .field_u64("rejected", self.rejected)
             .field_u64("input_errors", self.input_errors)
             .field_u64("escaped_panics", self.escaped_panics)
-            .field_raw("gvn_stats", &self.merged_stats.to_json());
+            .field_raw("gvn_stats", &self.merged_stats.to_json())
+            .field_raw("metrics", &self.metrics.to_json());
+        w.finish()
+    }
+
+    /// The timing-domain JSON record: shard balance, per-routine wall
+    /// time, and merge wait. Deliberately separate from
+    /// [`BatchReport::stats_json`] because every field here varies with
+    /// scheduling and clock.
+    pub fn timing_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("event", "batch_timing").field_u64("jobs", self.worker_routines.len() as u64);
+        let workers = format!(
+            "[{}]",
+            self.worker_routines.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+        w.field_raw("worker_routines", &workers);
+        w.field_raw("metrics", &self.timing.to_json());
         w.finish()
     }
 }
 
 /// Compiles and optimizes one routine against a worker's private
 /// context, producing its classified record. This is the unit of work a
-/// batch distributes; it depends only on `(input, opts)`, never on the
-/// worker or the schedule.
-fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) -> RoutineRecord {
+/// batch distributes; everything in the record except `wall_nanos`
+/// depends only on `(input, opts)`, never on the worker or the schedule
+/// — the metrics delta embedded in the JSON is filtered to the stable
+/// subset for exactly that reason.
+fn process_one(
+    ctx: &mut GvnContext,
+    reg: &MetricsRegistry,
+    input: &BatchInput,
+    opts: &BatchOptions,
+) -> RoutineRecord {
+    let t0 = Instant::now();
     let mut w = JsonWriter::object();
     w.field_str("event", "routine").field_str("name", &input.name);
     let func = input
@@ -170,9 +239,11 @@ fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) ->
                 json: w.finish(),
                 diagnostic: Some(format!("pgvn batch: {}: input error: {e}", input.name)),
                 gvn_stats: None,
+                wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             }
         }
         Ok(mut f) => {
+            let before = reg.snapshot();
             // The API contract says optimize_resilient never panics; the
             // batch boundary still catches, so a violation is a
             // classified record (and a batch failure), not a crash. The
@@ -180,8 +251,10 @@ fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) ->
             // itself may catch over it: every analysis run begins with
             // `prepare()`, which rebuilds all scratch state from zero.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut tel = Telemetry::off();
+                tel.attach_metrics(reg);
                 let pipeline = Pipeline::new(opts.cfg.clone()).rounds(opts.rounds);
-                let rep = pipeline.optimize_resilient_with(ctx, &mut f);
+                let rep = pipeline.optimize_resilient_traced_with(ctx, &mut f, &mut tel);
                 (rep, f.num_insts())
             }));
             match attempt {
@@ -191,15 +264,18 @@ fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) ->
                         "identity" => RoutineStatus::Identity,
                         _ => RoutineStatus::Rejected,
                     };
+                    let delta = reg.snapshot().delta(&before).stable_only();
                     w.field_str("status", "classified")
                         .field_u64("insts", insts as u64)
-                        .field_raw("resilience", &rep.to_json());
+                        .field_raw("resilience", &rep.to_json())
+                        .field_raw("metrics", &delta.to_json());
                     RoutineRecord {
                         name: input.name.clone(),
                         status,
                         json: w.finish(),
                         diagnostic: None,
                         gvn_stats: Some(rep.report.gvn_stats),
+                        wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
                 Err(_) => {
@@ -213,6 +289,7 @@ fn process_one(ctx: &mut GvnContext, input: &BatchInput, opts: &BatchOptions) ->
                             input.name
                         )),
                         gvn_stats: None,
+                        wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
             }
@@ -232,27 +309,47 @@ pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
     let mut slots: Vec<Option<RoutineRecord>> = Vec::new();
     slots.resize_with(inputs.len(), || None);
     let cursor = AtomicUsize::new(0);
+    // The timing registry is shared (lock-free) across workers; per-run
+    // analysis metrics live in per-worker registries so per-record
+    // deltas cannot see another worker's increments.
+    let timing_reg = MetricsRegistry::new();
+    let mut metrics = MetricsSnapshot::default();
+    let mut worker_routines: Vec<u64> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
                     let mut ctx = GvnContext::new();
+                    let reg = MetricsRegistry::new();
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(input) = inputs.get(i) else { break };
-                        produced.push((i, process_one(&mut ctx, input, opts)));
+                        let rec = process_one(&mut ctx, &reg, input, opts);
+                        timing_reg.add(Metric::BatchRoutines, 1);
+                        timing_reg.observe(Metric::BatchRoutineNanos, rec.wall_nanos);
+                        produced.push((i, rec));
                     }
-                    produced
+                    timing_reg.observe(Metric::BatchWorkerRoutines, produced.len() as u64);
+                    (produced, reg.snapshot())
                 })
             })
             .collect();
+        let join_t0 = Instant::now();
         for h in handles {
-            for (i, rec) in h.join().expect("batch worker panicked outside catch_unwind") {
+            let (produced, snap) = h.join().expect("batch worker panicked outside catch_unwind");
+            worker_routines.push(produced.len() as u64);
+            metrics.merge(&snap);
+            for (i, rec) in produced {
                 slots[i] = Some(rec);
             }
         }
+        timing_reg.add(
+            Metric::BatchMergeWaitNanos,
+            u64::try_from(join_t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
     });
+    worker_routines.sort_unstable();
 
     let records: Vec<RoutineRecord> =
         slots.into_iter().map(|r| r.expect("every input produces a record")).collect();
@@ -264,6 +361,9 @@ pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
         input_errors: 0,
         escaped_panics: 0,
         merged_stats: GvnStats::default(),
+        metrics: metrics.stable_only(),
+        timing: timing_reg.snapshot(),
+        worker_routines,
     };
     for rec in &report.records {
         match rec.status {
@@ -310,6 +410,31 @@ mod tests {
         assert_eq!(seq.summary_json(2002), par.summary_json(2002));
         assert_eq!(seq.stats_json(2002), par.stats_json(2002));
         assert_eq!(seq.merged_stats, par.merged_stats);
+        assert_eq!(seq.metrics, par.metrics, "stable metrics are worker-count independent");
+        assert!(seq.metrics.value(Metric::DriverRuns) > 0, "metrics actually recorded");
+    }
+
+    #[test]
+    fn timing_domain_is_kept_out_of_deterministic_output() {
+        let inputs = gen_inputs(6, 5);
+        let report = run_batch(&inputs, &BatchOptions { jobs: 2, ..Default::default() });
+        // Shard sizes land in the timing snapshot and worker profile,
+        // never in records or stable metrics.
+        assert_eq!(report.worker_routines.iter().sum::<u64>(), 6);
+        assert_eq!(report.timing.value(Metric::BatchRoutines), 6);
+        assert_eq!(report.timing.count(Metric::BatchRoutineNanos), 6);
+        assert!(report.metrics.is_zero(Metric::BatchRoutines));
+        assert!(report.metrics.is_zero(Metric::InternerTableGrowths));
+        assert!(!report.stats_json(5).contains("batch_routine_nanos"));
+        assert!(report.timing_json().contains("batch_routine_nanos"));
+        for rec in &report.records {
+            assert!(!rec.json.contains("wall_nanos"));
+            assert_eq!(rec.json_line(false), rec.json);
+            let timed = rec.json_line(true);
+            assert!(timed.contains("\"wall_nanos\":"), "{timed}");
+            pgvn_telemetry::json::parse(&timed).expect("timed line stays valid JSON");
+            assert!(rec.json.contains("\"metrics\":"), "stable delta embedded in record");
+        }
     }
 
     #[test]

@@ -387,7 +387,7 @@ fn batch_usage() -> ! {
          \x20                [--variant practical|complete] [--rounds N]\n\
          \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
          \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
-         \x20                [--report <path>] [--jobs N] [--stats-json <path>]"
+         \x20                [--report <path>] [--jobs N] [--stats-json <path>] [--timings]"
     );
     std::process::exit(2);
 }
@@ -411,6 +411,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     let mut variant = Variant::Practical;
     let mut rounds: usize = 2;
     let mut jobs: usize = 1;
+    let mut timings = false;
     let mut res = ResilienceFlags::default();
     let mut report_path: Option<String> = None;
     let mut stats_path: Option<String> = None;
@@ -482,6 +483,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
                 Some(p) => stats_path = Some(p),
                 None => batch_usage(),
             },
+            "--timings" => timings = true,
             _ => batch_usage(),
         }
     }
@@ -529,7 +531,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     // for the duration of the batch.
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let batch = run_batch(&inputs, &BatchOptions { cfg, rounds, jobs });
+    let batch = run_batch(&inputs, &BatchOptions { cfg, rounds, jobs, timings });
     let _ = std::panic::take_hook();
     std::panic::set_hook(prev_hook);
 
@@ -540,7 +542,11 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
         if let Some(d) = &rec.diagnostic {
             eprintln!("{d}");
         }
-        lines.push_str(&rec.json);
+        lines.push_str(&rec.json_line(timings));
+        lines.push('\n');
+    }
+    if timings {
+        lines.push_str(&batch.timing_json());
         lines.push('\n');
     }
     lines.push_str(&batch.summary_json(seed));
@@ -578,6 +584,120 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     }
 }
 
+fn perf_usage() -> ! {
+    eprintln!(
+        "usage: pgvn perf [--seed N] [--routines N] [--repeats N]\n\
+         \x20               [--jobs-curve 1,2,4] [--out <path>] [--quick]\n\
+         \x20      pgvn perf --compare <old.json> <new.json>\n\
+         \x20               [--threshold PCT] [--max-overhead PCT]"
+    );
+    std::process::exit(2);
+}
+
+/// `pgvn perf`: runs the pinned benchmark suite and emits the
+/// schema-versioned `BENCH_*.json` artifact, or — with `--compare` —
+/// diffs two artifacts and exits nonzero on regression. See
+/// `docs/OBSERVABILITY.md` for the artifact schema and thresholds.
+fn perf_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::perf::{compare, run_suite, BenchArtifact, CompareThresholds, PerfOptions};
+    use std::io::Write;
+
+    let mut opts = PerfOptions::default();
+    let mut out_path: Option<String> = None;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut thresholds = CompareThresholds::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => perf_usage(),
+            },
+            "--routines" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.routines = v,
+                None => perf_usage(),
+            },
+            "--repeats" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.repeats = v,
+                None => perf_usage(),
+            },
+            "--jobs-curve" => {
+                let curve: Option<Vec<usize>> = args
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match curve {
+                    Some(c) if !c.is_empty() => opts.jobs_curve = c,
+                    _ => perf_usage(),
+                }
+            }
+            "--quick" => {
+                let q = PerfOptions::quick();
+                opts.routines = q.routines;
+                opts.repeats = q.repeats;
+            }
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => perf_usage(),
+            },
+            "--compare" => match (args.next(), args.next()) {
+                (Some(old), Some(new)) => compare_paths = Some((old, new)),
+                _ => perf_usage(),
+            },
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => thresholds.regress_pct = v,
+                None => perf_usage(),
+            },
+            "--max-overhead" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => thresholds.max_overhead_pct = v,
+                None => perf_usage(),
+            },
+            _ => perf_usage(),
+        }
+    }
+
+    if let Some((old_path, new_path)) = compare_paths {
+        let load = |path: &str| -> Result<BenchArtifact, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            BenchArtifact::from_json(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        let (old, new) = match (load(&old_path), load(&new_path)) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => return fail_io(format_args!("perf: {e}")),
+        };
+        let regressions = compare(&old, &new, &thresholds);
+        if regressions.is_empty() {
+            eprintln!(
+                "pgvn perf: no regressions against {old_path} \
+                 (threshold {:.0}%, overhead ceiling {:.0}%)",
+                thresholds.regress_pct, thresholds.max_overhead_pct
+            );
+            return ExitCode::SUCCESS;
+        }
+        for r in &regressions {
+            eprintln!("pgvn perf: REGRESSION: {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let artifact = run_suite(&opts);
+    eprint!("{}", artifact.summary());
+    let mut json = artifact.to_json();
+    json.push('\n');
+    match &out_path {
+        Some(path) => {
+            let written =
+                std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes()));
+            if let Err(e) = written {
+                return fail_io(format_args!("perf: cannot write {path}: {e}"));
+            }
+            eprintln!("pgvn perf: artifact written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     {
         let mut args = std::env::args();
@@ -585,6 +705,7 @@ fn main() -> ExitCode {
         match args.next().as_deref() {
             Some("fuzz") => return fuzz_main(args),
             Some("batch") => return batch_main(args),
+            Some("perf") => return perf_main(args),
             _ => {}
         }
     }

@@ -22,7 +22,11 @@
 //! - [`batch`] — the deterministic parallel batch engine behind
 //!   `pgvn batch`: scoped worker threads, one reusable
 //!   [`GvnContext`](pgvn_core::GvnContext) per worker, byte-identical
-//!   reports at any `--jobs` count (see `docs/ARCHITECTURE.md`).
+//!   reports at any `--jobs` count (see `docs/ARCHITECTURE.md`);
+//! - [`perf`] — the pinned-workload benchmark harness behind
+//!   `pgvn perf`: single-thread throughput, batch scaling, per-phase
+//!   timing, telemetry overhead, and the schema-versioned
+//!   `BENCH_*.json` artifact with its regression comparator.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod perf;
 
 pub use pgvn_analysis as analysis;
 pub use pgvn_core as core;

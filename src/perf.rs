@@ -1,0 +1,605 @@
+//! The pinned performance harness behind `pgvn perf`.
+//!
+//! A perf run measures one **pinned workload**: the same deterministic
+//! generator as `pgvn batch --gen` (seed-derived routines, default seed
+//! 2002), compiled once and then pushed through several measurement
+//! passes:
+//!
+//! 1. **Single-thread throughput** — a warm-context loop of
+//!    [`run_in_context`](pgvn_core::run_in_context) over every routine,
+//!    repeated and taking the best (minimum) wall time;
+//! 2. **Batch scaling** — [`run_batch`](crate::batch::run_batch) wall
+//!    time at each point of a jobs curve (default 1/2/4);
+//! 3. **Telemetry overhead** — the same loop with a fully active
+//!    [`Telemetry`] (NullSink tracing + metrics) against the untraced
+//!    baseline;
+//! 4. **Per-phase timing and metrics** — one instrumented sweep with the
+//!    [`Profiler`] and a [`MetricsRegistry`] attached.
+//!
+//! The result is a [`BenchArtifact`]: a schema-versioned JSON document
+//! (`BENCH_*.json`, committed at the repo root as the CI baseline) that
+//! [`compare`] can diff against a later run with noise-tolerant
+//! thresholds. Comparison is ratio-based (routines/second), so a
+//! baseline produced by a full run stays comparable to a `--quick` CI
+//! run. See `docs/OBSERVABILITY.md` for the schema.
+
+use crate::batch::{run_batch, BatchInput, BatchOptions};
+use crate::prelude::*;
+use pgvn_core::run_in_context;
+use pgvn_telemetry::json::{parse, JsonValue, JsonWriter};
+use pgvn_telemetry::{MetricsRegistry, MetricsSnapshot, NullSink, Telemetry, PHASES};
+use std::time::Instant;
+
+/// Version of the [`BenchArtifact`] JSON layout. Bump on any
+/// field-layout change; [`compare`] refuses cross-version diffs.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Tuning for one perf run.
+#[derive(Clone, Debug)]
+pub struct PerfOptions {
+    /// Workload seed (same derivation as `pgvn batch --gen`).
+    pub seed: u64,
+    /// Number of generated routines in the suite.
+    pub routines: u64,
+    /// Timed repetitions per measurement; the best (minimum) wins.
+    pub repeats: u32,
+    /// Worker counts for the batch-scaling curve.
+    pub jobs_curve: Vec<usize>,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions { seed: 2002, routines: 120, repeats: 3, jobs_curve: vec![1, 2, 4] }
+    }
+}
+
+impl PerfOptions {
+    /// A reduced suite for CI and smoke tests: fewer routines, fewer
+    /// repeats, same seed and curve.
+    pub fn quick() -> Self {
+        PerfOptions { routines: 24, repeats: 2, ..Default::default() }
+    }
+}
+
+/// One point on the batch-scaling curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobsPoint {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Best-of-repeats wall time for the whole suite.
+    pub best_nanos: u64,
+    /// Routines per second at that wall time.
+    pub routines_per_sec: f64,
+}
+
+/// Inclusive time attributed to one driver/rewrite phase during the
+/// instrumented sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTime {
+    /// Stable phase name (see [`pgvn_telemetry::Phase::name`]).
+    pub name: String,
+    /// Accumulated inclusive nanoseconds.
+    pub nanos: u64,
+    /// Number of recorded spans.
+    pub spans: u64,
+}
+
+/// The schema-versioned result of one perf run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArtifact {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Routines in the suite.
+    pub routines: u64,
+    /// Timed repetitions per measurement.
+    pub repeats: u32,
+    /// Total instructions across the compiled suite.
+    pub total_insts: u64,
+    /// Best-of-repeats wall time of the single-thread loop.
+    pub single_thread_nanos: u64,
+    /// Single-thread throughput in routines per second.
+    pub single_thread_routines_per_sec: f64,
+    /// The batch-scaling curve, ascending by `jobs`.
+    pub batch_scaling: Vec<JobsPoint>,
+    /// Per-phase inclusive timing from the instrumented sweep.
+    pub phases: Vec<PhaseTime>,
+    /// Metrics snapshot from the instrumented sweep.
+    pub metrics: MetricsSnapshot,
+    /// Best-of-repeats wall time of the untraced baseline loop.
+    pub overhead_base_nanos: u64,
+    /// Best-of-repeats wall time of the fully instrumented loop.
+    pub overhead_instrumented_nanos: u64,
+    /// Relative overhead of full telemetry, percent.
+    pub telemetry_overhead_pct: f64,
+}
+
+/// Noise-tolerant regression thresholds for [`compare`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareThresholds {
+    /// Maximum tolerated throughput drop, percent (new vs old).
+    pub regress_pct: f64,
+    /// Maximum tolerated absolute telemetry overhead, percent.
+    pub max_overhead_pct: f64,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        CompareThresholds { regress_pct: 25.0, max_overhead_pct: 60.0 }
+    }
+}
+
+fn elapsed_nanos(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn routines_per_sec(routines: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        return 0.0;
+    }
+    routines as f64 * 1.0e9 / nanos as f64
+}
+
+/// Generates and compiles the pinned suite. Seed derivation matches
+/// `pgvn batch --gen` so the two harnesses exercise the same programs.
+fn pinned_suite(opts: &PerfOptions) -> Vec<Function> {
+    (0..opts.routines)
+        .map(|i| {
+            let gen_seed = crate::oracle::mix64(opts.seed ^ crate::oracle::mix64(i));
+            let gcfg = crate::workload::GenConfig { seed: gen_seed, ..Default::default() };
+            let routine = crate::workload::generate_routine(&format!("perf_{i}"), &gcfg);
+            let src = crate::lang::print_routine(&routine);
+            compile(&src, SsaStyle::Pruned).expect("pinned workload always compiles")
+        })
+        .collect()
+}
+
+/// The corresponding [`BatchInput`] list for the scaling measurements.
+fn pinned_inputs(opts: &PerfOptions) -> Vec<BatchInput> {
+    (0..opts.routines)
+        .map(|i| {
+            let gen_seed = crate::oracle::mix64(opts.seed ^ crate::oracle::mix64(i));
+            let gcfg = crate::workload::GenConfig { seed: gen_seed, ..Default::default() };
+            let routine = crate::workload::generate_routine(&format!("perf_{i}"), &gcfg);
+            BatchInput {
+                name: format!("perf_{i}"),
+                source: Ok(crate::lang::print_routine(&routine)),
+            }
+        })
+        .collect()
+}
+
+/// Runs the full measurement suite and returns the artifact.
+pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
+    let cfg = GvnConfig::full();
+    let funcs = pinned_suite(opts);
+    let total_insts: u64 = funcs.iter().map(|f| f.num_insts() as u64).sum();
+    let repeats = opts.repeats.max(1);
+
+    let mut ctx = GvnContext::new();
+    // Warm-up sweep: grows every context table to working size so the
+    // timed loops measure steady-state reuse, not first-touch growth.
+    for f in &funcs {
+        run_in_context(&mut ctx, f, &cfg);
+    }
+
+    // Pass B: untraced single-thread baseline, best of `repeats`.
+    let mut base_nanos = u64::MAX;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for f in &funcs {
+            run_in_context(&mut ctx, f, &cfg);
+        }
+        base_nanos = base_nanos.min(elapsed_nanos(t0));
+    }
+
+    // Pass C: the same loop under full telemetry — NullSink tracing,
+    // profiling clocks, and a metrics registry all active.
+    let mut instr_nanos = u64::MAX;
+    for _ in 0..repeats {
+        let mut sink = NullSink;
+        let reg = MetricsRegistry::new();
+        let mut tel = Telemetry::with_sink(&mut sink);
+        tel.enable_profiling();
+        tel.attach_metrics(&reg);
+        let t0 = Instant::now();
+        for f in &funcs {
+            pgvn_core::run_traced_in_context(&mut ctx, f, &cfg, &mut tel);
+        }
+        instr_nanos = instr_nanos.min(elapsed_nanos(t0));
+    }
+    let overhead_pct = if base_nanos > 0 {
+        (instr_nanos as f64 - base_nanos as f64) / base_nanos as f64 * 100.0
+    } else {
+        0.0
+    };
+
+    // Pass D: one untimed instrumented sweep for the phase breakdown
+    // and the metrics snapshot (separate from pass C so phase totals
+    // reflect a single traversal of the suite, not `repeats` of them).
+    let reg = MetricsRegistry::new();
+    let mut sink = NullSink;
+    let mut tel = Telemetry::with_sink(&mut sink);
+    tel.enable_profiling();
+    tel.attach_metrics(&reg);
+    for f in &funcs {
+        pgvn_core::run_traced_in_context(&mut ctx, f, &cfg, &mut tel);
+    }
+    let phases: Vec<PhaseTime> = tel
+        .profiler()
+        .map(|p| {
+            PHASES
+                .iter()
+                .filter(|&&ph| p.spans(ph) > 0)
+                .map(|&ph| PhaseTime {
+                    name: ph.name().to_string(),
+                    nanos: p.nanos(ph),
+                    spans: p.spans(ph),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let metrics = reg.snapshot();
+
+    // Pass E: batch scaling across the jobs curve.
+    let inputs = pinned_inputs(opts);
+    let mut batch_scaling = Vec::new();
+    for &jobs in &opts.jobs_curve {
+        let bopts = BatchOptions { cfg: cfg.clone(), jobs, ..Default::default() };
+        let mut best = u64::MAX;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let report = run_batch(&inputs, &bopts);
+            let nanos = elapsed_nanos(t0);
+            assert!(report.is_clean(), "pinned workload must optimize cleanly");
+            best = best.min(nanos);
+        }
+        batch_scaling.push(JobsPoint {
+            jobs,
+            best_nanos: best,
+            routines_per_sec: routines_per_sec(opts.routines, best),
+        });
+    }
+
+    BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        seed: opts.seed,
+        routines: opts.routines,
+        repeats,
+        total_insts,
+        single_thread_nanos: base_nanos,
+        single_thread_routines_per_sec: routines_per_sec(opts.routines, base_nanos),
+        batch_scaling,
+        phases,
+        metrics,
+        overhead_base_nanos: base_nanos,
+        overhead_instrumented_nanos: instr_nanos,
+        telemetry_overhead_pct: overhead_pct,
+    }
+}
+
+impl BenchArtifact {
+    /// Renders the artifact as its canonical JSON document (no trailing
+    /// newline). The layout is versioned by `schema_version`.
+    pub fn to_json(&self) -> String {
+        let mut suite = JsonWriter::object();
+        suite
+            .field_u64("seed", self.seed)
+            .field_u64("routines", self.routines)
+            .field_u64("repeats", u64::from(self.repeats))
+            .field_u64("total_insts", self.total_insts);
+        let mut single = JsonWriter::object();
+        single
+            .field_u64("best_nanos", self.single_thread_nanos)
+            .field_f64("routines_per_sec", self.single_thread_routines_per_sec);
+        let scaling = format!(
+            "[{}]",
+            self.batch_scaling
+                .iter()
+                .map(|p| {
+                    let mut w = JsonWriter::object();
+                    w.field_u64("jobs", p.jobs as u64)
+                        .field_u64("best_nanos", p.best_nanos)
+                        .field_f64("routines_per_sec", p.routines_per_sec);
+                    w.finish()
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let mut phases = JsonWriter::object();
+        for ph in &self.phases {
+            let mut inner = JsonWriter::object();
+            inner.field_u64("nanos", ph.nanos).field_u64("spans", ph.spans);
+            phases.field_raw(&ph.name, &inner.finish());
+        }
+        let mut overhead = JsonWriter::object();
+        overhead
+            .field_u64("base_nanos", self.overhead_base_nanos)
+            .field_u64("instrumented_nanos", self.overhead_instrumented_nanos)
+            .field_f64("pct", self.telemetry_overhead_pct);
+        let mut w = JsonWriter::object();
+        w.field_u64("schema_version", self.schema_version)
+            .field_raw("suite", &suite.finish())
+            .field_raw("single_thread", &single.finish())
+            .field_raw("batch_scaling", &scaling)
+            .field_raw("phases", &phases.finish())
+            .field_raw("metrics", &self.metrics.to_json())
+            .field_raw("overhead", &overhead.finish());
+        w.finish()
+    }
+
+    /// Parses an artifact back from its JSON document.
+    pub fn from_json(text: &str) -> Result<BenchArtifact, String> {
+        let v = parse(text)?;
+        let u = |path: &[&str]| -> Result<u64, String> {
+            let mut cur = &v;
+            for key in path {
+                cur = cur.get(key).ok_or_else(|| format!("missing field {}", path.join(".")))?;
+            }
+            cur.as_u64().ok_or_else(|| format!("field {} is not a u64", path.join(".")))
+        };
+        let f = |path: &[&str]| -> Result<f64, String> {
+            let mut cur = &v;
+            for key in path {
+                cur = cur.get(key).ok_or_else(|| format!("missing field {}", path.join(".")))?;
+            }
+            cur.as_f64().ok_or_else(|| format!("field {} is not a number", path.join(".")))
+        };
+        let schema_version = u(&["schema_version"])?;
+        let mut batch_scaling = Vec::new();
+        if let Some(JsonValue::Arr(points)) = v.get("batch_scaling") {
+            for p in points {
+                batch_scaling.push(JobsPoint {
+                    jobs: p
+                        .get("jobs")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("batch_scaling point missing jobs")?
+                        as usize,
+                    best_nanos: p
+                        .get("best_nanos")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("batch_scaling point missing best_nanos")?,
+                    routines_per_sec: p
+                        .get("routines_per_sec")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("batch_scaling point missing routines_per_sec")?,
+                });
+            }
+        } else {
+            return Err("missing field batch_scaling".to_string());
+        }
+        let mut phases = Vec::new();
+        if let Some(JsonValue::Obj(map)) = v.get("phases") {
+            for (name, entry) in map {
+                phases.push(PhaseTime {
+                    name: name.clone(),
+                    nanos: entry
+                        .get("nanos")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("phase entry missing nanos")?,
+                    spans: entry
+                        .get("spans")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("phase entry missing spans")?,
+                });
+            }
+        }
+        // The object reader is alphabetical; restore canonical report
+        // order (unknown phase names from future schemas sort last).
+        phases.sort_by_key(|p| {
+            PHASES.iter().position(|ph| ph.name() == p.name).unwrap_or(PHASES.len())
+        });
+        let metrics = match v.get("metrics") {
+            Some(m) => MetricsSnapshot::from_json(&render(m))?,
+            None => MetricsSnapshot::default(),
+        };
+        Ok(BenchArtifact {
+            schema_version,
+            seed: u(&["suite", "seed"])?,
+            routines: u(&["suite", "routines"])?,
+            repeats: u(&["suite", "repeats"])? as u32,
+            total_insts: u(&["suite", "total_insts"])?,
+            single_thread_nanos: u(&["single_thread", "best_nanos"])?,
+            single_thread_routines_per_sec: f(&["single_thread", "routines_per_sec"])?,
+            batch_scaling,
+            phases,
+            metrics,
+            overhead_base_nanos: u(&["overhead", "base_nanos"])?,
+            overhead_instrumented_nanos: u(&["overhead", "instrumented_nanos"])?,
+            telemetry_overhead_pct: f(&["overhead", "pct"])?,
+        })
+    }
+
+    /// A short human-readable summary (multi-line, for stderr).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pgvn perf: {} routines ({} insts), seed {}, best of {}",
+            self.routines, self.total_insts, self.seed, self.repeats
+        );
+        let _ = writeln!(
+            out,
+            "  single-thread: {:.1} routines/s ({:.2} ms)",
+            self.single_thread_routines_per_sec,
+            self.single_thread_nanos as f64 / 1.0e6
+        );
+        for p in &self.batch_scaling {
+            let speedup = if p.best_nanos > 0 {
+                self.batch_scaling[0].best_nanos as f64 / p.best_nanos as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  batch --jobs {}: {:.1} routines/s ({:.2} ms, {:.2}x)",
+                p.jobs,
+                p.routines_per_sec,
+                p.best_nanos as f64 / 1.0e6,
+                speedup
+            );
+        }
+        let _ = writeln!(out, "  telemetry overhead: {:.1}%", self.telemetry_overhead_pct);
+        let mut phases: Vec<&PhaseTime> = self.phases.iter().collect();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.nanos));
+        for p in phases.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  phase {:<20} {:>10.3} ms  ({} spans)",
+                p.name,
+                p.nanos as f64 / 1.0e6,
+                p.spans
+            );
+        }
+        out
+    }
+}
+
+/// Renders a parsed [`JsonValue`] back to JSON text (used to hand the
+/// `metrics` subtree to [`MetricsSnapshot::from_json`]).
+fn render(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        JsonValue::Str(s) => {
+            let mut out = String::from("\"");
+            pgvn_telemetry::json::escape_into(s, &mut out);
+            out.push('"');
+            out
+        }
+        JsonValue::Arr(items) => {
+            format!("[{}]", items.iter().map(render).collect::<Vec<_>>().join(","))
+        }
+        JsonValue::Obj(map) => {
+            let fields: Vec<String> = map
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::from("\"");
+                    pgvn_telemetry::json::escape_into(k, &mut key);
+                    key.push('"');
+                    format!("{key}:{}", render(val))
+                })
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+    }
+}
+
+/// Diffs `new` against the `old` baseline. Returns one line per
+/// regression; an empty vector means the run is clean. Throughput
+/// comparisons are ratio-based (routines/second), so artifacts from
+/// different suite sizes remain comparable.
+pub fn compare(old: &BenchArtifact, new: &BenchArtifact, th: &CompareThresholds) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if old.schema_version != new.schema_version {
+        regressions.push(format!(
+            "schema version mismatch: baseline v{}, new v{} — regenerate the baseline",
+            old.schema_version, new.schema_version
+        ));
+        return regressions;
+    }
+    let floor = 1.0 - th.regress_pct / 100.0;
+    let check = |label: &str, old_rps: f64, new_rps: f64, out: &mut Vec<String>| {
+        if old_rps > 0.0 && new_rps < old_rps * floor {
+            out.push(format!(
+                "{label}: {new_rps:.1} routines/s is {:.1}% below baseline {old_rps:.1} \
+                 (threshold {:.0}%)",
+                (1.0 - new_rps / old_rps) * 100.0,
+                th.regress_pct
+            ));
+        }
+    };
+    check(
+        "single-thread",
+        old.single_thread_routines_per_sec,
+        new.single_thread_routines_per_sec,
+        &mut regressions,
+    );
+    for op in &old.batch_scaling {
+        if let Some(np) = new.batch_scaling.iter().find(|p| p.jobs == op.jobs) {
+            check(
+                &format!("batch --jobs {}", op.jobs),
+                op.routines_per_sec,
+                np.routines_per_sec,
+                &mut regressions,
+            );
+        }
+    }
+    if new.telemetry_overhead_pct > th.max_overhead_pct {
+        regressions.push(format!(
+            "telemetry overhead {:.1}% exceeds the {:.0}% ceiling",
+            new.telemetry_overhead_pct, th.max_overhead_pct
+        ));
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PerfOptions {
+        PerfOptions { seed: 2002, routines: 4, repeats: 1, jobs_curve: vec![1, 2] }
+    }
+
+    #[test]
+    fn suite_runs_and_artifact_round_trips() {
+        let art = run_suite(&tiny());
+        assert_eq!(art.schema_version, SCHEMA_VERSION);
+        assert_eq!(art.routines, 4);
+        assert!(art.total_insts > 0);
+        assert!(art.single_thread_routines_per_sec > 0.0);
+        assert_eq!(art.batch_scaling.len(), 2);
+        assert!(!art.phases.is_empty(), "profiled sweep records phases");
+        assert!(
+            art.metrics.value(pgvn_telemetry::Metric::DriverRuns) >= 4,
+            "instrumented sweep records a run per routine"
+        );
+        let json = art.to_json();
+        pgvn_telemetry::json::parse(&json).expect("artifact is valid JSON");
+        let back = BenchArtifact::from_json(&json).expect("artifact parses back");
+        assert_eq!(back, art, "artifact JSON round-trips losslessly");
+    }
+
+    #[test]
+    fn compare_accepts_identical_and_flags_injected_regression() {
+        let art = run_suite(&tiny());
+        let th = CompareThresholds::default();
+        assert!(compare(&art, &art, &th).is_empty(), "self-compare is clean");
+
+        // Inject a synthetic 60% throughput loss on every axis.
+        let mut slow = art.clone();
+        slow.single_thread_routines_per_sec *= 0.4;
+        for p in &mut slow.batch_scaling {
+            p.routines_per_sec *= 0.4;
+        }
+        slow.telemetry_overhead_pct = 95.0;
+        let regressions = compare(&art, &slow, &th);
+        assert!(
+            regressions.len() >= 3,
+            "single-thread, scaling points and overhead all flagged: {regressions:?}"
+        );
+
+        // The reverse direction (got faster) stays clean.
+        assert!(compare(&slow, &art, &th).iter().all(|r| r.contains("overhead")));
+    }
+
+    #[test]
+    fn compare_refuses_cross_schema_diffs() {
+        let art = run_suite(&tiny());
+        let mut future = art.clone();
+        future.schema_version = SCHEMA_VERSION + 1;
+        let regressions = compare(&art, &future, &CompareThresholds::default());
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("schema version mismatch"));
+    }
+}

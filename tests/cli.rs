@@ -453,6 +453,60 @@ fn batch_parallel_report_and_stats_match_sequential() {
 }
 
 #[test]
+fn batch_timings_flag_adds_wall_nanos_without_breaking_determinism() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let run = |extra: &[&str]| {
+        let out = pgvn()
+            .args(["batch", "--gen", "5", "--seed", "2002", "--jobs", "2"])
+            .args(extra)
+            .output()
+            .expect("spawns");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf-8")
+    };
+    // Default output carries no wall-clock field (that would forfeit
+    // byte-identity across --jobs); --timings opts in per record.
+    let plain = run(&[]);
+    assert!(!plain.contains("wall_nanos"), "{plain}");
+    let timed = run(&["--timings"]);
+    let mut timed_routines = 0;
+    for line in timed.lines() {
+        let v = parse(line).expect("every line parses");
+        if v.get("event").and_then(JsonValue::as_str) == Some("routine") {
+            timed_routines += 1;
+            assert!(
+                v.get("wall_nanos").and_then(JsonValue::as_u64).is_some(),
+                "--timings adds wall_nanos: {line}"
+            );
+            assert!(v.get("metrics").is_some(), "stable metrics delta stays present: {line}");
+        }
+    }
+    assert_eq!(timed_routines, 5);
+    // --timings also surfaces the shared timing-domain registry as one
+    // batch_timing record (absent from the deterministic default).
+    assert!(!plain.contains("batch_timing"), "{plain}");
+    assert!(
+        timed.lines().any(|l| {
+            let v = parse(l).expect("every line parses");
+            v.get("event").and_then(JsonValue::as_str) == Some("batch_timing")
+                && v.get("metrics").is_some()
+        }),
+        "{timed}"
+    );
+    // Stripping the opt-in additions recovers the deterministic lines.
+    let stripped: Vec<String> = timed
+        .lines()
+        .filter(|l| !l.contains("\"batch_timing\""))
+        .map(|l| match l.find(",\"wall_nanos\":") {
+            Some(i) => format!("{}}}", &l[..i]),
+            None => l.to_string(),
+        })
+        .collect();
+    assert_eq!(plain.trim(), stripped.join("\n"));
+}
+
+#[test]
 fn batch_parallel_isolates_injected_faults_deterministically() {
     let run = |jobs: &str| {
         let out = pgvn()

@@ -1,0 +1,153 @@
+//! End-to-end tests of `pgvn perf`: the benchmark artifact, its schema,
+//! and the regression comparator's exit codes — including the
+//! injected-regression self-check required before trusting the CI gate.
+
+use pgvn::perf::{BenchArtifact, SCHEMA_VERSION};
+use pgvn::telemetry::json::{parse, JsonValue};
+use std::process::Command;
+
+fn pgvn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pgvn"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pgvn-perf-tests").join(tag);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A tiny suite so the test stays fast; the artifact shape is the same
+/// as the full run's.
+fn tiny_args() -> [&'static str; 8] {
+    ["perf", "--routines", "6", "--repeats", "1", "--jobs-curve", "1,2", "--seed"]
+}
+
+fn run_tiny_perf(dir: &std::path::Path, name: &str, seed: &str) -> std::path::PathBuf {
+    let out_path = dir.join(name);
+    let out = pgvn()
+        .args(tiny_args())
+        .arg(seed)
+        .args(["--out", out_path.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    out_path
+}
+
+#[test]
+fn perf_writes_a_schema_versioned_artifact() {
+    let dir = temp_dir("artifact");
+    let path = run_tiny_perf(&dir, "bench.json", "2002");
+    let text = std::fs::read_to_string(&path).expect("artifact written");
+    let v = parse(text.trim()).expect("artifact is valid JSON");
+    assert_eq!(v.get("schema_version").and_then(JsonValue::as_u64), Some(SCHEMA_VERSION));
+    assert_eq!(v.get("suite").and_then(|s| s.get("routines")).and_then(JsonValue::as_u64), Some(6));
+    assert!(
+        v.get("single_thread")
+            .and_then(|s| s.get("routines_per_sec"))
+            .and_then(JsonValue::as_f64)
+            .expect("throughput present")
+            > 0.0
+    );
+    let Some(JsonValue::Arr(points)) = v.get("batch_scaling") else {
+        panic!("batch_scaling must be an array");
+    };
+    assert_eq!(points.len(), 2);
+    assert!(v.get("phases").is_some());
+    assert!(v.get("metrics").is_some());
+    assert!(v.get("overhead").and_then(|o| o.get("pct")).is_some());
+    // The library parser accepts what the CLI emits.
+    let art = BenchArtifact::from_json(text.trim()).expect("library parse");
+    assert_eq!(art.routines, 6);
+}
+
+#[test]
+fn perf_compare_is_clean_against_itself_and_flags_injected_regression() {
+    let dir = temp_dir("compare");
+    let baseline = run_tiny_perf(&dir, "old.json", "2002");
+
+    // Self-compare: exit 0.
+    let out =
+        pgvn().args(["perf", "--compare"]).arg(&baseline).arg(&baseline).output().expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no regressions"));
+
+    // Inject a synthetic 70% throughput collapse and recompare: the
+    // comparator must exit nonzero. This is the self-check that the CI
+    // perf gate can actually fail.
+    let mut slow =
+        BenchArtifact::from_json(std::fs::read_to_string(&baseline).unwrap().trim()).unwrap();
+    slow.single_thread_routines_per_sec *= 0.3;
+    for p in &mut slow.batch_scaling {
+        p.routines_per_sec *= 0.3;
+    }
+    let slow_path = dir.join("slow.json");
+    std::fs::write(&slow_path, slow.to_json()).unwrap();
+    let out = pgvn()
+        .args(["perf", "--compare"])
+        .arg(&baseline)
+        .arg(&slow_path)
+        .args(["--threshold", "25"])
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+    assert!(stderr.contains("single-thread"), "{stderr}");
+
+    // The same pair passes under a threshold looser than the injected
+    // drop — the noise dial works.
+    let out = pgvn()
+        .args(["perf", "--compare"])
+        .arg(&baseline)
+        .arg(&slow_path)
+        .args(["--threshold", "95", "--max-overhead", "1000"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn perf_compare_rejects_schema_mismatch_and_bad_files() {
+    let dir = temp_dir("schema");
+    let baseline = run_tiny_perf(&dir, "old.json", "7");
+    let mut future =
+        BenchArtifact::from_json(std::fs::read_to_string(&baseline).unwrap().trim()).unwrap();
+    future.schema_version = SCHEMA_VERSION + 1;
+    let future_path = dir.join("future.json");
+    std::fs::write(&future_path, future.to_json()).unwrap();
+    let out = pgvn()
+        .args(["perf", "--compare"])
+        .arg(&baseline)
+        .arg(&future_path)
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema version mismatch"));
+
+    let out = pgvn()
+        .args(["perf", "--compare", "/nonexistent/a.json"])
+        .arg(&baseline)
+        .output()
+        .expect("spawns");
+    assert_eq!(out.status.code(), Some(2), "unreadable baseline is a usage/io error");
+}
+
+#[test]
+fn perf_bad_flags_exit_with_usage() {
+    let out = pgvn().args(["perf", "--nonsense"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn perf"));
+}
+
+#[test]
+fn committed_baseline_parses_at_the_current_schema() {
+    // BENCH_6.json at the repo root is the CI baseline; a schema change
+    // without regenerating it should fail here, not in CI.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_6.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_6.json committed at repo root");
+    let art = BenchArtifact::from_json(text.trim()).expect("baseline parses");
+    assert_eq!(art.schema_version, SCHEMA_VERSION, "regenerate BENCH_6.json");
+    assert!(art.single_thread_routines_per_sec > 0.0);
+    assert!(!art.batch_scaling.is_empty());
+}

@@ -42,8 +42,11 @@ fn memory_sink_sees_the_expected_event_sequence() {
     let (events, results) = trace(LOOP_SRC, &GvnConfig::full());
     assert!(results.stats.passes >= 2, "loop fixture should need 2+ passes");
 
-    // Shape: RunStart, then one PassStart/PassEnd pair per pass in
-    // order, then RunEnd. No profiling ⇒ no Phase events.
+    // Shape: ContextPrepare (session-level, before the run proper), then
+    // RunStart, one PassStart/PassEnd pair per pass in order, RunEnd.
+    // No profiling ⇒ no Phase events.
+    assert!(matches!(events.first(), Some(TraceEvent::ContextPrepare { .. })));
+    let events = &events[1..];
     assert!(matches!(events.first(), Some(TraceEvent::RunStart { .. })));
     assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })));
     let mut expected_pass = 0u32;
@@ -78,7 +81,7 @@ fn memory_sink_sees_the_expected_event_sequence() {
 
     // The per-pass deltas must sum to the run totals.
     let (mut processed, mut merges) = (0u64, 0u64);
-    for ev in &events {
+    for ev in events {
         if let TraceEvent::PassEnd { insts_processed, class_merges, .. } = ev {
             processed += insts_processed;
             merges += class_merges;
@@ -135,6 +138,8 @@ fn gvn_stats_json_round_trips_every_field() {
         vi_gate_skips: 112,
         pi_gate_skips: 113,
         vi_cache_hits: 114,
+        vi_cache_misses: 116,
+        vi_cache_evictions: 117,
         pi_cache_hits: 115,
         converged: true,
         outcome: pgvn::core::RunOutcome::Converged,
