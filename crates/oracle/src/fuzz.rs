@@ -8,6 +8,15 @@
 //! collected into a [`FuzzReport`] whose entries serialize to JSONL (for
 //! telemetry sinks) and to self-contained `.pgvn` fixtures (for the
 //! regression suite).
+//!
+//! The per-iteration work is factored into [`run_iteration`], a pure
+//! function of `(context, options, iteration index)`: nothing it
+//! computes depends on which iterations the context ran before. That is
+//! what lets [`crate::campaign`] shard the iteration space over worker
+//! threads and still merge a byte-identical report — a failing iteration
+//! returns a [`PendingFailure`] carrying a rebuildable [`FailureCheck`]
+//! recipe instead of a live closure, so shrinking can happen after the
+//! parallel phase, in ascending iteration order, with fresh contexts.
 
 use crate::lattice::{check_lattice, check_lattice_with, default_relations, Relation};
 use crate::outcome::mix64;
@@ -86,7 +95,7 @@ impl Default for FuzzOptions {
 }
 
 /// One failing routine, minimized if shrinking was enabled.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuzzFailure {
     /// Iteration index within the campaign.
     pub iteration: u64,
@@ -141,7 +150,7 @@ impl FuzzFailure {
 }
 
 /// Outcome of a fuzz campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FuzzReport {
     /// Iterations actually executed (≤ requested when stopping early).
     pub iterations_run: u64,
@@ -155,6 +164,40 @@ impl FuzzReport {
     /// `true` when no failure was observed.
     pub fn is_clean(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Folds `other` into `self`: iteration high-water marks take the
+    /// maximum, instruction totals add (saturating), and the two
+    /// failure lists — each already ascending by iteration — interleave
+    /// into one ascending list. Shard-local reports cover disjoint
+    /// iteration sets, so the fold is associative and commutative: the
+    /// campaign layer merges worker outputs in any order and still gets
+    /// the sequential report.
+    pub fn merge(&mut self, other: FuzzReport) {
+        self.iterations_run = self.iterations_run.max(other.iterations_run);
+        self.total_insts = self.total_insts.saturating_add(other.total_insts);
+        if self.failures.is_empty() {
+            self.failures = other.failures;
+            return;
+        }
+        if other.failures.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.failures.len() + other.failures.len());
+        let mut a = std::mem::take(&mut self.failures).into_iter().peekable();
+        let mut b = other.failures.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    let next = if x.iteration <= y.iteration { &mut a } else { &mut b };
+                    merged.push(next.next().expect("peeked"));
+                }
+                (Some(_), None) => merged.push(a.next().expect("peeked")),
+                (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.failures = merged;
     }
 }
 
@@ -189,18 +232,63 @@ fn compile_routine(r: &Routine) -> Option<Function> {
 }
 
 /// The fault plans cycled through the resilient-ladder check: a clean
-/// run, then one per recoverable fault class. The panic class is
-/// deliberately absent — it is covered by the dedicated resilience tests
-/// and the CI batch matrix, where firing real panics does not spray
-/// panic-hook noise across a parallel fuzz campaign's output.
+/// run, then one per fault class — including `Panic`, whose unwind is
+/// caught inside the ladder. The campaign entry points ([`fuzz_with`]
+/// when resilient checking is on, and `campaign::run_campaign` always)
+/// install a process-wide silenced panic hook for the duration, so the
+/// injected panics cannot spray hook noise across parallel shards.
 fn resilient_fault(iteration: u64, gen_seed: u64) -> Option<FaultPlan> {
-    let plan = match iteration % 4 {
+    let plan = match iteration % 5 {
         0 => return None,
         1 => FaultPlan::new(FaultKind::Invariant, FaultSite::Eval),
         2 => FaultPlan::new(FaultKind::Budget, FaultSite::Edges),
-        _ => FaultPlan::new(FaultKind::VerifierReject, FaultSite::Rewrite),
+        3 => FaultPlan::new(FaultKind::VerifierReject, FaultSite::Rewrite),
+        _ => FaultPlan::new(FaultKind::Panic, FaultSite::PhiPred),
     };
     Some(plan.seeded(gen_seed))
+}
+
+/// The previous panic hook plus the number of live
+/// [`PanicHookGuard`]s, so nested or concurrent campaigns (parallel
+/// `cargo test`) share one silenced hook instead of clobbering each
+/// other's take/restore pairs.
+#[allow(clippy::type_complexity)]
+static SILENCED_HOOK: std::sync::Mutex<(
+    usize,
+    Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync + 'static>>,
+)> = std::sync::Mutex::new((0, None));
+
+/// Keeps the process-wide panic hook silenced while alive; dropping the
+/// last live guard restores the hook that was installed before the
+/// first. See [`silence_panic_hook`].
+pub struct PanicHookGuard(());
+
+/// Installs one process-wide silenced panic hook (refcounted, so
+/// overlapping campaigns share it) and returns the guard that restores
+/// the previous hook when the last campaign finishes. The resilient
+/// oracle's fault cycle includes the panic class, and every injected
+/// panic is caught inside the degradation ladder — without this the
+/// default hook would print a backtrace per injected fault.
+pub fn silence_panic_hook() -> PanicHookGuard {
+    let mut state = SILENCED_HOOK.lock().unwrap_or_else(|e| e.into_inner());
+    if state.0 == 0 {
+        state.1 = Some(std::panic::take_hook());
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    state.0 += 1;
+    PanicHookGuard(())
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        let mut state = SILENCED_HOOK.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 -= 1;
+        if state.0 == 0 {
+            if let Some(prev) = state.1.take() {
+                std::panic::set_hook(prev);
+            }
+        }
+    }
 }
 
 /// Pushes `func` through the degradation ladder under the iteration's
@@ -238,9 +326,185 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     fuzz_with(opts, &mut |_, _| {})
 }
 
-/// A boxed "does this routine still exhibit the original failure?" check,
-/// handed to the shrinker once a campaign iteration fails.
-type FailurePredicate = Box<dyn FnMut(&Routine) -> bool>;
+/// A rebuildable "does this routine still exhibit the original
+/// failure?" recipe. Unlike a captured closure it is `Send` and carries
+/// no live analysis state, so a parallel campaign can hand it from a
+/// worker thread to the post-merge shrink phase and evaluate it there
+/// against a fresh context — byte-identically at any worker count.
+#[derive(Clone, Debug)]
+pub enum FailureCheck {
+    /// Re-validate against the one configuration that failed — an 8×
+    /// cheaper predicate, and the minimizer cannot wander off to a
+    /// different config's unrelated failure.
+    Validate(ValidatorOptions),
+    /// Re-check the lattice relations filtered to the violated pair (or
+    /// to every relation naming the non-converging config).
+    Lattice(Vec<Relation>),
+    /// Re-run the degradation-ladder oracle with the iteration's exact
+    /// injected fault plan.
+    Resilient {
+        /// Validator options in effect when the failure was found.
+        validator: ValidatorOptions,
+        /// Campaign iteration (selects the injected fault class).
+        iteration: u64,
+        /// Generator seed (seeds the fault plan).
+        gen_seed: u64,
+    },
+}
+
+impl FailureCheck {
+    /// `true` when `r` still exhibits the recorded failure class.
+    /// Routines that no longer compile never count as failing. `ctx` is
+    /// used by the resilient check only; the validator and lattice
+    /// checks build their own scratch state per call, exactly as the
+    /// original inline predicates did.
+    pub fn still_fails(&self, ctx: &mut GvnContext, r: &Routine) -> bool {
+        let Some(f) = compile_routine(r) else { return false };
+        match self {
+            FailureCheck::Validate(v) => validate_function(&f, v).is_err(),
+            FailureCheck::Lattice(rels) => check_lattice(&f, rels).is_err(),
+            FailureCheck::Resilient { validator, iteration, gen_seed } => {
+                check_resilient(ctx, &f, *iteration, *gen_seed, validator).is_err()
+            }
+        }
+    }
+}
+
+/// A failure as detected, before shrinking: the unminimized
+/// [`FuzzFailure`] (its `shrunk_source` still equals `source`), the
+/// routine to minimize, and the [`FailureCheck`] recipe to minimize
+/// against.
+#[derive(Clone, Debug)]
+pub struct PendingFailure {
+    /// The failure record with `source == shrunk_source`.
+    pub failure: FuzzFailure,
+    /// How to re-establish the failure on a candidate routine.
+    pub check: FailureCheck,
+    /// The original generated routine (shrink input).
+    pub routine: Routine,
+}
+
+/// Everything one campaign iteration produced. Pure in `(opts, i)`:
+/// the context is scratch space, never a source of variation.
+#[derive(Clone, Debug)]
+pub struct IterationOutcome {
+    /// The iteration index.
+    pub iteration: u64,
+    /// The derived generator seed, `mix64(opts.seed ^ mix64(i))`.
+    pub gen_seed: u64,
+    /// Whether the generated routine compiled (uncompilable routines
+    /// are skipped without counting toward `iterations_run`).
+    pub compiled: bool,
+    /// Instruction count of the compiled routine (0 when not compiled).
+    pub insts: u64,
+    /// The failure this iteration produced, if any, unshrunk.
+    pub failure: Option<PendingFailure>,
+}
+
+/// Runs one fuzz iteration against `ctx`: derive the generator seed,
+/// build the routine, and run the requested oracles. The result depends
+/// only on `(opts, i)` — shard assignment cannot change what any
+/// iteration generates or how its oracles decide — which is the
+/// invariant the parallel campaign's byte-identical merge rests on.
+pub fn run_iteration(ctx: &mut GvnContext, opts: &FuzzOptions, i: u64) -> IterationOutcome {
+    let gen_seed = mix64(opts.seed ^ mix64(i));
+    let mut out =
+        IterationOutcome { iteration: i, gen_seed, compiled: false, insts: 0, failure: None };
+    let cfg = profile(i, gen_seed);
+    let routine = pgvn_workload::generate_routine(&format!("fuzz_{i}"), &cfg);
+    let Some(func) = compile_routine(&routine) else { return out };
+    out.compiled = true;
+    out.insts = func.num_insts() as u64;
+
+    let mut validator = opts.validator.clone();
+    if opts.inject_miscompile {
+        validator.configs.push(("injected-bug".to_string(), GvnConfig::full().miscompile(true)));
+    }
+    // Per-iteration validator seed so argument vectors vary too.
+    validator.input_seed = mix64(gen_seed);
+
+    let mut found: Option<(&'static str, String, FailureCheck)> = None;
+    if opts.mode.runs_validate() {
+        if let Err(e) = validate_function_with(ctx, &func, &validator) {
+            let mut v = validator.clone();
+            let failing = e.config().to_string();
+            v.configs.retain(|(n, _)| *n == failing);
+            found = Some(("validate", e.to_string(), FailureCheck::Validate(v)));
+        }
+    }
+    if found.is_none() && opts.mode.runs_lattice() {
+        if let Err(v) = check_lattice_with(ctx, &func, &opts.relations) {
+            let mut rels: Vec<Relation> = opts
+                .relations
+                .iter()
+                .filter(|r| r.stronger.0 == v.stronger && r.weaker.0 == v.weaker)
+                .cloned()
+                .collect();
+            if rels.is_empty() {
+                // Non-convergence reports name itself on both sides;
+                // keep every relation mentioning it.
+                rels = opts
+                    .relations
+                    .iter()
+                    .filter(|r| r.stronger.0 == v.stronger || r.weaker.0 == v.stronger)
+                    .cloned()
+                    .collect();
+            }
+            found = Some(("lattice", v.to_string(), FailureCheck::Lattice(rels)));
+        }
+    }
+    if found.is_none() && opts.check_resilient {
+        if let Err(detail) = check_resilient(ctx, &func, i, gen_seed, &validator) {
+            let check =
+                FailureCheck::Resilient { validator: validator.clone(), iteration: i, gen_seed };
+            found = Some(("resilient", detail, check));
+        }
+    }
+
+    if let Some((kind, detail, check)) = found {
+        let source = pgvn_lang::print_routine(&routine);
+        out.failure = Some(PendingFailure {
+            failure: FuzzFailure {
+                iteration: i,
+                gen_seed,
+                kind: kind.to_string(),
+                detail,
+                source: source.clone(),
+                shrunk_source: source,
+                shrunk_insts: func.num_insts(),
+            },
+            check,
+            routine,
+        });
+    }
+    out
+}
+
+/// Minimizes a pending failure into its final [`FuzzFailure`],
+/// returning the number of shrink predicate evaluations performed
+/// (deterministic, so it may feed stable metrics). A fresh context is
+/// created per failure, exactly as the inline shrink did, so the result
+/// is independent of whatever the campaign context ran before.
+pub fn shrink_pending(
+    pending: PendingFailure,
+    shrink: &Option<ShrinkOptions>,
+) -> (FuzzFailure, u64) {
+    let PendingFailure { mut failure, check, routine } = pending;
+    let mut attempts = 0u64;
+    let shrunk = match shrink {
+        Some(sopts) => {
+            let mut ctx = GvnContext::new();
+            shrink_routine(&routine, sopts, &mut |r| {
+                attempts += 1;
+                check.still_fails(&mut ctx, r)
+            })
+        }
+        None => routine,
+    };
+    failure.shrunk_insts = compile_routine(&shrunk).map(|f| f.num_insts()).unwrap_or(usize::MAX);
+    failure.shrunk_source = pgvn_lang::print_routine(&shrunk);
+    (failure, attempts)
+}
 
 /// Runs a fuzz campaign. `progress` is invoked after every iteration with
 /// the iteration index and the failure it produced, if any — the CLI uses
@@ -249,109 +513,33 @@ pub fn fuzz_with(
     opts: &FuzzOptions,
     progress: &mut dyn FnMut(u64, Option<&FuzzFailure>),
 ) -> FuzzReport {
+    // The resilient fault cycle includes the panic class; every panic is
+    // caught inside the ladder, so the only observable effect would be
+    // hook noise — silence it for the duration.
+    let _hook = opts.check_resilient.then(silence_panic_hook);
     let mut report = FuzzReport::default();
-    let mut validator = opts.validator.clone();
-    if opts.inject_miscompile {
-        validator.configs.push(("injected-bug".to_string(), GvnConfig::full().miscompile(true)));
-    }
     // One analysis context for the whole campaign: every oracle run of
     // every iteration reuses the same arenas (cross-run isolation is the
-    // driver's job, asserted by tests/session.rs). Shrink predicates
-    // below own fresh contexts instead, since they outlive this loop.
+    // driver's job, asserted by tests/session.rs). Shrinking owns fresh
+    // contexts instead — see [`shrink_pending`].
     let mut ctx = GvnContext::new();
     for i in 0..opts.iterations {
-        let gen_seed = mix64(opts.seed ^ mix64(i));
-        let cfg = profile(i, gen_seed);
-        let routine = pgvn_workload::generate_routine(&format!("fuzz_{i}"), &cfg);
-        let Some(func) = compile_routine(&routine) else { continue };
+        let out = run_iteration(&mut ctx, opts, i);
+        if !out.compiled {
+            continue;
+        }
         report.iterations_run = i + 1;
-        report.total_insts += func.num_insts() as u64;
-
-        // Per-iteration validator seed so argument vectors vary too.
-        validator.input_seed = mix64(gen_seed);
-
-        let mut failure: Option<(String, String)> = None;
-        let mut failing_predicate: Option<FailurePredicate> = None;
-
-        if opts.mode.runs_validate() {
-            if let Err(e) = validate_function_with(&mut ctx, &func, &validator) {
-                // Shrink against the one configuration that failed — an
-                // 8× cheaper predicate, and the minimizer cannot wander
-                // off to a different config's unrelated failure.
-                let mut v = validator.clone();
-                let failing = e.config().to_string();
-                v.configs.retain(|(n, _)| *n == failing);
-                failure = Some(("validate".to_string(), e.to_string()));
-                failing_predicate = Some(Box::new(move |r: &Routine| {
-                    compile_routine(r).is_some_and(|f| validate_function(&f, &v).is_err())
-                }));
-            }
-        }
-        if failure.is_none() && opts.mode.runs_lattice() {
-            if let Err(v) = check_lattice_with(&mut ctx, &func, &opts.relations) {
-                let mut rels: Vec<Relation> = opts
-                    .relations
-                    .iter()
-                    .filter(|r| r.stronger.0 == v.stronger && r.weaker.0 == v.weaker)
-                    .cloned()
-                    .collect();
-                if rels.is_empty() {
-                    // Non-convergence reports name itself on both sides;
-                    // keep every relation mentioning it.
-                    rels = opts
-                        .relations
-                        .iter()
-                        .filter(|r| r.stronger.0 == v.stronger || r.weaker.0 == v.stronger)
-                        .cloned()
-                        .collect();
-                }
-                failure = Some(("lattice".to_string(), v.to_string()));
-                failing_predicate = Some(Box::new(move |r: &Routine| {
-                    compile_routine(r).is_some_and(|f| check_lattice(&f, &rels).is_err())
-                }));
-            }
-        }
-        if failure.is_none() && opts.check_resilient {
-            if let Err(detail) = check_resilient(&mut ctx, &func, i, gen_seed, &validator) {
-                let v = validator.clone();
-                let mut pred_ctx = GvnContext::new();
-                failure = Some(("resilient".to_string(), detail));
-                failing_predicate = Some(Box::new(move |r: &Routine| {
-                    compile_routine(r).is_some_and(|f| {
-                        check_resilient(&mut pred_ctx, &f, i, gen_seed, &v).is_err()
-                    })
-                }));
-            }
-        }
-
-        let fail = match failure {
-            None => {
-                progress(i, None);
-                continue;
-            }
-            Some((kind, detail)) => {
-                let mut pred = failing_predicate.expect("predicate set with failure");
-                let shrunk = match &opts.shrink {
-                    Some(sopts) => shrink_routine(&routine, sopts, &mut *pred),
-                    None => routine.clone(),
-                };
-                let shrunk_insts =
-                    compile_routine(&shrunk).map(|f| f.num_insts()).unwrap_or(usize::MAX);
-                FuzzFailure {
-                    iteration: i,
-                    gen_seed,
-                    kind,
-                    detail,
-                    source: pgvn_lang::print_routine(&routine),
-                    shrunk_source: pgvn_lang::print_routine(&shrunk),
-                    shrunk_insts,
+        report.total_insts += out.insts;
+        match out.failure {
+            None => progress(i, None),
+            Some(pending) => {
+                let (fail, _attempts) = shrink_pending(pending, &opts.shrink);
+                report.failures.push(fail);
+                progress(i, report.failures.last());
+                if opts.max_failures != 0 && report.failures.len() >= opts.max_failures {
+                    break;
                 }
             }
-        };
-        report.failures.push(fail);
-        progress(i, report.failures.last());
-        if opts.max_failures != 0 && report.failures.len() >= opts.max_failures {
-            break;
         }
     }
     report

@@ -23,6 +23,11 @@
 //! - **Fuzzing** ([`fuzz`]): a seeded driver loop over the
 //!   `pgvn-workload` generator ties the three together; the `pgvn fuzz`
 //!   CLI subcommand and CI both drive this engine.
+//! - **Sharded campaigns** ([`campaign`]): the iteration space sharded
+//!   over worker threads with a deterministic merge — `--jobs 1` and
+//!   `--jobs N` produce identical reports, fixtures, and exit codes,
+//!   so nightly CI can push the same campaign toward millions of
+//!   iterations at hardware speed.
 //!
 //! See `docs/ORACLE.md` for the design discussion and usage examples.
 //!
@@ -40,18 +45,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod fuzz;
 pub mod lattice;
 pub mod outcome;
 pub mod shrink;
 pub mod validator;
 
-pub use fuzz::{fuzz, fuzz_with, FuzzFailure, FuzzMode, FuzzOptions, FuzzReport};
+pub use campaign::{run_campaign, run_campaign_with, CampaignOptions, CampaignReport};
+pub use fuzz::{
+    fuzz, fuzz_with, run_iteration, shrink_pending, silence_panic_hook, FailureCheck, FuzzFailure,
+    FuzzMode, FuzzOptions, FuzzReport, IterationOutcome, PanicHookGuard, PendingFailure,
+};
 pub use lattice::{
     check_lattice, check_lattice_with, default_relations, LatticeViolation, Relation,
 };
 pub use outcome::{mix64, run_outcome, Outcome};
-pub use shrink::{shrink_routine, ShrinkOptions};
+pub use shrink::{shrink_measure, shrink_routine, ShrinkOptions};
 pub use validator::{
     default_validation_configs, validate_function, validate_function_with, validate_optimized,
     Failure, ValidatorOptions,

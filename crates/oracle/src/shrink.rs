@@ -133,6 +133,13 @@ fn scrub_orphaned_jumps(body: &mut Vec<Stmt>) {
     });
 }
 
+/// The shrink measure of a routine: the pair [`shrink_routine`]
+/// strictly decreases at every accepted step. Public so regression
+/// tests can assert the monotonicity contract on replayed fixtures.
+pub fn shrink_measure(r: &Routine) -> (usize, usize) {
+    measure(r)
+}
+
 /// The shrink measure: AST node count, then a constant-complexity weight
 /// (0 for literal 0, 1 for literal 1, 2 for anything else). Candidates
 /// are accepted only when this pair strictly decreases, which makes the

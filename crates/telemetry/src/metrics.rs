@@ -109,10 +109,27 @@ pub enum Metric {
     BatchMergeWaitNanos,
     /// Per-routine wall-clock nanoseconds in the batch engine.
     BatchRoutineNanos,
+    /// Fuzz-campaign iterations in the deterministic report
+    /// (`iterations_run` — independent of worker count).
+    FuzzIterations,
+    /// Instructions across all generated routines in a fuzz campaign.
+    FuzzInsts,
+    /// Failures in the deterministic fuzz report.
+    FuzzFailures,
+    /// Shrink predicate evaluations across a campaign's failures
+    /// (shrinking runs post-merge, so the count is deterministic).
+    FuzzShrinkAttempts,
+    /// Iterations processed per campaign worker (shard balance).
+    FuzzWorkerIterations,
+    /// Wall-clock nanoseconds for a whole fuzz campaign.
+    FuzzCampaignNanos,
+    /// Iterations processed past the early-stop cutoff and discarded by
+    /// the rank-ordering merge (parallel overshoot).
+    FuzzOverrunIterations,
 }
 
 /// All metrics, in catalog (and snapshot) order.
-pub const METRICS: [Metric; 22] = [
+pub const METRICS: [Metric; 29] = [
     Metric::DriverRuns,
     Metric::DriverPasses,
     Metric::DriverTouches,
@@ -135,6 +152,13 @@ pub const METRICS: [Metric; 22] = [
     Metric::BatchWorkerRoutines,
     Metric::BatchMergeWaitNanos,
     Metric::BatchRoutineNanos,
+    Metric::FuzzIterations,
+    Metric::FuzzInsts,
+    Metric::FuzzFailures,
+    Metric::FuzzShrinkAttempts,
+    Metric::FuzzWorkerIterations,
+    Metric::FuzzCampaignNanos,
+    Metric::FuzzOverrunIterations,
 ];
 
 impl Metric {
@@ -163,6 +187,13 @@ impl Metric {
             Metric::BatchWorkerRoutines => "batch_worker_routines",
             Metric::BatchMergeWaitNanos => "batch_merge_wait_nanos",
             Metric::BatchRoutineNanos => "batch_routine_nanos",
+            Metric::FuzzIterations => "fuzz_iterations",
+            Metric::FuzzInsts => "fuzz_insts",
+            Metric::FuzzFailures => "fuzz_failures",
+            Metric::FuzzShrinkAttempts => "fuzz_shrink_attempts",
+            Metric::FuzzWorkerIterations => "fuzz_worker_iterations",
+            Metric::FuzzCampaignNanos => "fuzz_campaign_nanos",
+            Metric::FuzzOverrunIterations => "fuzz_overrun_iterations",
         }
     }
 
@@ -182,7 +213,13 @@ impl Metric {
             | Metric::ContextPrepares
             | Metric::ContextPrepareReuses
             | Metric::BatchRoutines
-            | Metric::BatchMergeWaitNanos => MetricKind::Counter,
+            | Metric::BatchMergeWaitNanos
+            | Metric::FuzzIterations
+            | Metric::FuzzInsts
+            | Metric::FuzzFailures
+            | Metric::FuzzShrinkAttempts
+            | Metric::FuzzCampaignNanos
+            | Metric::FuzzOverrunIterations => MetricKind::Counter,
             Metric::ContextValueSlots => MetricKind::Gauge,
             Metric::DriverPasses
             | Metric::DriverTouchedInstsPass
@@ -190,7 +227,8 @@ impl Metric {
             | Metric::InternerExprs
             | Metric::LadderRung
             | Metric::BatchWorkerRoutines
-            | Metric::BatchRoutineNanos => MetricKind::Histogram,
+            | Metric::BatchRoutineNanos
+            | Metric::FuzzWorkerIterations => MetricKind::Histogram,
         }
     }
 
@@ -212,7 +250,15 @@ impl Metric {
             Metric::ContextPrepares | Metric::ContextPrepareReuses => "prepares",
             Metric::ContextValueSlots => "slots",
             Metric::BatchRoutines | Metric::BatchWorkerRoutines => "routines",
-            Metric::BatchMergeWaitNanos | Metric::BatchRoutineNanos => "nanos",
+            Metric::BatchMergeWaitNanos | Metric::BatchRoutineNanos | Metric::FuzzCampaignNanos => {
+                "nanos"
+            }
+            Metric::FuzzIterations
+            | Metric::FuzzWorkerIterations
+            | Metric::FuzzOverrunIterations => "iterations",
+            Metric::FuzzInsts => "insts",
+            Metric::FuzzFailures => "failures",
+            Metric::FuzzShrinkAttempts => "attempts",
         }
     }
 
@@ -230,6 +276,9 @@ impl Metric {
                 | Metric::BatchWorkerRoutines
                 | Metric::BatchMergeWaitNanos
                 | Metric::BatchRoutineNanos
+                | Metric::FuzzWorkerIterations
+                | Metric::FuzzCampaignNanos
+                | Metric::FuzzOverrunIterations
         )
     }
 

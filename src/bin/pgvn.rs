@@ -35,6 +35,9 @@
 //!   --no-shrink                                    keep failures unminimized
 //!   --no-resilient                                 skip the degradation-ladder oracle
 //!   --inject-bug                                   self-test: plant a miscompile
+//!   --jobs N                                       worker threads (default: 1)
+//!   --max-iters-per-shard N                        iterations per cursor grab (default: 64)
+//!   --timings                                      append the fuzz_timing record
 //!
 //! pgvn batch [options]             # resilient batch optimization
 //!
@@ -277,30 +280,38 @@ fn fuzz_usage() -> ! {
     eprintln!(
         "usage: pgvn fuzz [--seed N] [--iters N] [--mode validate|lattice|both]\n\
          \x20               [--max-failures N] [--report <path>] [--fixture-dir <dir>]\n\
-         \x20               [--no-shrink] [--no-resilient] [--inject-bug]"
+         \x20               [--no-shrink] [--no-resilient] [--inject-bug]\n\
+         \x20               [--jobs N] [--max-iters-per-shard N] [--timings]"
     );
     std::process::exit(2);
 }
 
+/// `pgvn fuzz`: the differential oracle, sharded over
+/// [`pgvn::oracle::run_campaign_with`]. The report (failure lines, the
+/// `fuzz_stats` record, and the `fuzz_summary` record), the shrunk
+/// fixtures and the exit code are byte-identical at any `--jobs`; only
+/// the optional `fuzz_timing` record (behind `--timings`) and the
+/// stderr ticker depend on scheduling.
 fn fuzz_main(mut args: std::env::Args) -> ExitCode {
-    use pgvn::oracle::{fuzz_with, FuzzMode, FuzzOptions};
+    use pgvn::oracle::{run_campaign_with, CampaignOptions, FuzzMode};
     use std::io::Write;
 
-    let mut opts = FuzzOptions::default();
+    let mut copts = CampaignOptions::default();
+    let mut timings = false;
     let mut report_path: Option<String> = None;
     let mut fixture_dir: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => opts.seed = v,
+                Some(v) => copts.fuzz.seed = v,
                 None => fuzz_usage(),
             },
             "--iters" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => opts.iterations = v,
+                Some(v) => copts.fuzz.iterations = v,
                 None => fuzz_usage(),
             },
             "--mode" => {
-                opts.mode = match args.next().as_deref() {
+                copts.fuzz.mode = match args.next().as_deref() {
                     Some("validate") => FuzzMode::Validate,
                     Some("lattice") => FuzzMode::Lattice,
                     Some("both") => FuzzMode::Both,
@@ -308,7 +319,7 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
                 };
             }
             "--max-failures" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => opts.max_failures = v,
+                Some(v) => copts.fuzz.max_failures = v,
                 None => fuzz_usage(),
             },
             "--report" => match args.next() {
@@ -319,21 +330,36 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
                 Some(p) => fixture_dir = Some(p),
                 None => fuzz_usage(),
             },
-            "--no-shrink" => opts.shrink = None,
-            "--no-resilient" => opts.check_resilient = false,
-            "--inject-bug" => opts.inject_miscompile = true,
+            "--no-shrink" => copts.fuzz.shrink = None,
+            "--no-resilient" => copts.fuzz.check_resilient = false,
+            "--inject-bug" => copts.fuzz.inject_miscompile = true,
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => copts.jobs = v,
+                None => fuzz_usage(),
+            },
+            "--max-iters-per-shard" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => copts.max_iters_per_shard = v,
+                None => fuzz_usage(),
+            },
+            "--timings" => timings = true,
             _ => fuzz_usage(),
         }
     }
 
-    let every = (opts.iterations / 20).max(1);
-    let result = fuzz_with(&opts, &mut |i, failure| {
+    let iters = copts.fuzz.iterations;
+    let every = (iters / 20).max(1);
+    let t0 = std::time::Instant::now();
+    // At --jobs 1 this ticker reproduces the sequential progress
+    // stream; at higher job counts the ordering follows the schedule.
+    let campaign = run_campaign_with(&copts, &move |i, failure| {
         if let Some(f) = failure {
             eprintln!("pgvn fuzz: FAILURE at iteration {i} ({}): {}", f.kind, f.detail);
         } else if (i + 1) % every == 0 {
-            eprintln!("pgvn fuzz: {}/{} iterations clean", i + 1, opts.iterations);
+            eprintln!("pgvn fuzz: {}/{iters} iterations clean", i + 1);
         }
     });
+    let result = &campaign.report;
+    let elapsed = t0.elapsed();
 
     if let Some(path) = &report_path {
         let mut lines = String::new();
@@ -341,9 +367,15 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
             lines.push_str(&f.to_json());
             lines.push('\n');
         }
+        lines.push_str(&campaign.stats_json(copts.fuzz.seed));
+        lines.push('\n');
+        if timings {
+            lines.push_str(&campaign.timing_json());
+            lines.push('\n');
+        }
         let mut w = pgvn::telemetry::json::JsonWriter::object();
         w.field_str("event", "fuzz_summary")
-            .field_u64("seed", opts.seed)
+            .field_u64("seed", copts.fuzz.seed)
             .field_u64("iterations_run", result.iterations_run)
             .field_u64("total_insts", result.total_insts)
             .field_u64("failures", result.failures.len() as u64);
@@ -365,6 +397,15 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
             }
             eprintln!("pgvn fuzz: wrote {path}");
         }
+    }
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        eprintln!(
+            "pgvn fuzz: {} iteration(s) in {secs:.1}s ({:.0} iters/sec, {} job(s))",
+            result.iterations_run,
+            result.iterations_run as f64 / secs,
+            campaign.worker_iterations.len()
+        );
     }
     println!(
         "fuzz: {} iterations, {} instructions, {} failure(s)",

@@ -1,0 +1,323 @@
+//! Determinism and regression tests for the sharded fuzz campaign layer.
+//!
+//! The contract under test (see `docs/ORACLE.md`, "Sharded campaigns"):
+//! a campaign's report, shrunk fixtures, and exit code depend only on
+//! `(seed, iterations, oracle options)` — never on `--jobs`, the shard
+//! chunk size, or thread scheduling. The suite exercises the contract at
+//! three levels: the library API (`run_campaign`), shard-report merging
+//! (`FuzzReport::merge` proptests), and the `pgvn fuzz` CLI end to end.
+//! It also replays the committed shrinker fixtures through the new
+//! per-iteration entry points, asserting the shrinker's monotonicity
+//! contract on every accepted step.
+
+use pgvn::core::{GvnConfig, GvnContext};
+use pgvn::oracle::{
+    mix64, run_campaign, shrink_measure, shrink_routine, CampaignOptions, FailureCheck,
+    FuzzFailure, FuzzMode, FuzzOptions, FuzzReport, Relation, ShrinkOptions, ValidatorOptions,
+};
+use proptest::prelude::*;
+
+/// Validator/shrinker settings tuned for test wall-time, mirroring the
+/// `quick` helper in the oracle's own unit tests.
+fn quick(iterations: u64, mode: FuzzMode) -> FuzzOptions {
+    FuzzOptions {
+        seed: 2002,
+        iterations,
+        mode,
+        validator: ValidatorOptions { fuel: 1 << 14, vectors: 3, ..Default::default() },
+        shrink: Some(ShrinkOptions { max_attempts: 300 }),
+        ..Default::default()
+    }
+}
+
+/// Render the parts of a campaign that the determinism contract covers:
+/// every failure's JSONL record and fixture body, plus the stable stats
+/// record. Byte-equality of this string is the strongest observable
+/// form of "identical report + identical shrunk fixtures".
+fn observable(campaign: &pgvn::oracle::CampaignReport, seed: u64) -> String {
+    let mut out = String::new();
+    for f in &campaign.report.failures {
+        out.push_str(&f.to_json());
+        out.push('\n');
+        out.push_str(&f.fixture());
+        out.push('\n');
+    }
+    out.push_str(&campaign.stats_json(seed));
+    out.push('\n');
+    out
+}
+
+#[test]
+fn jobs_1_and_jobs_4_agree_on_an_injected_bug_campaign() {
+    let fuzz = FuzzOptions { inject_miscompile: true, ..quick(500, FuzzMode::Validate) };
+    let seq =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 1, max_iters_per_shard: 64 });
+    // A small chunk forces every worker to interleave across the
+    // iteration space rather than one worker swallowing the campaign.
+    let par =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 4, max_iters_per_shard: 8 });
+    assert!(!seq.report.is_clean(), "inject_miscompile must produce failures");
+    assert_eq!(seq.report, par.report);
+    assert_eq!(observable(&seq, fuzz.seed), observable(&par, fuzz.seed));
+}
+
+#[test]
+fn jobs_1_and_jobs_4_agree_under_max_failures_early_stop() {
+    let fuzz =
+        FuzzOptions { inject_miscompile: true, max_failures: 1, ..quick(500, FuzzMode::Validate) };
+    let seq =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 1, max_iters_per_shard: 64 });
+    let par =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 4, max_iters_per_shard: 8 });
+    assert_eq!(seq.report.failures.len(), 1);
+    assert_eq!(seq.report, par.report);
+    assert_eq!(observable(&seq, fuzz.seed), observable(&par, fuzz.seed));
+}
+
+#[test]
+fn jobs_1_and_jobs_4_agree_on_a_clean_campaign() {
+    let fuzz = quick(60, FuzzMode::Both);
+    let seq =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 1, max_iters_per_shard: 64 });
+    let par =
+        run_campaign(&CampaignOptions { fuzz: fuzz.clone(), jobs: 4, max_iters_per_shard: 5 });
+    assert!(seq.report.is_clean(), "failures: {:#?}", seq.report.failures);
+    assert_eq!(seq.report, par.report);
+    assert_eq!(observable(&seq, fuzz.seed), observable(&par, fuzz.seed));
+}
+
+// ---------------------------------------------------------------------------
+// FuzzReport::merge — the shard-combining step of the campaign engine.
+// Shards partition the iteration space, so merge only ever sees reports
+// whose failure iteration sets are disjoint; the generator below models
+// that by assigning each report a residue class ("lane") mod `lanes`.
+// ---------------------------------------------------------------------------
+
+fn synthetic_failure(iteration: u64, salt: u64) -> FuzzFailure {
+    let kind = ["validate", "lattice", "resilient"][(salt % 3) as usize];
+    let src = format!("routine f{iteration}() {{ return {salt}; }}");
+    FuzzFailure {
+        iteration,
+        gen_seed: mix64(iteration ^ salt),
+        kind: kind.to_string(),
+        detail: format!("synthetic disagreement #{salt}"),
+        source: src.clone(),
+        shrunk_source: src,
+        shrunk_insts: (salt % 17) as usize,
+    }
+}
+
+fn report_from_seed(seed: u64, lane: u64, lanes: u64) -> FuzzReport {
+    let r = |k: u64| mix64(seed ^ mix64(k));
+    let mut failures: Vec<FuzzFailure> = (0..r(0) % 6)
+        .map(|k| synthetic_failure(lane + (r(k + 1) % 40) * lanes, r(k + 7)))
+        .collect();
+    failures.sort_by_key(|f| f.iteration);
+    failures.dedup_by_key(|f| f.iteration);
+    FuzzReport { iterations_run: r(13) % 1_000, total_insts: r(14) % 100_000, failures }
+}
+
+fn merged(a: &FuzzReport, b: &FuzzReport) -> FuzzReport {
+    let mut out = a.clone();
+    out.merge(b.clone());
+    out
+}
+
+fn proptest_cases() -> u32 {
+    std::env::var("PGVN_PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: proptest_cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn fuzz_report_merge_is_commutative(x in 0u64..100_000, y in 0u64..100_000) {
+        let (a, b) = (report_from_seed(x, 0, 2), report_from_seed(y, 1, 2));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn fuzz_report_merge_is_associative(
+        x in 0u64..100_000,
+        y in 0u64..100_000,
+        z in 0u64..100_000,
+    ) {
+        let a = report_from_seed(x, 0, 3);
+        let b = report_from_seed(y, 1, 3);
+        let c = report_from_seed(z, 2, 3);
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn fuzz_report_merge_has_default_identity(x in 0u64..100_000) {
+        let a = report_from_seed(x, 0, 1);
+        prop_assert_eq!(merged(&a, &FuzzReport::default()), a.clone());
+        prop_assert_eq!(merged(&FuzzReport::default(), &a), a);
+    }
+
+    #[test]
+    fn fuzz_report_merge_keeps_failures_sorted_by_iteration(
+        x in 0u64..100_000,
+        y in 0u64..100_000,
+    ) {
+        let (a, b) = (report_from_seed(x, 0, 2), report_from_seed(y, 1, 2));
+        let m = merged(&a, &b);
+        prop_assert!(m.failures.windows(2).all(|w| w[0].iteration < w[1].iteration));
+        prop_assert_eq!(m.failures.len(), a.failures.len() + b.failures.len());
+        prop_assert_eq!(m.iterations_run, a.iterations_run.max(b.iterations_run));
+        prop_assert_eq!(m.total_insts, a.total_insts + b.total_insts);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker regressions on the committed fixtures, replayed through the
+// campaign layer's `FailureCheck` recipes instead of ad-hoc closures.
+// ---------------------------------------------------------------------------
+
+fn fixture_source(prefix: &str) -> String {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/oracle");
+    for entry in std::fs::read_dir(dir).expect("fixture dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(prefix)) {
+            return std::fs::read_to_string(&path).expect("fixture readable");
+        }
+    }
+    panic!("no fixture starting with {prefix:?} under tests/fixtures/oracle/");
+}
+
+/// Shrink `routine` under `check`, asserting the `(nodes, const-weight)`
+/// measure the shrinker reports is strictly below the best-so-far at
+/// every predicate evaluation, and non-increasing end to end.
+fn shrink_asserting_monotone(routine: &pgvn::lang::Routine, check: &FailureCheck) {
+    let mut ctx = GvnContext::new();
+    assert!(check.still_fails(&mut ctx, routine), "fixture no longer exhibits its failure class");
+
+    let original = shrink_measure(routine);
+    let mut best = original;
+    let shrunk = shrink_routine(routine, &ShrinkOptions { max_attempts: 2_000 }, &mut |cand| {
+        let m = shrink_measure(cand);
+        assert!(m < best, "candidate measure {m:?} not below accepted measure {best:?}");
+        let fails = check.still_fails(&mut ctx, cand);
+        if fails {
+            best = m;
+        }
+        fails
+    });
+
+    assert!(shrink_measure(&shrunk) <= original, "shrinking must never grow the routine");
+    let mut fresh = GvnContext::new();
+    assert!(
+        check.still_fails(&mut fresh, &shrunk),
+        "shrunk routine lost the original failure class"
+    );
+}
+
+#[test]
+fn injected_fixture_shrinks_monotonically_under_failure_check() {
+    let src = fixture_source("injected");
+    let routine = pgvn::lang::parse(&src).expect("fixture parses");
+    let check = FailureCheck::Validate(ValidatorOptions {
+        configs: vec![("injected-bug".to_string(), GvnConfig::full().miscompile(true))],
+        ..Default::default()
+    });
+    shrink_asserting_monotone(&routine, &check);
+}
+
+#[test]
+fn lattice_fixture_shrinks_monotonically_under_failure_check() {
+    let src = fixture_source("lattice");
+    let routine = pgvn::lang::parse(&src).expect("fixture parses");
+    // The deliberately over-strong relation this fixture was minted to
+    // violate (full must NOT claim click's reachability facts).
+    let check = FailureCheck::Lattice(vec![Relation {
+        stronger: ("full".to_string(), GvnConfig::full()),
+        weaker: ("click".to_string(), GvnConfig::click()),
+        congruences: false,
+        constants: false,
+        reachability: true,
+    }]);
+    shrink_asserting_monotone(&routine, &check);
+}
+
+#[test]
+fn phi_pred_fixture_passes_honest_validation_via_failure_check() {
+    let src = fixture_source("phi-pred");
+    let routine = pgvn::lang::parse(&src).expect("fixture parses");
+    let check = FailureCheck::Validate(ValidatorOptions::default());
+    let mut ctx = GvnContext::new();
+    assert!(
+        !check.still_fails(&mut ctx, &routine),
+        "phi-pred fixture must validate cleanly under honest configs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end: `pgvn fuzz --jobs N` must write byte-identical reports
+// and fixture directories, and a parallel campaign with the panic fault
+// class in the resilient cycle must not leak panic noise to stderr.
+// ---------------------------------------------------------------------------
+
+fn pgvn() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_pgvn"))
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pgvn-fuzz-campaign-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn read_fixture_dir(dir: &std::path::Path) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("fixture dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        out.push((name, std::fs::read_to_string(&path).expect("fixture readable")));
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn cli_reports_and_fixtures_are_identical_across_jobs() {
+    let mut outputs = Vec::new();
+    for (label, jobs) in [("seq", &["--jobs", "1"][..]), ("par", &["--jobs", "4"][..])] {
+        let dir = fresh_dir(label);
+        let report = dir.join("report.jsonl");
+        let fixtures = dir.join("fixtures");
+        let out = pgvn()
+            .args(["fuzz", "--seed", "2002", "--iters", "40", "--mode", "validate"])
+            .args(["--inject-bug", "--max-failures", "1", "--max-iters-per-shard", "4"])
+            .args(["--report", report.to_str().unwrap()])
+            .args(["--fixture-dir", fixtures.to_str().unwrap()])
+            .args(jobs)
+            .output()
+            .expect("spawns");
+        assert!(!out.status.success(), "injected bug must fail the campaign");
+        outputs.push((
+            std::fs::read_to_string(&report).expect("report written"),
+            read_fixture_dir(&fixtures),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        ));
+    }
+    let (seq, par) = (&outputs[0], &outputs[1]);
+    assert_eq!(seq.0, par.0, "JSONL reports must be byte-identical across --jobs");
+    assert_eq!(seq.1, par.1, "fixture directories must be identical across --jobs");
+    assert_eq!(seq.2, par.2, "stdout summary must be identical across --jobs");
+}
+
+#[test]
+fn cli_parallel_campaign_is_quiet_about_injected_panics() {
+    // The resilient oracle cycles a Panic fault class through every 5th
+    // iteration; the campaign installs a silenced hook before spawning
+    // workers, so a clean parallel run must not leak unwind noise.
+    let out = pgvn()
+        .args(["fuzz", "--seed", "2002", "--iters", "25", "--jobs", "4"])
+        .output()
+        .expect("spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked at"), "panic noise leaked: {stderr}");
+    assert!(!stderr.contains("stack backtrace"), "backtrace leaked: {stderr}");
+}
