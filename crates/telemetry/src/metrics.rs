@@ -126,10 +126,34 @@ pub enum Metric {
     /// Iterations processed past the early-stop cutoff and discarded by
     /// the rank-ordering merge (parallel overshoot).
     FuzzOverrunIterations,
+    /// Well-formed optimization requests accepted by `pgvn serve`
+    /// (before admission control — sheds are counted separately).
+    ServeRequests,
+    /// Malformed serve traffic: unparseable frames, invalid UTF-8, bad
+    /// request JSON, oversized frames.
+    ServeProtocolErrors,
+    /// Serve requests whose ladder rolled back at least one rung before
+    /// committing (the committed record is weaker than asked).
+    ServeDegraded,
+    /// Panics absorbed by the degradation ladder while processing serve
+    /// requests.
+    ServeAbsorbedPanics,
+    /// Requests refused with a shed response because the admission
+    /// queue was full. Load-dependent — timing domain.
+    ServeShed,
+    /// Requests whose explicit deadline expired while queued (answered
+    /// with an expired response, never run). Load-dependent.
+    ServeExpired,
+    /// High-water admission-queue depth. Load-dependent.
+    ServeQueueDepth,
+    /// Per-request wall-clock nanoseconds (dequeue to response).
+    ServeRequestNanos,
+    /// Per-request nanoseconds spent waiting in the admission queue.
+    ServeQueueWaitNanos,
 }
 
 /// All metrics, in catalog (and snapshot) order.
-pub const METRICS: [Metric; 29] = [
+pub const METRICS: [Metric; 38] = [
     Metric::DriverRuns,
     Metric::DriverPasses,
     Metric::DriverTouches,
@@ -159,6 +183,15 @@ pub const METRICS: [Metric; 29] = [
     Metric::FuzzWorkerIterations,
     Metric::FuzzCampaignNanos,
     Metric::FuzzOverrunIterations,
+    Metric::ServeRequests,
+    Metric::ServeProtocolErrors,
+    Metric::ServeDegraded,
+    Metric::ServeAbsorbedPanics,
+    Metric::ServeShed,
+    Metric::ServeExpired,
+    Metric::ServeQueueDepth,
+    Metric::ServeRequestNanos,
+    Metric::ServeQueueWaitNanos,
 ];
 
 impl Metric {
@@ -194,6 +227,15 @@ impl Metric {
             Metric::FuzzWorkerIterations => "fuzz_worker_iterations",
             Metric::FuzzCampaignNanos => "fuzz_campaign_nanos",
             Metric::FuzzOverrunIterations => "fuzz_overrun_iterations",
+            Metric::ServeRequests => "serve_requests",
+            Metric::ServeProtocolErrors => "serve_protocol_errors",
+            Metric::ServeDegraded => "serve_degraded",
+            Metric::ServeAbsorbedPanics => "serve_absorbed_panics",
+            Metric::ServeShed => "serve_shed",
+            Metric::ServeExpired => "serve_expired",
+            Metric::ServeQueueDepth => "serve_queue_depth",
+            Metric::ServeRequestNanos => "serve_request_nanos",
+            Metric::ServeQueueWaitNanos => "serve_queue_wait_nanos",
         }
     }
 
@@ -219,8 +261,14 @@ impl Metric {
             | Metric::FuzzFailures
             | Metric::FuzzShrinkAttempts
             | Metric::FuzzCampaignNanos
-            | Metric::FuzzOverrunIterations => MetricKind::Counter,
-            Metric::ContextValueSlots => MetricKind::Gauge,
+            | Metric::FuzzOverrunIterations
+            | Metric::ServeRequests
+            | Metric::ServeProtocolErrors
+            | Metric::ServeDegraded
+            | Metric::ServeAbsorbedPanics
+            | Metric::ServeShed
+            | Metric::ServeExpired => MetricKind::Counter,
+            Metric::ContextValueSlots | Metric::ServeQueueDepth => MetricKind::Gauge,
             Metric::DriverPasses
             | Metric::DriverTouchedInstsPass
             | Metric::DriverMergesPass
@@ -228,7 +276,9 @@ impl Metric {
             | Metric::LadderRung
             | Metric::BatchWorkerRoutines
             | Metric::BatchRoutineNanos
-            | Metric::FuzzWorkerIterations => MetricKind::Histogram,
+            | Metric::FuzzWorkerIterations
+            | Metric::ServeRequestNanos
+            | Metric::ServeQueueWaitNanos => MetricKind::Histogram,
         }
     }
 
@@ -259,6 +309,14 @@ impl Metric {
             Metric::FuzzInsts => "insts",
             Metric::FuzzFailures => "failures",
             Metric::FuzzShrinkAttempts => "attempts",
+            Metric::ServeRequests
+            | Metric::ServeProtocolErrors
+            | Metric::ServeDegraded
+            | Metric::ServeShed
+            | Metric::ServeExpired => "requests",
+            Metric::ServeAbsorbedPanics => "panics",
+            Metric::ServeQueueDepth => "requests",
+            Metric::ServeRequestNanos | Metric::ServeQueueWaitNanos => "nanos",
         }
     }
 
@@ -279,6 +337,11 @@ impl Metric {
                 | Metric::FuzzWorkerIterations
                 | Metric::FuzzCampaignNanos
                 | Metric::FuzzOverrunIterations
+                | Metric::ServeShed
+                | Metric::ServeExpired
+                | Metric::ServeQueueDepth
+                | Metric::ServeRequestNanos
+                | Metric::ServeQueueWaitNanos
         )
     }
 

@@ -66,12 +66,37 @@ pub struct BatchOptions {
     /// records. Off by default: wall time is scheduling-dependent, so
     /// enabling it forfeits byte-identical output across `--jobs`.
     pub timings: bool,
+    /// Run a pilot routine through each worker's context before it
+    /// claims real work, so table growth happens off the measured path.
+    /// Records are context-history-independent, so this never changes
+    /// report bytes — only the shard wall time.
+    pub warm_start: bool,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { cfg: GvnConfig::full(), rounds: 2, jobs: 1, timings: false }
+        BatchOptions {
+            cfg: GvnConfig::full(),
+            rounds: 2,
+            jobs: 1,
+            timings: false,
+            warm_start: true,
+        }
     }
+}
+
+/// Grows a fresh context's tables to working size by pushing one
+/// deterministic pilot routine (larger than the generator's default)
+/// through the full resilient pipeline. Shared by the batch and serve
+/// worker pools; the pilot's report is discarded.
+pub fn warm_context(ctx: &mut GvnContext) {
+    let gcfg =
+        crate::workload::GenConfig { seed: 0xC0FFEE, target_stmts: 96, ..Default::default() };
+    let routine = crate::workload::generate_routine("warm_pilot", &gcfg);
+    let src = crate::lang::print_routine(&routine);
+    let mut func = compile(&src, SsaStyle::Pruned).expect("pilot routine always compiles");
+    let pipeline = Pipeline::new(GvnConfig::full()).rounds(2);
+    let _ = pipeline.optimize_resilient_with(ctx, &mut func);
 }
 
 /// How one routine ended.
@@ -104,6 +129,9 @@ pub struct RoutineRecord {
     pub diagnostic: Option<String>,
     /// The routine's GVN statistics, when the ladder produced them.
     pub gvn_stats: Option<GvnStats>,
+    /// Panics the degradation ladder absorbed (rung failures classified
+    /// as `panicked`) while producing this record.
+    pub absorbed_panics: u32,
     /// Wall-clock nanoseconds spent processing this routine. Always
     /// measured; rendered into the JSONL line only on request (see
     /// [`RoutineRecord::json_line`]).
@@ -216,7 +244,7 @@ impl BatchReport {
 /// depends only on `(input, opts)`, never on the worker or the schedule
 /// — the metrics delta embedded in the JSON is filtered to the stable
 /// subset for exactly that reason.
-fn process_one(
+pub(crate) fn process_one(
     ctx: &mut GvnContext,
     reg: &MetricsRegistry,
     input: &BatchInput,
@@ -239,6 +267,7 @@ fn process_one(
                 json: w.finish(),
                 diagnostic: Some(format!("pgvn batch: {}: input error: {e}", input.name)),
                 gvn_stats: None,
+                absorbed_panics: 0,
                 wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             }
         }
@@ -264,6 +293,8 @@ fn process_one(
                         "identity" => RoutineStatus::Identity,
                         _ => RoutineStatus::Rejected,
                     };
+                    let absorbed_panics =
+                        rep.failures.iter().filter(|f| f.error.kind() == "panicked").count() as u32;
                     let delta = reg.snapshot().delta(&before).stable_only();
                     w.field_str("status", "classified")
                         .field_u64("insts", insts as u64)
@@ -275,6 +306,7 @@ fn process_one(
                         json: w.finish(),
                         diagnostic: None,
                         gvn_stats: Some(rep.report.gvn_stats),
+                        absorbed_panics,
                         wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
@@ -289,6 +321,7 @@ fn process_one(
                             input.name
                         )),
                         gvn_stats: None,
+                        absorbed_panics: 0,
                         wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
@@ -320,6 +353,9 @@ pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
             .map(|_| {
                 s.spawn(|| {
                     let mut ctx = GvnContext::new();
+                    if opts.warm_start {
+                        warm_context(&mut ctx);
+                    }
                     let reg = MetricsRegistry::new();
                     let mut produced = Vec::new();
                     loop {

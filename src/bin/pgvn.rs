@@ -53,11 +53,39 @@
 //!   --report <path>                                per-routine JSONL report
 //!   --jobs N                                       worker threads (default: 1)
 //!   --stats-json <path>                            merged GvnStats as JSONL
+//!   --no-warm                                      skip the worker warm-start pilot
 //!
-//! Exit codes: 0 success, 1 failures found (fuzz/batch) or internal
-//! error, 2 usage or I/O errors. Batch mode isolates every routine with
-//! `catch_unwind`: one poisoned routine cannot sink the batch. The
-//! report is byte-identical at any `--jobs` count.
+//! pgvn serve [options]             # long-lived optimization service
+//!
+//! options:
+//!   --socket <path>                                Unix socket (default: stdin/stdout)
+//!   --workers N                                    worker pool size (default: 2)
+//!   --queue N                                      admission queue bound (default: 64)
+//!   --max-frame-bytes N                            frame payload ceiling
+//!   --max-budget-passes/-ms/-touches N             per-request budget ceilings
+//!   --max-rounds N                                 pipeline rounds ceiling
+//!   --config/--mode/--variant/--rounds             base configuration
+//!   --no-warm                                      skip the worker warm-start pilot
+//!   --timings                                      wall_nanos in records (non-deterministic)
+//!
+//! pgvn serve-load [options]        # load-test harness against pgvn serve
+//!
+//! options:
+//!   --clients N                                    concurrent clients (default: 4)
+//!   --routines N                                   requests per client (default: 25)
+//!   --workers-curve 1,4                            server pool sizes to sweep
+//!   --queue N / --seed N                           server queue bound / corpus seed
+//!   --fault clean|every:N|matrix                   fault-injected traffic mix
+//!   --check-batch                                  verify records against batch --jobs 1
+//!   --report <path>                                JSONL report (default: stdout)
+//!
+//! Exit codes: 0 success, 1 failures found (fuzz/batch), escaped
+//! panics (serve), dropped/mismatched responses (serve-load), or
+//! internal error, 2 usage or I/O errors. Batch and serve isolate
+//! every routine with `catch_unwind`: one poisoned routine cannot sink
+//! the process. Batch reports are byte-identical at any `--jobs`
+//! count, and serve records are byte-identical to `batch --jobs 1`.
+//! See `docs/SERVE.md` for the framing spec and failure taxonomy.
 //! ```
 
 use pgvn::core::{try_run_traced, FaultPlan, GvnBudget};
@@ -428,7 +456,8 @@ fn batch_usage() -> ! {
          \x20                [--variant practical|complete] [--rounds N]\n\
          \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
          \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
-         \x20                [--report <path>] [--jobs N] [--stats-json <path>] [--timings]"
+         \x20                [--report <path>] [--jobs N] [--stats-json <path>] [--timings]\n\
+         \x20                [--no-warm]"
     );
     std::process::exit(2);
 }
@@ -453,6 +482,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     let mut rounds: usize = 2;
     let mut jobs: usize = 1;
     let mut timings = false;
+    let mut warm_start = true;
     let mut res = ResilienceFlags::default();
     let mut report_path: Option<String> = None;
     let mut stats_path: Option<String> = None;
@@ -525,6 +555,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
                 None => batch_usage(),
             },
             "--timings" => timings = true,
+            "--no-warm" => warm_start = false,
             _ => batch_usage(),
         }
     }
@@ -568,13 +599,13 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     }
 
     // Injected panics are classified at the catch_unwind boundary; the
-    // default hook would spray a backtrace per routine, so silence it
-    // for the duration of the batch.
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let batch = run_batch(&inputs, &BatchOptions { cfg, rounds, jobs, timings });
-    let _ = std::panic::take_hook();
-    std::panic::set_hook(prev_hook);
+    // default hook would spray a backtrace per routine, so hold the
+    // refcounted silencing guard for the duration of the batch (shared
+    // with the fuzz campaigns and `pgvn serve`, so nesting composes).
+    let batch = {
+        let _hook = pgvn::oracle::silence_panic_hook();
+        run_batch(&inputs, &BatchOptions { cfg, rounds, jobs, timings, warm_start })
+    };
 
     // Records come back in input order whatever the worker count, so
     // both the report and the diagnostics stream are deterministic.
@@ -619,6 +650,228 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
         batch.escaped_panics
     );
     if batch.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: pgvn serve [--socket <path>] [--workers N] [--queue N]\n\
+         \x20                [--max-frame-bytes N] [--max-budget-passes N]\n\
+         \x20                [--max-budget-ms N] [--max-budget-touches N] [--max-rounds N]\n\
+         \x20                [--config full|extended|click|sccp|awz|basic]\n\
+         \x20                [--mode optimistic|balanced|pessimistic]\n\
+         \x20                [--variant practical|complete] [--rounds N]\n\
+         \x20                [--no-warm] [--timings]"
+    );
+    std::process::exit(2);
+}
+
+/// `pgvn serve`: the long-lived optimization service. Speaks the
+/// length-prefixed JSON protocol of `docs/SERVE.md` over stdin/stdout,
+/// or over a Unix socket with `--socket`. Drains on stdin EOF or a
+/// `shutdown` request; exits 1 only if the isolation contract was
+/// violated (a panic escaped the per-request boundary).
+fn serve_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::serve::{serve_duplex, serve_socket, ServeOptions};
+
+    let mut opts = ServeOptions::default();
+    let mut socket: Option<String> = None;
+    let mut config = GvnConfig::full();
+    let mut mode = Mode::Optimistic;
+    let mut variant = Variant::Practical;
+    while let Some(a) = args.next() {
+        let mut num = |flag: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("pgvn: {flag} requires a numeric value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = Some(p),
+                None => serve_usage(),
+            },
+            "--workers" => opts.workers = num("--workers") as usize,
+            "--queue" => opts.queue_capacity = num("--queue") as usize,
+            "--max-frame-bytes" => opts.limits.max_frame_bytes = num("--max-frame-bytes") as u32,
+            "--max-budget-passes" => opts.limits.max_passes = num("--max-budget-passes") as u32,
+            "--max-budget-ms" => opts.limits.max_millis = num("--max-budget-ms"),
+            "--max-budget-touches" => opts.limits.max_touches = num("--max-budget-touches"),
+            "--max-rounds" => opts.limits.max_rounds = num("--max-rounds") as usize,
+            "--rounds" => opts.rounds = num("--rounds") as usize,
+            "--config" => {
+                config = match args.next().as_deref() {
+                    Some("full") => GvnConfig::full(),
+                    Some("extended") => GvnConfig::extended(),
+                    Some("click") => GvnConfig::click(),
+                    Some("sccp") => GvnConfig::sccp(),
+                    Some("awz") => GvnConfig::awz(),
+                    Some("basic") => GvnConfig::basic(),
+                    _ => serve_usage(),
+                };
+            }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("optimistic") => Mode::Optimistic,
+                    Some("balanced") => Mode::Balanced,
+                    Some("pessimistic") => Mode::Pessimistic,
+                    _ => serve_usage(),
+                };
+            }
+            "--variant" => {
+                variant = match args.next().as_deref() {
+                    Some("practical") => Variant::Practical,
+                    Some("complete") => Variant::Complete,
+                    _ => serve_usage(),
+                };
+            }
+            "--no-warm" => opts.warm_start = false,
+            "--timings" => opts.timings = true,
+            _ => serve_usage(),
+        }
+    }
+    opts.cfg = config.mode(mode).variant(variant);
+
+    let summary = match &socket {
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            let listener = match std::os::unix::net::UnixListener::bind(path) {
+                Ok(l) => l,
+                Err(e) => return fail_io(format_args!("serve: cannot bind {path}: {e}")),
+            };
+            eprintln!("pgvn serve: listening on {path} ({} worker(s))", opts.workers.max(1));
+            let result = serve_socket(listener, &opts);
+            let _ = std::fs::remove_file(path);
+            match result {
+                Ok(s) => s,
+                Err(e) => return fail_io(format_args!("serve: {e}")),
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_duplex(stdin.lock(), std::io::stdout(), &opts)
+        }
+    };
+    eprintln!(
+        "pgvn serve: {} request(s): {} record(s), {} degraded, {} shed, {} expired, \
+         {} protocol error(s), {} absorbed panic(s), {} escaped panic(s)",
+        summary.requests,
+        summary.records,
+        summary.degraded,
+        summary.shed,
+        summary.expired,
+        summary.protocol_errors,
+        summary.absorbed_panics,
+        summary.escaped_panics
+    );
+    eprintln!("{}", summary.summary_json());
+    if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn serve_load_usage() -> ! {
+    eprintln!(
+        "usage: pgvn serve-load [--clients N] [--routines N] [--workers-curve 1,4]\n\
+         \x20                     [--queue N] [--seed N] [--fault clean|every:N|matrix]\n\
+         \x20                     [--check-batch] [--report <path>] [--no-warm]"
+    );
+    std::process::exit(2);
+}
+
+/// `pgvn serve-load`: spins up an in-process socket server per worker
+/// count in the curve and hammers it with concurrent clients, printing
+/// p50/p99 latency and routines/sec. Exits 1 when any response was
+/// dropped, any record mismatched `batch --jobs 1` (with
+/// `--check-batch`), or the server's isolation contract was violated.
+fn serve_load_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::serve::load::{run_load, FaultMix, LoadOptions};
+    use std::io::Write;
+
+    let mut opts = LoadOptions::default();
+    let mut curve: Vec<usize> = vec![1, 4];
+    let mut report_path: Option<String> = None;
+    while let Some(a) = args.next() {
+        let mut num = |flag: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("pgvn: {flag} requires a numeric value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--clients" => opts.clients = num("--clients") as usize,
+            "--routines" => opts.routines = num("--routines") as usize,
+            "--queue" => opts.serve.queue_capacity = num("--queue") as usize,
+            "--seed" => opts.seed = num("--seed"),
+            "--workers-curve" => {
+                let parsed: Option<Vec<usize>> = args
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(c) if !c.is_empty() => curve = c,
+                    _ => serve_load_usage(),
+                }
+            }
+            "--fault" => {
+                opts.fault = match args.next().as_deref() {
+                    Some("clean") => FaultMix::Clean,
+                    Some("matrix") => FaultMix::Matrix,
+                    Some(s) => match s.strip_prefix("every:").and_then(|n| n.parse().ok()) {
+                        Some(n) => FaultMix::Every(n),
+                        None => serve_load_usage(),
+                    },
+                    None => serve_load_usage(),
+                };
+            }
+            "--check-batch" => opts.check_batch = true,
+            "--no-warm" => opts.serve.warm_start = false,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => serve_load_usage(),
+            },
+            _ => serve_load_usage(),
+        }
+    }
+
+    let mut lines = String::new();
+    let mut all_clean = true;
+    for workers in curve {
+        opts.serve.workers = workers.max(1);
+        let report = match run_load(&opts) {
+            Ok(r) => r,
+            Err(e) => return fail_io(format_args!("serve-load: {e}")),
+        };
+        eprintln!("pgvn serve-load: {}", report.human_line());
+        if report.dropped > 0 {
+            eprintln!("pgvn serve-load: ERROR: {} response(s) dropped", report.dropped);
+        }
+        if report.mismatches > 0 {
+            eprintln!(
+                "pgvn serve-load: ERROR: {} record(s) differ from batch --jobs 1",
+                report.mismatches
+            );
+        }
+        all_clean &= report.is_clean();
+        lines.push_str(&report.to_json());
+        lines.push('\n');
+    }
+    match &report_path {
+        Some(path) => {
+            let written =
+                std::fs::File::create(path).and_then(|mut f| f.write_all(lines.as_bytes()));
+            if let Err(e) = written {
+                return fail_io(format_args!("serve-load: cannot write {path}: {e}"));
+            }
+        }
+        None => print!("{lines}"),
+    }
+    if all_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -747,6 +1000,8 @@ fn main() -> ExitCode {
             Some("fuzz") => return fuzz_main(args),
             Some("batch") => return batch_main(args),
             Some("perf") => return perf_main(args),
+            Some("serve") => return serve_main(args),
+            Some("serve-load") => return serve_load_main(args),
             _ => {}
         }
     }

@@ -26,7 +26,12 @@
 //! - [`perf`] — the pinned-workload benchmark harness behind
 //!   `pgvn perf`: single-thread throughput, batch scaling, per-phase
 //!   timing, telemetry overhead, and the schema-versioned
-//!   `BENCH_*.json` artifact with its regression comparator.
+//!   `BENCH_*.json` artifact with its regression comparator;
+//! - [`serve`] — the long-lived optimization service behind
+//!   `pgvn serve`: length-prefixed framing over stdio or a Unix
+//!   socket, a context-pooled worker pool, clamped per-request
+//!   budgets, bounded admission with explicit shed responses, and the
+//!   `pgvn serve-load` harness (see `docs/SERVE.md`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +54,7 @@
 
 pub mod batch;
 pub mod perf;
+pub mod serve;
 
 pub use pgvn_analysis as analysis;
 pub use pgvn_core as core;

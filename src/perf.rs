@@ -32,7 +32,10 @@ use std::time::Instant;
 
 /// Version of the [`BenchArtifact`] JSON layout. Bump on any
 /// field-layout change; [`compare`] refuses cross-version diffs.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added `batch_scaling_cold` — the same jobs curve with worker
+/// warm-start disabled, quantifying what the pilot routine buys.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Tuning for one perf run.
 #[derive(Clone, Debug)]
@@ -101,8 +104,13 @@ pub struct BenchArtifact {
     pub single_thread_nanos: u64,
     /// Single-thread throughput in routines per second.
     pub single_thread_routines_per_sec: f64,
-    /// The batch-scaling curve, ascending by `jobs`.
+    /// The batch-scaling curve, ascending by `jobs`, with worker
+    /// warm-start enabled (the default batch configuration).
     pub batch_scaling: Vec<JobsPoint>,
+    /// The same curve with warm-start disabled: every worker pays
+    /// first-touch table growth inside the measured window. The gap to
+    /// [`BenchArtifact::batch_scaling`] is the warm-start win.
+    pub batch_scaling_cold: Vec<JobsPoint>,
     /// Per-phase inclusive timing from the instrumented sweep.
     pub phases: Vec<PhaseTime>,
     /// Metrics snapshot from the instrumented sweep.
@@ -242,25 +250,34 @@ pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
         .unwrap_or_default();
     let metrics = reg.snapshot();
 
-    // Pass E: batch scaling across the jobs curve.
+    // Pass E: batch scaling across the jobs curve, once with the
+    // warm-start pilot (the default) and once with cold contexts so
+    // the artifact carries the before/after of the warm-start change.
     let inputs = pinned_inputs(opts);
-    let mut batch_scaling = Vec::new();
-    for &jobs in &opts.jobs_curve {
-        let bopts = BatchOptions { cfg: cfg.clone(), jobs, ..Default::default() };
-        let mut best = u64::MAX;
-        for _ in 0..repeats {
-            let t0 = Instant::now();
-            let report = run_batch(&inputs, &bopts);
-            let nanos = elapsed_nanos(t0);
-            assert!(report.is_clean(), "pinned workload must optimize cleanly");
-            best = best.min(nanos);
-        }
-        batch_scaling.push(JobsPoint {
-            jobs,
-            best_nanos: best,
-            routines_per_sec: routines_per_sec(opts.routines, best),
-        });
-    }
+    let curve = |warm_start: bool| -> Vec<JobsPoint> {
+        opts.jobs_curve
+            .iter()
+            .map(|&jobs| {
+                let bopts =
+                    BatchOptions { cfg: cfg.clone(), jobs, warm_start, ..Default::default() };
+                let mut best = u64::MAX;
+                for _ in 0..repeats {
+                    let t0 = Instant::now();
+                    let report = run_batch(&inputs, &bopts);
+                    let nanos = elapsed_nanos(t0);
+                    assert!(report.is_clean(), "pinned workload must optimize cleanly");
+                    best = best.min(nanos);
+                }
+                JobsPoint {
+                    jobs,
+                    best_nanos: best,
+                    routines_per_sec: routines_per_sec(opts.routines, best),
+                }
+            })
+            .collect()
+    };
+    let batch_scaling = curve(true);
+    let batch_scaling_cold = curve(false);
 
     BenchArtifact {
         schema_version: SCHEMA_VERSION,
@@ -271,6 +288,7 @@ pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
         single_thread_nanos: base_nanos,
         single_thread_routines_per_sec: routines_per_sec(opts.routines, base_nanos),
         batch_scaling,
+        batch_scaling_cold,
         phases,
         metrics,
         overhead_base_nanos: base_nanos,
@@ -293,20 +311,24 @@ impl BenchArtifact {
         single
             .field_u64("best_nanos", self.single_thread_nanos)
             .field_f64("routines_per_sec", self.single_thread_routines_per_sec);
-        let scaling = format!(
-            "[{}]",
-            self.batch_scaling
-                .iter()
-                .map(|p| {
-                    let mut w = JsonWriter::object();
-                    w.field_u64("jobs", p.jobs as u64)
-                        .field_u64("best_nanos", p.best_nanos)
-                        .field_f64("routines_per_sec", p.routines_per_sec);
-                    w.finish()
-                })
-                .collect::<Vec<_>>()
-                .join(",")
-        );
+        let render_curve = |points: &[JobsPoint]| {
+            format!(
+                "[{}]",
+                points
+                    .iter()
+                    .map(|p| {
+                        let mut w = JsonWriter::object();
+                        w.field_u64("jobs", p.jobs as u64)
+                            .field_u64("best_nanos", p.best_nanos)
+                            .field_f64("routines_per_sec", p.routines_per_sec);
+                        w.finish()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        let scaling = render_curve(&self.batch_scaling);
+        let scaling_cold = render_curve(&self.batch_scaling_cold);
         let mut phases = JsonWriter::object();
         for ph in &self.phases {
             let mut inner = JsonWriter::object();
@@ -323,6 +345,7 @@ impl BenchArtifact {
             .field_raw("suite", &suite.finish())
             .field_raw("single_thread", &single.finish())
             .field_raw("batch_scaling", &scaling)
+            .field_raw("batch_scaling_cold", &scaling_cold)
             .field_raw("phases", &phases.finish())
             .field_raw("metrics", &self.metrics.to_json())
             .field_raw("overhead", &overhead.finish());
@@ -347,28 +370,37 @@ impl BenchArtifact {
             cur.as_f64().ok_or_else(|| format!("field {} is not a number", path.join(".")))
         };
         let schema_version = u(&["schema_version"])?;
-        let mut batch_scaling = Vec::new();
-        if let Some(JsonValue::Arr(points)) = v.get("batch_scaling") {
-            for p in points {
-                batch_scaling.push(JobsPoint {
-                    jobs: p
-                        .get("jobs")
-                        .and_then(JsonValue::as_u64)
-                        .ok_or("batch_scaling point missing jobs")?
-                        as usize,
-                    best_nanos: p
-                        .get("best_nanos")
-                        .and_then(JsonValue::as_u64)
-                        .ok_or("batch_scaling point missing best_nanos")?,
-                    routines_per_sec: p
-                        .get("routines_per_sec")
-                        .and_then(JsonValue::as_f64)
-                        .ok_or("batch_scaling point missing routines_per_sec")?,
-                });
+        let curve = |key: &str, required: bool| -> Result<Vec<JobsPoint>, String> {
+            let mut out = Vec::new();
+            match v.get(key) {
+                Some(JsonValue::Arr(points)) => {
+                    for p in points {
+                        out.push(JobsPoint {
+                            jobs: p
+                                .get("jobs")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or_else(|| format!("{key} point missing jobs"))?
+                                as usize,
+                            best_nanos: p
+                                .get("best_nanos")
+                                .and_then(JsonValue::as_u64)
+                                .ok_or_else(|| format!("{key} point missing best_nanos"))?,
+                            routines_per_sec: p
+                                .get("routines_per_sec")
+                                .and_then(JsonValue::as_f64)
+                                .ok_or_else(|| format!("{key} point missing routines_per_sec"))?,
+                        });
+                    }
+                    Ok(out)
+                }
+                None if !required => Ok(out),
+                _ => Err(format!("missing field {key}")),
             }
-        } else {
-            return Err("missing field batch_scaling".to_string());
-        }
+        };
+        let batch_scaling = curve("batch_scaling", true)?;
+        // Absent from pre-v2 artifacts; tolerate so `compare` can still
+        // report the schema mismatch instead of a parse failure.
+        let batch_scaling_cold = curve("batch_scaling_cold", false)?;
         let mut phases = Vec::new();
         if let Some(JsonValue::Obj(map)) = v.get("phases") {
             for (name, entry) in map {
@@ -403,6 +435,7 @@ impl BenchArtifact {
             single_thread_nanos: u(&["single_thread", "best_nanos"])?,
             single_thread_routines_per_sec: f(&["single_thread", "routines_per_sec"])?,
             batch_scaling,
+            batch_scaling_cold,
             phases,
             metrics,
             overhead_base_nanos: u(&["overhead", "base_nanos"])?,
@@ -432,9 +465,15 @@ impl BenchArtifact {
             } else {
                 0.0
             };
+            let cold = self
+                .batch_scaling_cold
+                .iter()
+                .find(|c| c.jobs == p.jobs)
+                .map(|c| format!(", cold {:.1} r/s", c.routines_per_sec))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "  batch --jobs {}: {:.1} routines/s ({:.2} ms, {:.2}x)",
+                "  batch --jobs {}: {:.1} routines/s ({:.2} ms, {:.2}x{cold})",
                 p.jobs,
                 p.routines_per_sec,
                 p.best_nanos as f64 / 1.0e6,
@@ -534,6 +573,16 @@ pub fn compare(old: &BenchArtifact, new: &BenchArtifact, th: &CompareThresholds)
             );
         }
     }
+    for op in &old.batch_scaling_cold {
+        if let Some(np) = new.batch_scaling_cold.iter().find(|p| p.jobs == op.jobs) {
+            check(
+                &format!("batch --jobs {} (cold)", op.jobs),
+                op.routines_per_sec,
+                np.routines_per_sec,
+                &mut regressions,
+            );
+        }
+    }
     if new.telemetry_overhead_pct > th.max_overhead_pct {
         regressions.push(format!(
             "telemetry overhead {:.1}% exceeds the {:.0}% ceiling",
@@ -559,6 +608,7 @@ mod tests {
         assert!(art.total_insts > 0);
         assert!(art.single_thread_routines_per_sec > 0.0);
         assert_eq!(art.batch_scaling.len(), 2);
+        assert_eq!(art.batch_scaling_cold.len(), 2, "cold curve mirrors the warm one");
         assert!(!art.phases.is_empty(), "profiled sweep records phases");
         assert!(
             art.metrics.value(pgvn_telemetry::Metric::DriverRuns) >= 4,

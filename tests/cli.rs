@@ -521,3 +521,133 @@ fn batch_parallel_isolates_injected_faults_deterministically() {
     };
     assert_eq!(run("1"), run("4"), "fault classification must not depend on worker count");
 }
+
+#[test]
+fn serve_stdio_answers_framed_requests_and_drains_on_eof() {
+    let mut child = pgvn()
+        .args(["serve", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin");
+        for payload in [
+            br#"{"id":1,"op":"ping"}"#.as_slice(),
+            br#"{"id":2,"gen_seed":11}"#.as_slice(),
+            br#"{"id":3,"routine":"routine f(a, b) { x = a + b; y = b + a; return x - y; }"}"#
+                .as_slice(),
+        ] {
+            stdin.write_all(&(payload.len() as u32).to_le_bytes()).expect("frame length");
+            stdin.write_all(payload).expect("frame payload");
+        }
+    }
+    drop(child.stdin.take()); // EOF starts the drain
+    let out = child.wait_with_output().expect("completes");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    // Decode the framed responses off stdout.
+    let mut buf = out.stdout.as_slice();
+    let mut replies = Vec::new();
+    while buf.len() >= 4 {
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let payload = std::str::from_utf8(&buf[4..4 + len]).expect("UTF-8 response");
+        replies.push(payload.to_string());
+        buf = &buf[4 + len..];
+    }
+    assert!(buf.is_empty(), "no trailing bytes after the last frame");
+    assert_eq!(replies.len(), 3, "{replies:?}");
+    assert_eq!(replies.iter().filter(|r| r.contains("\"reply\":\"pong\"")).count(), 1);
+    assert_eq!(replies.iter().filter(|r| r.contains("\"reply\":\"record\"")).count(), 2);
+    assert!(stderr.contains("serve_summary"), "{stderr}");
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage() {
+    let out = pgvn().args(["serve", "--sideways"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn serve"));
+    let out = pgvn().args(["serve", "--workers"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2), "a flag missing its value also exits 2");
+}
+
+#[test]
+fn serve_load_smoke_is_clean_and_reports_latency() {
+    let out = pgvn()
+        .args(["serve-load", "--clients", "2", "--routines", "5"])
+        .args(["--workers-curve", "1,2", "--seed", "9", "--check-batch"])
+        .output()
+        .expect("spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one report per workers-curve point: {stdout}");
+    for line in &lines {
+        assert!(line.contains("\"event\":\"serve_load\""), "{line}");
+        assert!(line.contains("\"dropped\":0"), "{line}");
+        assert!(line.contains("\"mismatches\":0"), "{line}");
+        assert!(line.contains("\"p99_nanos\""), "{line}");
+        assert!(line.contains("\"routines_per_sec\""), "{line}");
+    }
+    assert!(stderr.contains("p50"), "{stderr}");
+}
+
+#[test]
+fn serve_load_bad_flags_exit_with_usage() {
+    let out = pgvn().args(["serve-load", "--fault", "sideways"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn serve-load"));
+}
+
+#[test]
+fn serve_socket_mode_serves_and_shuts_down_over_the_wire() {
+    let sock = std::env::temp_dir().join(format!("pgvn-cli-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = pgvn()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .args(["--workers", "1"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    // Wait for the socket to come up.
+    let mut stream = None;
+    for _ in 0..250 {
+        match std::os::unix::net::UnixStream::connect(&sock) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    let mut stream = stream.expect("server socket came up");
+    let mut send = |payload: &[u8]| {
+        stream.write_all(&(payload.len() as u32).to_le_bytes()).expect("frame length");
+        stream.write_all(payload).expect("frame payload");
+    };
+    send(br#"{"id":1,"gen_seed":5,"inject":"panic@eval","inject_sticky":true}"#);
+    send(br#"{"id":2,"op":"shutdown"}"#);
+    let mut responses = Vec::new();
+    loop {
+        use std::io::Read;
+        let mut len = [0u8; 4];
+        match stream.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(_) => break, // server drained and closed
+        }
+        let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut payload).expect("frame payload");
+        responses.push(String::from_utf8(payload).expect("UTF-8 response"));
+    }
+    let out = child.wait().expect("child exits");
+    assert!(out.success(), "serve --socket exits 0 after a protocol shutdown");
+    assert!(!sock.exists(), "socket file is removed on exit");
+    assert!(
+        responses.iter().any(|r| r.contains("\"reply\":\"record\"")),
+        "the injected-panic request was still answered: {responses:?}"
+    );
+    assert!(responses.iter().any(|r| r.contains("\"reply\":\"shutting_down\"")), "{responses:?}");
+}

@@ -142,12 +142,12 @@ fn perf_bad_flags_exit_with_usage() {
 
 #[test]
 fn committed_baseline_parses_at_the_current_schema() {
-    // BENCH_6.json at the repo root is the CI baseline; a schema change
+    // BENCH_8.json at the repo root is the CI baseline; a schema change
     // without regenerating it should fail here, not in CI.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_6.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_6.json committed at repo root");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_8.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_8.json committed at repo root");
     let art = BenchArtifact::from_json(text.trim()).expect("baseline parses");
-    assert_eq!(art.schema_version, SCHEMA_VERSION, "regenerate BENCH_6.json");
+    assert_eq!(art.schema_version, SCHEMA_VERSION, "regenerate BENCH_8.json");
     assert!(art.single_thread_routines_per_sec > 0.0);
     assert!(!art.batch_scaling.is_empty());
 }
