@@ -285,6 +285,49 @@ impl Function {
         self.append(b, InstKind::Phi(Vec::new()))
     }
 
+    /// Inserts a non-terminator instruction immediately before `b`'s
+    /// terminator (at the end when `b` is unterminated) and returns its
+    /// result value. Used by transforms that materialize computations in
+    /// already-complete predecessor blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a terminator or a φ (φs must join the block's
+    /// φ prefix — use [`Function::insert_phi`]).
+    pub fn insert_before_terminator(&mut self, b: Block, kind: InstKind) -> Value {
+        assert!(!kind.is_terminator(), "insert requires a non-terminator; got {kind:?}");
+        assert!(!kind.is_phi(), "insert_before_terminator cannot place a φ");
+        let inst = self.insts.push(InstData { kind, block: b, result: None });
+        let value = self.values.push(ValueData { def: inst });
+        self.insts[inst].result = Some(value);
+        let pos = self.blocks[b]
+            .insts
+            .iter()
+            .position(|&i| self.insts[i].kind.is_terminator())
+            .unwrap_or(self.blocks[b].insts.len());
+        self.blocks[b].insts.insert(pos, inst);
+        value
+    }
+
+    /// Inserts an empty φ-function at the end of `b`'s φ prefix and
+    /// returns its result value. Unlike [`Function::append_phi`] this
+    /// works on blocks that already contain non-φ instructions (the PRE
+    /// pass adds φ-merges to complete blocks); arguments are filled in
+    /// later with [`Function::set_phi_args`].
+    pub fn insert_phi(&mut self, b: Block) -> Value {
+        let kind = InstKind::Phi(Vec::new());
+        let inst = self.insts.push(InstData { kind, block: b, result: None });
+        let value = self.values.push(ValueData { def: inst });
+        self.insts[inst].result = Some(value);
+        let pos = self.blocks[b]
+            .insts
+            .iter()
+            .position(|&i| !self.insts[i].kind.is_phi())
+            .unwrap_or(self.blocks[b].insts.len());
+        self.blocks[b].insts.insert(pos, inst);
+        value
+    }
+
     /// Sets the arguments of the φ defining `phi_value`, one per incoming
     /// edge of its block, in predecessor order.
     ///

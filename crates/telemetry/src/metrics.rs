@@ -90,6 +90,20 @@ pub enum Metric {
     ViCacheMisses,
     /// Epoch bumps invalidating the whole value-inference memo.
     ViCacheEvictions,
+    /// Pass-manager pass executions. Depends on pipeline length and
+    /// retry history, reported by `pgvn perf` — timing domain.
+    PassRuns,
+    /// CFG-analysis requests answered from the pass-manager cache.
+    /// Depends on which passes ran before — timing domain.
+    AnalysisCacheHits,
+    /// CFG-analysis requests that recomputed (cold or invalidated).
+    AnalysisCacheMisses,
+    /// Expressions inserted into predecessors by the `pre` pass.
+    PreInserted,
+    /// Partially redundant expressions replaced by φ-merges (`pre`).
+    PreEliminated,
+    /// Dead instructions removed by the `cleanup` pass.
+    CleanupRemoved,
     /// Committed degradation-ladder rung index, per routine (occupancy).
     LadderRung,
     /// Ladder rungs that failed and were rolled back.
@@ -153,7 +167,7 @@ pub enum Metric {
 }
 
 /// All metrics, in catalog (and snapshot) order.
-pub const METRICS: [Metric; 38] = [
+pub const METRICS: [Metric; 44] = [
     Metric::DriverRuns,
     Metric::DriverPasses,
     Metric::DriverTouches,
@@ -167,6 +181,12 @@ pub const METRICS: [Metric; 38] = [
     Metric::ViCacheHits,
     Metric::ViCacheMisses,
     Metric::ViCacheEvictions,
+    Metric::PassRuns,
+    Metric::AnalysisCacheHits,
+    Metric::AnalysisCacheMisses,
+    Metric::PreInserted,
+    Metric::PreEliminated,
+    Metric::CleanupRemoved,
     Metric::LadderRung,
     Metric::LadderRollbacks,
     Metric::ContextPrepares,
@@ -211,6 +231,12 @@ impl Metric {
             Metric::ViCacheHits => "vi_cache_hits",
             Metric::ViCacheMisses => "vi_cache_misses",
             Metric::ViCacheEvictions => "vi_cache_evictions",
+            Metric::PassRuns => "pass_runs",
+            Metric::AnalysisCacheHits => "analysis_cache_hits",
+            Metric::AnalysisCacheMisses => "analysis_cache_misses",
+            Metric::PreInserted => "pre_inserted",
+            Metric::PreEliminated => "pre_eliminated",
+            Metric::CleanupRemoved => "cleanup_removed",
             Metric::LadderRung => "ladder_rung",
             Metric::LadderRollbacks => "ladder_rollbacks",
             Metric::ContextPrepares => "context_prepares",
@@ -251,6 +277,12 @@ impl Metric {
             | Metric::ViCacheHits
             | Metric::ViCacheMisses
             | Metric::ViCacheEvictions
+            | Metric::PassRuns
+            | Metric::AnalysisCacheHits
+            | Metric::AnalysisCacheMisses
+            | Metric::PreInserted
+            | Metric::PreEliminated
+            | Metric::CleanupRemoved
             | Metric::LadderRollbacks
             | Metric::ContextPrepares
             | Metric::ContextPrepareReuses
@@ -295,6 +327,9 @@ impl Metric {
             Metric::InternerTableGrowths => "rehashes",
             Metric::ViCacheHits | Metric::ViCacheMisses => "queries",
             Metric::ViCacheEvictions => "epochs",
+            Metric::PassRuns => "passes",
+            Metric::AnalysisCacheHits | Metric::AnalysisCacheMisses => "requests",
+            Metric::PreInserted | Metric::PreEliminated | Metric::CleanupRemoved => "insts",
             Metric::LadderRung => "rung",
             Metric::LadderRollbacks => "rollbacks",
             Metric::ContextPrepares | Metric::ContextPrepareReuses => "prepares",
@@ -327,7 +362,10 @@ impl Metric {
     pub fn stable(self) -> bool {
         !matches!(
             self,
-            Metric::InternerTableGrowths
+            Metric::PassRuns
+                | Metric::AnalysisCacheHits
+                | Metric::AnalysisCacheMisses
+                | Metric::InternerTableGrowths
                 | Metric::ContextPrepareReuses
                 | Metric::ContextValueSlots
                 | Metric::BatchRoutines

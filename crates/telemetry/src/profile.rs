@@ -43,10 +43,14 @@ pub enum Phase {
     CopyForward,
     /// Dead-code elimination (rewrite).
     Dce,
+    /// Partial redundancy elimination (the `pre` pass).
+    Pre,
+    /// Copy-forward + DCE cleanup (the `cleanup` pass).
+    Cleanup,
 }
 
 /// All phases, in report order.
-pub const PHASES: [Phase; 15] = [
+pub const PHASES: [Phase; 17] = [
     Phase::Cfg,
     Phase::DomTree,
     Phase::SsaBuild,
@@ -62,6 +66,8 @@ pub const PHASES: [Phase; 15] = [
     Phase::RedundancyElim,
     Phase::CopyForward,
     Phase::Dce,
+    Phase::Pre,
+    Phase::Cleanup,
 ];
 
 impl Phase {
@@ -83,6 +89,8 @@ impl Phase {
             Phase::RedundancyElim => "redundancy_elim",
             Phase::CopyForward => "copy_forward",
             Phase::Dce => "dce",
+            Phase::Pre => "pre",
+            Phase::Cleanup => "cleanup",
         }
     }
 

@@ -29,13 +29,17 @@
 #![forbid(unsafe_code)]
 
 pub mod dce;
+pub mod pass;
 pub mod pipeline;
 pub mod resilient;
 pub mod rewrite;
 
 pub use dce::eliminate_dead_code;
+pub use pass::pre::{eliminate_partial_redundancies, PreStats};
+pub use pass::{AnalysisManager, CfgAnalyses, Pass, PassContext, PassId, PassManager, PassSpec};
 pub use pipeline::{OptimizeReport, Pipeline};
 pub use resilient::{ResilienceReport, ResilientOutcome, RungFailure, RungId};
 pub use rewrite::{
-    eliminate_redundancies, eliminate_unreachable, forward_copies, propagate_constants, UceReport,
+    eliminate_redundancies, eliminate_redundancies_with, eliminate_unreachable, forward_copies,
+    propagate_constants, UceReport,
 };

@@ -1,0 +1,167 @@
+//! The [`AnalysisManager`]: lazily computed, epoch-invalidated CFG
+//! analyses shared by the passes of one pipeline run.
+//!
+//! Every rewrite that consults dominance used to recompute RPO and the
+//! dominator tree from scratch. The manager computes them once per
+//! *CFG shape*: a cached result is keyed by a modification epoch that
+//! passes bump (via [`AnalysisManager::invalidate`]) exactly when they
+//! change blocks or edges. Back-to-back passes that only rewrite
+//! instructions — constant propagation, redundancy elimination, PRE,
+//! cleanup — therefore share one dominator tree.
+//!
+//! The manager lives for one `Pipeline::optimize*` call (or one ladder
+//! rung); it never outlives the function borrow discipline it depends
+//! on, and recomputation is always byte-for-byte identical to a fresh
+//! compute because [`Rpo`] and [`DomTree`] are deterministic.
+
+use pgvn_analysis::{DomTree, LoopInfo, Rpo};
+use pgvn_ir::Function;
+
+/// The CFG-shaped analyses cached together: reverse postorder (which
+/// also answers structural reachability) and the dominator tree built
+/// from it.
+#[derive(Clone, Debug)]
+pub struct CfgAnalyses {
+    /// Reverse postorder: block order, numbering, structural
+    /// reachability, back edges.
+    pub rpo: Rpo,
+    /// The dominator tree computed from `rpo`.
+    pub domtree: DomTree,
+}
+
+/// Lazily computes and caches [`CfgAnalyses`] (and, on demand, loop
+/// nesting) keyed by a function-modification epoch.
+#[derive(Debug, Default)]
+pub struct AnalysisManager {
+    epoch: u64,
+    cached: Option<(u64, CfgAnalyses)>,
+    loops: Option<(u64, LoopInfo)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisManager {
+    /// A fresh manager: nothing cached, epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current modification epoch. Bumped by
+    /// [`AnalysisManager::invalidate`]; cached results from earlier
+    /// epochs are recomputed on next use.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares the CFG modified: every cached analysis is stale and
+    /// will be recomputed on next request. Instruction-level edits that
+    /// leave blocks and edges alone do **not** require invalidation.
+    pub fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The RPO + dominator tree for `func`, recomputing only when the
+    /// epoch moved since they were last built.
+    pub fn cfg(&mut self, func: &Function) -> &CfgAnalyses {
+        if matches!(&self.cached, Some((e, _)) if *e == self.epoch) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let rpo = Rpo::compute(func);
+            let domtree = DomTree::compute(func, &rpo);
+            self.cached = Some((self.epoch, CfgAnalyses { rpo, domtree }));
+        }
+        &self.cached.as_ref().expect("cfg analyses just ensured").1
+    }
+
+    /// The loop forest for `func`, computed from the cached CFG
+    /// analyses and cached under the same epoch.
+    pub fn loops(&mut self, func: &Function) -> &LoopInfo {
+        if matches!(&self.loops, Some((e, _)) if *e == self.epoch) {
+            self.hits += 1;
+        } else {
+            self.cfg(func);
+            let (_, an) = self.cached.as_ref().expect("cfg analyses just ensured");
+            let loops = LoopInfo::compute(func, &an.rpo, &an.domtree);
+            self.loops = Some((self.epoch, loops));
+        }
+        &self.loops.as_ref().expect("loops just ensured").1
+    }
+
+    /// Requests answered from cache since construction (or the last
+    /// [`AnalysisManager::take_cache_counts`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that recomputed (cold or invalidated).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drains the hit/miss counters (the pass manager reports them into
+    /// the metrics sink once per pipeline run).
+    pub fn take_cache_counts(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.hits), std::mem::take(&mut self.misses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgvn_lang::compile;
+    use pgvn_ssa::SsaStyle;
+
+    fn sample() -> Function {
+        compile(
+            "routine f(a, b) { x = a + b; if (x > 0) { y = x * 2; return y; } return x; }",
+            SsaStyle::Pruned,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let f = sample();
+        let mut am = AnalysisManager::new();
+        assert_eq!((am.hits(), am.misses()), (0, 0));
+        let entry = f.entry();
+        assert!(am.cfg(&f).domtree.is_reachable(entry));
+        assert_eq!((am.hits(), am.misses()), (0, 1));
+        am.cfg(&f);
+        am.cfg(&f);
+        assert_eq!((am.hits(), am.misses()), (2, 1));
+    }
+
+    #[test]
+    fn invalidation_forces_recompute() {
+        let f = sample();
+        let mut am = AnalysisManager::new();
+        am.cfg(&f);
+        am.invalidate();
+        assert_eq!(am.epoch(), 1);
+        am.cfg(&f);
+        assert_eq!((am.hits(), am.misses()), (0, 2));
+        let (h, m) = am.take_cache_counts();
+        assert_eq!((h, m), (0, 2));
+        assert_eq!((am.hits(), am.misses()), (0, 0));
+    }
+
+    #[test]
+    fn loops_share_the_epoch() {
+        let f = compile(
+            "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+            SsaStyle::Pruned,
+        )
+        .unwrap();
+        let mut am = AnalysisManager::new();
+        am.loops(&f);
+        let after_first = (am.hits(), am.misses());
+        assert_eq!(after_first.1, 1, "one cfg recompute feeds the loop forest");
+        am.loops(&f);
+        assert_eq!(am.misses(), 1, "second request is a pure hit");
+        am.invalidate();
+        am.loops(&f);
+        assert_eq!(am.misses(), 2, "invalidation rebuilds cfg analyses for loops too");
+    }
+}

@@ -1,0 +1,537 @@
+//! The pass-manager layer: named passes over a shared [`PassContext`].
+//!
+//! The paper positions PGVN as one pass inside a production optimizer
+//! (HP's HLO); this module supplies the surrounding machinery. A
+//! [`Pass`] is a named transform run against a [`PassContext`] — the
+//! reusable GVN context, the configuration, a lazily cached
+//! [`AnalysisManager`], telemetry, and the accumulating
+//! [`OptimizeReport`]. A [`PassManager`] executes a [`PassSpec`]
+//! (parsed from a string like `"gvn,pre,gvn"`) and keeps the analysis
+//! cache honest: a pass that does not declare
+//! [`Pass::preserves_analyses`] invalidates the cache after it runs.
+//!
+//! Three passes are registered by default:
+//!
+//! * `gvn` — one full GVN + rewrite round, byte-identical to one round
+//!   of the pre-pass-manager [`crate::Pipeline`] (the default pipeline
+//!   is `gvn` repeated `rounds` times);
+//! * `pre` — partial redundancy elimination over GVN value numbers
+//!   (see [`pre`]);
+//! * `cleanup` — copy forwarding plus dead-code elimination, for
+//!   stripping the copies and dead computations the other passes leave
+//!   behind.
+//!
+//! See `docs/PASSES.md` for the spec grammar and the pass/analysis
+//! contracts.
+
+pub mod analyses;
+pub mod pre;
+
+pub use analyses::{AnalysisManager, CfgAnalyses};
+
+use crate::dce::eliminate_dead_code;
+use crate::pipeline::OptimizeReport;
+use crate::rewrite::{
+    eliminate_redundancies_with, eliminate_unreachable, forward_copies, propagate_constants,
+};
+use pgvn_core::{
+    run_traced_in_context, try_run_traced_in_context, BudgetKind, FaultKind, FaultPlan, GvnConfig,
+    GvnContext, GvnError, GvnResults,
+};
+use pgvn_ir::Function;
+use pgvn_telemetry::{Metric, Phase, Telemetry};
+use std::fmt;
+use std::time::Instant;
+
+/// A pass registered with the [`PassManager`], identified by its spec
+/// name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PassId {
+    /// One GVN analysis + rewrite round (`gvn`).
+    Gvn,
+    /// Partial redundancy elimination over GVN value numbers (`pre`).
+    Pre,
+    /// Copy forwarding + dead-code elimination (`cleanup`).
+    Cleanup,
+}
+
+impl PassId {
+    /// Every pass in registration order.
+    pub const ALL: [PassId; 3] = [PassId::Gvn, PassId::Pre, PassId::Cleanup];
+
+    /// The stable name used in pipeline specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::Gvn => "gvn",
+            PassId::Pre => "pre",
+            PassId::Cleanup => "cleanup",
+        }
+    }
+
+    /// Resolves a spec element to a pass, if the name is known.
+    pub fn parse(name: &str) -> Option<PassId> {
+        Self::ALL.into_iter().find(|id| id.name() == name)
+    }
+}
+
+impl fmt::Display for PassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered pass sequence, parsed from a comma-separated spec string.
+///
+/// The grammar is `pass ("," pass)*` with no empty elements; unknown
+/// names, empty elements (doubled or trailing commas), and the empty
+/// spec are rejected with a one-line message suitable for CLI
+/// diagnostics and serve `error` responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassSpec {
+    passes: Vec<PassId>,
+}
+
+impl PassSpec {
+    /// Parses `spec` (e.g. `"gvn,pre,gvn"`).
+    pub fn parse(spec: &str) -> Result<PassSpec, String> {
+        let trimmed = spec.trim();
+        if trimmed.is_empty() {
+            return Err("empty pipeline spec (expected e.g. `gvn,pre,gvn`)".to_string());
+        }
+        let mut passes = Vec::new();
+        for element in trimmed.split(',') {
+            let element = element.trim();
+            if element.is_empty() {
+                return Err(format!("empty pass element in pipeline spec `{trimmed}`"));
+            }
+            match PassId::parse(element) {
+                Some(id) => passes.push(id),
+                None => {
+                    return Err(format!(
+                        "unknown pass `{element}` (known passes: gvn, pre, cleanup)"
+                    ))
+                }
+            }
+        }
+        Ok(PassSpec { passes })
+    }
+
+    /// The classic pipeline: the `gvn` pass repeated `rounds` times
+    /// (clamped to at least one). This is what a [`crate::Pipeline`]
+    /// without an explicit spec runs.
+    pub fn gvn_rounds(rounds: usize) -> PassSpec {
+        PassSpec { passes: vec![PassId::Gvn; rounds.max(1)] }
+    }
+
+    /// The passes in execution order.
+    pub fn passes(&self) -> &[PassId] {
+        &self.passes
+    }
+
+    /// `true` when the spec contains `pass`.
+    pub fn contains(&self, pass: PassId) -> bool {
+        self.passes.contains(&pass)
+    }
+}
+
+impl fmt::Display for PassSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, id) in self.passes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            f.write_str(id.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for PassSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PassSpec::parse(s)
+    }
+}
+
+/// Rewrite-site fault-injection state, shared by every pass of one
+/// ladder rung (the countdown spans rounds, exactly as the
+/// pre-pass-manager ladder behaved).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RewriteFault {
+    plan: FaultPlan,
+    countdown: u64,
+}
+
+/// Everything a [`Pass`] runs against: the reusable analysis context,
+/// the GVN configuration, the lazily cached CFG analyses, telemetry,
+/// and the report the pipeline accumulates.
+pub struct PassContext<'a, 'tel> {
+    /// The reusable GVN context (arena reuse across runs).
+    pub gvn: &'a mut GvnContext,
+    /// The GVN configuration analysis runs use.
+    pub cfg: &'a GvnConfig,
+    /// Lazily computed, epoch-invalidated CFG analyses.
+    pub analyses: &'a mut AnalysisManager,
+    /// Trace/metrics/profiling sink.
+    pub tel: &'a mut Telemetry<'tel>,
+    /// The report accumulated across the whole pipeline.
+    pub report: &'a mut OptimizeReport,
+    /// Whether rewrite stages record profiler phases. The traced
+    /// pipeline entry points do; ladder rungs never have (phase timings
+    /// there would double-count across rolled-back rungs).
+    record_phases: bool,
+    /// Whether analysis failures surface as `Err` (ladder rungs) or
+    /// panic through [`run_traced_in_context`] (the infallible entry
+    /// points).
+    fallible: bool,
+    /// Rewrite-site fault injection, when this is a faulted rung.
+    fault: Option<RewriteFault>,
+}
+
+impl<'a, 'tel> PassContext<'a, 'tel> {
+    /// A context for the infallible pipeline entry points: phases are
+    /// recorded, analysis failures panic, no fault injection.
+    pub fn new(
+        gvn: &'a mut GvnContext,
+        cfg: &'a GvnConfig,
+        analyses: &'a mut AnalysisManager,
+        tel: &'a mut Telemetry<'tel>,
+        report: &'a mut OptimizeReport,
+    ) -> Self {
+        PassContext {
+            gvn,
+            cfg,
+            analyses,
+            tel,
+            report,
+            record_phases: true,
+            fallible: false,
+            fault: None,
+        }
+    }
+
+    /// A context for one degradation-ladder rung: failures are `Err`,
+    /// rewrite phases are not recorded, and a rewrite-site fault plan
+    /// (if any) is armed with its countdown.
+    pub(crate) fn for_rung(
+        gvn: &'a mut GvnContext,
+        cfg: &'a GvnConfig,
+        analyses: &'a mut AnalysisManager,
+        tel: &'a mut Telemetry<'tel>,
+        report: &'a mut OptimizeReport,
+        rewrite_fault: Option<FaultPlan>,
+    ) -> Self {
+        let fault = rewrite_fault.map(|plan| RewriteFault { plan, countdown: plan.countdown() });
+        PassContext { gvn, cfg, analyses, tel, report, record_phases: false, fallible: true, fault }
+    }
+
+    /// Runs the GVN analysis on `func`, accumulating `gvn_nanos` and
+    /// recording the run's stats into the report (last run wins, as the
+    /// pipeline has always reported).
+    pub fn run_gvn(&mut self, func: &Function) -> Result<GvnResults, GvnError> {
+        let g0 = Instant::now();
+        let results = if self.fallible {
+            try_run_traced_in_context(self.gvn, func, self.cfg, self.tel)?
+        } else {
+            run_traced_in_context(self.gvn, func, self.cfg, self.tel)
+        };
+        self.report.gvn_nanos += g0.elapsed().as_nanos();
+        self.report.gvn_stats = results.stats;
+        Ok(results)
+    }
+
+    /// Starts a phase timer when this context records rewrite phases.
+    pub fn phase_clock(&self) -> Option<Instant> {
+        if self.record_phases {
+            self.tel.clock()
+        } else {
+            None
+        }
+    }
+
+    /// Closes a phase span opened by [`PassContext::phase_clock`].
+    pub fn record_phase(&mut self, phase: Phase, start: Option<Instant>) {
+        if self.record_phases {
+            self.tel.record_phase(phase, start);
+        }
+    }
+
+    /// Fires the rewrite-site fault when its countdown has elapsed
+    /// (between analysis and rewrites, like the pre-pass-manager rung
+    /// body). Verifier-reject plans are handled at the rung boundary
+    /// instead.
+    pub(crate) fn inject_rewrite_fault(&mut self) -> Result<(), GvnError> {
+        let Some(f) = self.fault.as_mut() else { return Ok(()) };
+        if f.plan.kind == FaultKind::VerifierReject {
+            return Ok(());
+        }
+        if f.countdown > 0 {
+            f.countdown -= 1;
+            return Ok(());
+        }
+        match f.plan.kind {
+            FaultKind::Panic => panic!("pgvn injected fault: panic at site rewrite"),
+            FaultKind::Invariant => Err(GvnError::invariant("injected fault at site rewrite")),
+            FaultKind::Budget => Err(GvnError::BudgetExceeded {
+                budget: BudgetKind::Work,
+                limit: 0,
+                spent: self.report.gvn_stats.touches,
+            }),
+            FaultKind::VerifierReject => unreachable!(),
+        }
+    }
+}
+
+/// A named transform over one function.
+pub trait Pass {
+    /// The stable name, as written in pipeline specs.
+    fn name(&self) -> &'static str;
+
+    /// Whether the pass keeps the cached CFG analyses valid — either by
+    /// leaving the CFG (blocks and edges) untouched, or by calling
+    /// [`AnalysisManager::invalidate`] exactly when it does change it.
+    /// A pass answering `false` forces recomputation after every run
+    /// (the safe default for new passes).
+    fn preserves_analyses(&self) -> bool {
+        false
+    }
+
+    /// Runs the pass on `func`. `Err` aborts the pipeline (inside the
+    /// resilient ladder that means the rung rolls back).
+    fn run(&self, pcx: &mut PassContext<'_, '_>, func: &mut Function) -> Result<(), GvnError>;
+}
+
+/// One GVN analysis + rewrite round: UCE, constant propagation,
+/// redundancy elimination (against the cached dominator tree), copy
+/// forwarding, DCE. The default pipeline is this pass repeated.
+pub struct GvnPass;
+
+impl Pass for GvnPass {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    /// The CFG only changes when UCE folds a branch or removes a block,
+    /// and the pass invalidates precisely then.
+    fn preserves_analyses(&self) -> bool {
+        true
+    }
+
+    fn run(&self, pcx: &mut PassContext<'_, '_>, func: &mut Function) -> Result<(), GvnError> {
+        let results = pcx.run_gvn(func)?;
+        pcx.inject_rewrite_fault()?;
+        let p0 = pcx.phase_clock();
+        let uce = eliminate_unreachable(func, &results);
+        pcx.record_phase(Phase::Uce, p0);
+        pcx.report.uce.branches_folded += uce.branches_folded;
+        pcx.report.uce.blocks_removed += uce.blocks_removed;
+        pcx.report.uce.phis_simplified += uce.phis_simplified;
+        if uce.branches_folded > 0 || uce.blocks_removed > 0 {
+            pcx.analyses.invalidate();
+        }
+        let p0 = pcx.phase_clock();
+        pcx.report.constants_propagated += propagate_constants(func, &results);
+        pcx.record_phase(Phase::ConstantProp, p0);
+        let p0 = pcx.phase_clock();
+        let eliminated = {
+            let an = pcx.analyses.cfg(func);
+            eliminate_redundancies_with(func, &results, &an.domtree)
+        };
+        pcx.report.redundancies_eliminated += eliminated;
+        pcx.record_phase(Phase::RedundancyElim, p0);
+        let p0 = pcx.phase_clock();
+        pcx.report.copies_forwarded += forward_copies(func);
+        pcx.record_phase(Phase::CopyForward, p0);
+        let p0 = pcx.phase_clock();
+        pcx.report.dead_removed += eliminate_dead_code(func);
+        pcx.record_phase(Phase::Dce, p0);
+        Ok(())
+    }
+}
+
+/// Partial redundancy elimination over GVN value numbers: runs a fresh
+/// analysis, then φ-merges expressions that are available on some (or
+/// all) predecessors of a merge block, inserting clones into the
+/// lacking predecessors when that is non-speculative. See [`pre`].
+pub struct PrePass;
+
+impl Pass for PrePass {
+    fn name(&self) -> &'static str {
+        "pre"
+    }
+
+    /// PRE inserts and rewrites instructions but never touches blocks
+    /// or edges.
+    fn preserves_analyses(&self) -> bool {
+        true
+    }
+
+    fn run(&self, pcx: &mut PassContext<'_, '_>, func: &mut Function) -> Result<(), GvnError> {
+        let results = pcx.run_gvn(func)?;
+        let p0 = pcx.phase_clock();
+        let stats = {
+            let an = pcx.analyses.cfg(func);
+            pre::eliminate_partial_redundancies(func, &results, &an.rpo, &an.domtree)
+        };
+        pcx.record_phase(Phase::Pre, p0);
+        pcx.report.pre_inserted += stats.inserted;
+        pcx.report.pre_eliminated += stats.eliminated;
+        pcx.tel.count(Metric::PreInserted, stats.inserted as u64);
+        pcx.tel.count(Metric::PreEliminated, stats.eliminated as u64);
+        Ok(())
+    }
+}
+
+/// Copy forwarding plus dead-code elimination: strips the copies and
+/// dead computations `gvn` and `pre` leave behind. Like every pass it
+/// runs under the ladder's verifier gate.
+pub struct CleanupPass;
+
+impl Pass for CleanupPass {
+    fn name(&self) -> &'static str {
+        "cleanup"
+    }
+
+    /// Removing instructions never changes the CFG.
+    fn preserves_analyses(&self) -> bool {
+        true
+    }
+
+    fn run(&self, pcx: &mut PassContext<'_, '_>, func: &mut Function) -> Result<(), GvnError> {
+        let p0 = pcx.phase_clock();
+        let forwarded = forward_copies(func);
+        let removed = eliminate_dead_code(func);
+        pcx.record_phase(Phase::Cleanup, p0);
+        pcx.report.copies_forwarded += forwarded;
+        pcx.report.cleanup_removed += removed;
+        pcx.tel.count(Metric::CleanupRemoved, removed as u64);
+        Ok(())
+    }
+}
+
+/// The pass registry and sequencer: resolves each [`PassId`] of a
+/// [`PassSpec`] to its registered [`Pass`] and runs them in order,
+/// invalidating the analysis cache after any pass that does not declare
+/// preservation.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// A manager with the three default passes (`gvn`, `pre`,
+    /// `cleanup`) registered.
+    pub fn new() -> Self {
+        let mut pm = PassManager { passes: Vec::new() };
+        pm.register(Box::new(GvnPass));
+        pm.register(Box::new(PrePass));
+        pm.register(Box::new(CleanupPass));
+        pm
+    }
+
+    /// Registers a pass. A pass with the same name replaces the earlier
+    /// registration.
+    pub fn register(&mut self, pass: Box<dyn Pass>) {
+        if let Some(existing) = self.passes.iter_mut().find(|p| p.name() == pass.name()) {
+            *existing = pass;
+        } else {
+            self.passes.push(pass);
+        }
+    }
+
+    /// The registered pass for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was unregistered (never the case for the default
+    /// manager, which registers every [`PassId`]).
+    pub fn get(&self, id: PassId) -> &dyn Pass {
+        self.passes
+            .iter()
+            .find(|p| p.name() == id.name())
+            .map(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("pass `{id}` is not registered"))
+    }
+
+    /// Runs `spec`'s passes in order against `pcx`, then reports the
+    /// analysis-cache hit/miss totals into the metrics sink.
+    pub fn run(
+        &self,
+        spec: &PassSpec,
+        pcx: &mut PassContext<'_, '_>,
+        func: &mut Function,
+    ) -> Result<(), GvnError> {
+        let outcome = self.run_inner(spec, pcx, func);
+        let (hits, misses) = pcx.analyses.take_cache_counts();
+        pcx.tel.count(Metric::AnalysisCacheHits, hits);
+        pcx.tel.count(Metric::AnalysisCacheMisses, misses);
+        outcome
+    }
+
+    fn run_inner(
+        &self,
+        spec: &PassSpec,
+        pcx: &mut PassContext<'_, '_>,
+        func: &mut Function,
+    ) -> Result<(), GvnError> {
+        for &id in spec.passes() {
+            let pass = self.get(id);
+            pcx.tel.count(Metric::PassRuns, 1);
+            pass.run(pcx, func)?;
+            if !pass.preserves_analyses() {
+                pcx.analyses.invalidate();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let spec = PassSpec::parse("gvn,pre,gvn").unwrap();
+        assert_eq!(spec.passes(), &[PassId::Gvn, PassId::Pre, PassId::Gvn]);
+        assert_eq!(spec.to_string(), "gvn,pre,gvn");
+        assert_eq!("gvn , cleanup".parse::<PassSpec>().unwrap().to_string(), "gvn,cleanup");
+        assert!(spec.contains(PassId::Pre));
+        assert!(!spec.contains(PassId::Cleanup));
+    }
+
+    #[test]
+    fn spec_rejects_malformed_inputs() {
+        let unknown = PassSpec::parse("gvn,licm").unwrap_err();
+        assert!(unknown.contains("unknown pass `licm`"), "{unknown}");
+        let trailing = PassSpec::parse("gvn,pre,").unwrap_err();
+        assert!(trailing.contains("empty pass element"), "{trailing}");
+        let doubled = PassSpec::parse("gvn,,pre").unwrap_err();
+        assert!(doubled.contains("empty pass element"), "{doubled}");
+        let empty = PassSpec::parse("  ").unwrap_err();
+        assert!(empty.contains("empty pipeline spec"), "{empty}");
+    }
+
+    #[test]
+    fn gvn_rounds_clamps_to_one() {
+        assert_eq!(PassSpec::gvn_rounds(0).passes(), &[PassId::Gvn]);
+        assert_eq!(PassSpec::gvn_rounds(3).passes().len(), 3);
+    }
+
+    #[test]
+    fn manager_registers_default_passes() {
+        let pm = PassManager::new();
+        for id in PassId::ALL {
+            assert_eq!(pm.get(id).name(), id.name());
+        }
+        assert!(pm.get(PassId::Gvn).preserves_analyses());
+        assert!(pm.get(PassId::Pre).preserves_analyses());
+        assert!(pm.get(PassId::Cleanup).preserves_analyses());
+    }
+}

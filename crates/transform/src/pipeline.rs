@@ -10,13 +10,11 @@
 //! time share deviates from the paper's <4% because our host pipeline is
 //! far thinner than HLO.
 
-use crate::dce::eliminate_dead_code;
-use crate::rewrite::{
-    eliminate_redundancies, eliminate_unreachable, forward_copies, propagate_constants, UceReport,
-};
-use pgvn_core::{run_traced_in_context, GvnConfig, GvnContext, GvnStats};
+use crate::pass::{AnalysisManager, PassContext, PassManager, PassSpec};
+use crate::rewrite::UceReport;
+use pgvn_core::{GvnConfig, GvnContext, GvnStats};
 use pgvn_ir::Function;
-use pgvn_telemetry::{Phase, Telemetry};
+use pgvn_telemetry::Telemetry;
 
 /// Aggregate report of one [`Pipeline::optimize`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -33,6 +31,12 @@ pub struct OptimizeReport {
     pub copies_forwarded: usize,
     /// Dead instructions removed.
     pub dead_removed: usize,
+    /// Expression clones the `pre` pass inserted into predecessors.
+    pub pre_inserted: usize,
+    /// Merge-point computations the `pre` pass replaced with φ-merges.
+    pub pre_eliminated: usize,
+    /// Instructions the `cleanup` pass removed.
+    pub cleanup_removed: usize,
     /// Time spent inside the GVN analysis, in nanoseconds.
     pub gvn_nanos: u128,
     /// Total pipeline time, in nanoseconds.
@@ -44,24 +48,40 @@ pub struct OptimizeReport {
 pub struct Pipeline {
     pub(crate) cfg: GvnConfig,
     pub(crate) rounds: usize,
+    pub(crate) spec: Option<PassSpec>,
 }
 
 impl Pipeline {
     /// Creates a single-round pipeline with the given GVN configuration.
     pub fn new(cfg: GvnConfig) -> Self {
-        Pipeline { cfg, rounds: 1 }
+        Pipeline { cfg, rounds: 1, spec: None }
     }
 
     /// Sets how many GVN+rewrite rounds to run (each round can expose
-    /// further opportunities for the next).
+    /// further opportunities for the next). Ignored when an explicit
+    /// pass spec is set via [`Pipeline::passes`].
     pub fn rounds(mut self, rounds: usize) -> Self {
         self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Sets an explicit pass sequence (e.g. parsed from
+    /// `--passes gvn,pre,gvn`), overriding the default
+    /// rounds-of-`gvn` pipeline.
+    pub fn passes(mut self, spec: PassSpec) -> Self {
+        self.spec = Some(spec);
         self
     }
 
     /// The GVN configuration in use.
     pub fn config(&self) -> &GvnConfig {
         &self.cfg
+    }
+
+    /// The effective pass sequence: the explicit spec when one was set,
+    /// otherwise `gvn` repeated [`Pipeline::rounds`] times.
+    pub fn spec(&self) -> PassSpec {
+        self.spec.clone().unwrap_or_else(|| PassSpec::gvn_rounds(self.rounds))
     }
 
     /// Optimizes `func` in place.
@@ -93,30 +113,10 @@ impl Pipeline {
     ) -> OptimizeReport {
         let t0 = std::time::Instant::now();
         let mut report = OptimizeReport::default();
-        for _ in 0..self.rounds {
-            let g0 = std::time::Instant::now();
-            let results = run_traced_in_context(ctx, func, &self.cfg, tel);
-            report.gvn_nanos += g0.elapsed().as_nanos();
-            report.gvn_stats = results.stats;
-            let p0 = tel.clock();
-            let uce = eliminate_unreachable(func, &results);
-            tel.record_phase(Phase::Uce, p0);
-            report.uce.branches_folded += uce.branches_folded;
-            report.uce.blocks_removed += uce.blocks_removed;
-            report.uce.phis_simplified += uce.phis_simplified;
-            let p0 = tel.clock();
-            report.constants_propagated += propagate_constants(func, &results);
-            tel.record_phase(Phase::ConstantProp, p0);
-            let p0 = tel.clock();
-            report.redundancies_eliminated += eliminate_redundancies(func, &results);
-            tel.record_phase(Phase::RedundancyElim, p0);
-            let p0 = tel.clock();
-            report.copies_forwarded += forward_copies(func);
-            tel.record_phase(Phase::CopyForward, p0);
-            let p0 = tel.clock();
-            report.dead_removed += eliminate_dead_code(func);
-            tel.record_phase(Phase::Dce, p0);
-        }
+        let spec = self.spec();
+        let mut analyses = AnalysisManager::new();
+        let mut pcx = PassContext::new(ctx, &self.cfg, &mut analyses, tel, &mut report);
+        PassManager::new().run(&spec, &mut pcx, func).expect("infallible pipeline pass failed");
         report.total_nanos = t0.elapsed().as_nanos();
         report
     }

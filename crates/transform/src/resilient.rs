@@ -13,11 +13,9 @@
 //! down. One poisoned routine therefore can never sink a batch — the
 //! worst case is the routine ships unoptimized. See `docs/ROBUSTNESS.md`.
 
+use crate::pass::{AnalysisManager, PassContext, PassManager};
 use crate::pipeline::{OptimizeReport, Pipeline};
-use pgvn_core::{
-    try_run_traced_in_context, BudgetKind, FaultKind, FaultSite, GvnConfig, GvnContext, GvnError,
-    Mode, Variant,
-};
+use pgvn_core::{FaultKind, FaultSite, GvnConfig, GvnContext, GvnError, Mode, Variant};
 use pgvn_ir::{verify, Function};
 use pgvn_telemetry::json::JsonWriter;
 use pgvn_telemetry::{Metric, Telemetry, TraceEvent};
@@ -361,52 +359,11 @@ impl Pipeline {
         let t0 = std::time::Instant::now();
         let mut report = OptimizeReport::default();
         let rewrite_fault = cfg.fault_plan.filter(|p| p.site == FaultSite::Rewrite);
-        let mut rewrite_countdown = rewrite_fault.map(|p| p.countdown());
-        for _ in 0..self.rounds {
-            let g0 = std::time::Instant::now();
-            let results = try_run_traced_in_context(ctx, func, cfg, tel)?;
-            report.gvn_nanos += g0.elapsed().as_nanos();
-            report.gvn_stats = results.stats;
-            if let Some(plan) = rewrite_fault {
-                if plan.kind != FaultKind::VerifierReject {
-                    let fire = match rewrite_countdown.as_mut() {
-                        Some(n) if *n > 0 => {
-                            *n -= 1;
-                            false
-                        }
-                        Some(_) => true,
-                        None => false,
-                    };
-                    if fire {
-                        match plan.kind {
-                            FaultKind::Panic => {
-                                panic!("pgvn injected fault: panic at site rewrite")
-                            }
-                            FaultKind::Invariant => {
-                                return Err(GvnError::invariant("injected fault at site rewrite"))
-                            }
-                            FaultKind::Budget => {
-                                return Err(GvnError::BudgetExceeded {
-                                    budget: BudgetKind::Work,
-                                    limit: 0,
-                                    spent: report.gvn_stats.touches,
-                                })
-                            }
-                            FaultKind::VerifierReject => unreachable!(),
-                        }
-                    }
-                }
-            }
-            let uce = crate::rewrite::eliminate_unreachable(func, &results);
-            report.uce.branches_folded += uce.branches_folded;
-            report.uce.blocks_removed += uce.blocks_removed;
-            report.uce.phis_simplified += uce.phis_simplified;
-            report.constants_propagated += crate::rewrite::propagate_constants(func, &results);
-            report.redundancies_eliminated +=
-                crate::rewrite::eliminate_redundancies(func, &results);
-            report.copies_forwarded += crate::rewrite::forward_copies(func);
-            report.dead_removed += crate::dce::eliminate_dead_code(func);
-        }
+        let spec = self.spec();
+        let mut analyses = AnalysisManager::new();
+        let mut pcx =
+            PassContext::for_rung(ctx, cfg, &mut analyses, tel, &mut report, rewrite_fault);
+        PassManager::new().run(&spec, &mut pcx, func)?;
         // An injected verifier-rejection: make the rewritten function
         // ill-formed in a way `pgvn_ir::verify` is guaranteed to catch
         // (a live block with no terminator), proving the gate below
@@ -500,7 +457,7 @@ mod tests {
         tel.attach_metrics(&reg);
         let rep = Pipeline::new(GvnConfig::full().fault_plan(Some(plan)))
             .optimize_resilient_traced(&mut f, &mut tel);
-        drop(tel);
+        let _ = tel;
         assert_eq!(rep.outcome, ResilientOutcome::Optimized(RungId::Practical));
         let rollbacks: Vec<_> = sink
             .events()

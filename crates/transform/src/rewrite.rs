@@ -116,6 +116,19 @@ pub fn propagate_constants(func: &mut Function, results: &GvnResults) -> usize {
 pub fn eliminate_redundancies(func: &mut Function, results: &GvnResults) -> usize {
     let rpo = Rpo::compute(func);
     let domtree = DomTree::compute(func, &rpo);
+    eliminate_redundancies_with(func, results, &domtree)
+}
+
+/// [`eliminate_redundancies`] against a caller-supplied dominator tree
+/// (the pass manager's [`crate::pass::AnalysisManager`] cache). The tree
+/// must be current for `func`'s CFG; instruction-level edits since it
+/// was computed are fine because this rewrite consults block dominance
+/// only.
+pub fn eliminate_redundancies_with(
+    func: &mut Function,
+    results: &GvnResults,
+    domtree: &DomTree,
+) -> usize {
     let mut n = 0;
     for b in func.blocks().collect::<Vec<_>>() {
         for inst in func.block_insts(b).to_vec() {

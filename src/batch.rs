@@ -59,6 +59,10 @@ pub struct BatchOptions {
     pub cfg: GvnConfig,
     /// Pipeline rounds per routine.
     pub rounds: usize,
+    /// Explicit pass sequence (`--passes gvn,pre,gvn`). `None` runs the
+    /// default pipeline: `gvn` repeated `rounds` times, byte-identical
+    /// to the pre-pass-manager engine.
+    pub passes: Option<PassSpec>,
     /// Worker threads. Clamped to at least one; values above the input
     /// count just leave the extra workers idle.
     pub jobs: usize,
@@ -78,6 +82,7 @@ impl Default for BatchOptions {
         BatchOptions {
             cfg: GvnConfig::full(),
             rounds: 2,
+            passes: None,
             jobs: 1,
             timings: false,
             warm_start: true,
@@ -282,7 +287,10 @@ pub(crate) fn process_one(
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 let mut tel = Telemetry::off();
                 tel.attach_metrics(reg);
-                let pipeline = Pipeline::new(opts.cfg.clone()).rounds(opts.rounds);
+                let mut pipeline = Pipeline::new(opts.cfg.clone()).rounds(opts.rounds);
+                if let Some(spec) = &opts.passes {
+                    pipeline = pipeline.passes(spec.clone());
+                }
                 let rep = pipeline.optimize_resilient_traced_with(ctx, &mut f, &mut tel);
                 (rep, f.num_insts())
             }));

@@ -10,6 +10,7 @@
 //!   --variant practical|complete                   (default: practical)
 //!   --ssa     minimal|semi-pruned|pruned           (default: pruned)
 //!   --dense                                        disable sparseness
+//!   --passes  gvn,pre,gvn                          explicit pass pipeline
 //!   --emit    ir|analysis|optimized|all            (default: optimized)
 //!   --run     a,b,c                                execute with arguments
 //!   --stats                                        print analysis counters
@@ -48,6 +49,7 @@
 //!   --limit N                                      stop after N routines
 //!   --config/--mode/--variant                      as for single-routine mode
 //!   --rounds N                                     pipeline rounds (default: 2)
+//!   --passes gvn,pre,gvn                           explicit pass pipeline
 //!   --budget-passes/--budget-ms/--budget-touches   per-routine budgets
 //!   --inject kind@site [--inject-seed N] [--inject-sticky]
 //!   --report <path>                                per-routine JSONL report
@@ -64,7 +66,7 @@
 //!   --max-frame-bytes N                            frame payload ceiling
 //!   --max-budget-passes/-ms/-touches N             per-request budget ceilings
 //!   --max-rounds N                                 pipeline rounds ceiling
-//!   --config/--mode/--variant/--rounds             base configuration
+//!   --config/--mode/--variant/--rounds/--passes    base configuration
 //!   --no-warm                                      skip the worker warm-start pilot
 //!   --timings                                      wall_nanos in records (non-deterministic)
 //!
@@ -76,6 +78,7 @@
 //!   --workers-curve 1,4                            server pool sizes to sweep
 //!   --queue N / --seed N                           server queue bound / corpus seed
 //!   --fault clean|every:N|matrix                   fault-injected traffic mix
+//!   --passes gvn,pre,gvn                           server-default pass pipeline
 //!   --check-batch                                  verify records against batch --jobs 1
 //!   --report <path>                                JSONL report (default: stdout)
 //!
@@ -103,9 +106,26 @@ fn fail_io(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::from(EXIT_USAGE)
 }
 
+/// Parses a `--passes` argument, exiting 2 with a one-line diagnostic
+/// on a missing or malformed spec (shared by every subcommand).
+fn parse_passes_arg(spec: Option<String>) -> PassSpec {
+    let Some(spec) = spec else {
+        eprintln!("pgvn: --passes requires a pass list (e.g. gvn,pre,gvn)");
+        std::process::exit(2);
+    };
+    match PassSpec::parse(&spec) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("pgvn: --passes: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 struct Options {
     path: String,
     config: GvnConfig,
+    passes: Option<PassSpec>,
     style: SsaStyle,
     emit: Vec<String>,
     run_args: Option<Vec<i64>>,
@@ -121,7 +141,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgvn <file|-> [--config full|extended|click|sccp|awz|basic]\n\
          \x20           [--mode optimistic|balanced|pessimistic] [--variant practical|complete]\n\
-         \x20           [--ssa minimal|semi-pruned|pruned] [--dense]\n\
+         \x20           [--ssa minimal|semi-pruned|pruned] [--dense] [--passes gvn,pre,gvn]\n\
          \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]\n\
          \x20           [--trace] [--trace-json <path>] [--profile] [--stats-json]\n\
          \x20           [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
@@ -209,6 +229,7 @@ fn parse_options() -> Options {
     let mut trace_json = None;
     let mut profile = false;
     let mut stats_json = false;
+    let mut passes = None;
     let mut res = ResilienceFlags::default();
     while let Some(a) = args.next() {
         match res.consume(a.as_str(), &mut args) {
@@ -220,6 +241,7 @@ fn parse_options() -> Options {
             }
         }
         match a.as_str() {
+            "--passes" => passes = Some(parse_passes_arg(args.next())),
             "--config" => {
                 config = match args.next().as_deref() {
                     Some("full") => GvnConfig::full(),
@@ -288,6 +310,7 @@ fn parse_options() -> Options {
     Options {
         path,
         config,
+        passes,
         style,
         emit,
         run_args,
@@ -457,7 +480,7 @@ fn batch_usage() -> ! {
          \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
          \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
          \x20                [--report <path>] [--jobs N] [--stats-json <path>] [--timings]\n\
-         \x20                [--no-warm]"
+         \x20                [--no-warm] [--passes gvn,pre,gvn]"
     );
     std::process::exit(2);
 }
@@ -483,6 +506,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     let mut jobs: usize = 1;
     let mut timings = false;
     let mut warm_start = true;
+    let mut passes: Option<PassSpec> = None;
     let mut res = ResilienceFlags::default();
     let mut report_path: Option<String> = None;
     let mut stats_path: Option<String> = None;
@@ -556,6 +580,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
             },
             "--timings" => timings = true,
             "--no-warm" => warm_start = false,
+            "--passes" => passes = Some(parse_passes_arg(args.next())),
             _ => batch_usage(),
         }
     }
@@ -604,7 +629,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     // with the fuzz campaigns and `pgvn serve`, so nesting composes).
     let batch = {
         let _hook = pgvn::oracle::silence_panic_hook();
-        run_batch(&inputs, &BatchOptions { cfg, rounds, jobs, timings, warm_start })
+        run_batch(&inputs, &BatchOptions { cfg, rounds, passes, jobs, timings, warm_start })
     };
 
     // Records come back in input order whatever the worker count, so
@@ -664,7 +689,7 @@ fn serve_usage() -> ! {
          \x20                [--config full|extended|click|sccp|awz|basic]\n\
          \x20                [--mode optimistic|balanced|pessimistic]\n\
          \x20                [--variant practical|complete] [--rounds N]\n\
-         \x20                [--no-warm] [--timings]"
+         \x20                [--passes gvn,pre,gvn] [--no-warm] [--timings]"
     );
     std::process::exit(2);
 }
@@ -730,6 +755,7 @@ fn serve_main(mut args: std::env::Args) -> ExitCode {
             }
             "--no-warm" => opts.warm_start = false,
             "--timings" => opts.timings = true,
+            "--passes" => opts.passes = Some(parse_passes_arg(args.next())),
             _ => serve_usage(),
         }
     }
@@ -779,7 +805,8 @@ fn serve_load_usage() -> ! {
     eprintln!(
         "usage: pgvn serve-load [--clients N] [--routines N] [--workers-curve 1,4]\n\
          \x20                     [--queue N] [--seed N] [--fault clean|every:N|matrix]\n\
-         \x20                     [--check-batch] [--report <path>] [--no-warm]"
+         \x20                     [--check-batch] [--report <path>] [--no-warm]\n\
+         \x20                     [--passes gvn,pre,gvn]"
     );
     std::process::exit(2);
 }
@@ -831,6 +858,7 @@ fn serve_load_main(mut args: std::env::Args) -> ExitCode {
             }
             "--check-batch" => opts.check_batch = true,
             "--no-warm" => opts.serve.warm_start = false,
+            "--passes" => opts.serve.passes = Some(parse_passes_arg(args.next())),
             "--report" => match args.next() {
                 Some(p) => report_path = Some(p),
                 None => serve_load_usage(),
@@ -1094,9 +1122,11 @@ fn main() -> ExitCode {
     // Every optimization goes through the degradation ladder: budgets,
     // panic isolation, verifier gating, identity fallback.
     let mut optimized = func.clone();
-    let resilience = Pipeline::new(opts.res.apply(opts.config.clone()))
-        .rounds(2)
-        .optimize_resilient_traced(&mut optimized, &mut tel);
+    let mut pipeline = Pipeline::new(opts.res.apply(opts.config.clone())).rounds(2);
+    if let Some(spec) = &opts.passes {
+        pipeline = pipeline.passes(spec.clone());
+    }
+    let resilience = pipeline.optimize_resilient_traced(&mut optimized, &mut tel);
     tel.flush();
     let report = &resilience.report;
     if !resilience.is_usable() {

@@ -11,7 +11,8 @@
 //! - [`ssa`] — SSA construction (minimal / semi-pruned / pruned);
 //! - [`lang`] — the source language used to express the paper's examples;
 //! - [`core`] — the paper's unified sparse GVN algorithm;
-//! - [`transform`] — GVN-driven optimizations and the pipeline;
+//! - [`transform`] — GVN-driven optimizations, PRE, and the
+//!   pass-manager pipeline (see `docs/PASSES.md`);
 //! - [`telemetry`] — structured trace events, sinks and phase timers
 //!   (see `docs/OBSERVABILITY.md`);
 //! - [`workload`] — the synthetic SPEC CINT2000 stand-in suite used by
@@ -73,5 +74,5 @@ pub mod prelude {
     pub use pgvn_ir::{Function, HashedOpaques, Interpreter};
     pub use pgvn_lang::compile;
     pub use pgvn_ssa::SsaStyle;
-    pub use pgvn_transform::Pipeline;
+    pub use pgvn_transform::{PassSpec, Pipeline};
 }

@@ -14,7 +14,12 @@
 //!    [`Telemetry`] (NullSink tracing + metrics) against the untraced
 //!    baseline;
 //! 4. **Per-phase timing and metrics** — one instrumented sweep with the
-//!    [`Profiler`] and a [`MetricsRegistry`] attached.
+//!    [`Profiler`] and a [`MetricsRegistry`] attached;
+//! 5. **Pipeline comparison** — the pinned pass pipelines (`gvn` vs
+//!    `gvn,pre,gvn`, see `docs/PASSES.md`) over the same suite, each
+//!    with wall time, a per-pass phase breakdown, and the redundancy
+//!    counters (`redundancies_eliminated`, `pre_inserted`,
+//!    `pre_eliminated`) that quantify what PRE buys over plain GVN.
 //!
 //! The result is a [`BenchArtifact`]: a schema-versioned JSON document
 //! (`BENCH_*.json`, committed at the repo root as the CI baseline) that
@@ -35,7 +40,16 @@ use std::time::Instant;
 ///
 /// v2 added `batch_scaling_cold` — the same jobs curve with worker
 /// warm-start disabled, quantifying what the pilot routine buys.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `pipelines` — redundancy-elimination and per-pass timing
+/// profiles for the pinned pass pipelines (`gvn` vs `gvn,pre,gvn`).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// The pass pipelines every perf run profiles against each other. The
+/// first entry is the plain-GVN reference; [`compare`] requires each
+/// later entry to eliminate strictly more redundant computations than
+/// the first on the pinned workload.
+pub const PINNED_PIPELINES: [&str; 2] = ["gvn", "gvn,pre,gvn"];
 
 /// Tuning for one perf run.
 #[derive(Clone, Debug)]
@@ -87,6 +101,34 @@ pub struct PhaseTime {
     pub spans: u64,
 }
 
+/// Redundancy-elimination and timing profile of one pass pipeline over
+/// the pinned suite (see [`PINNED_PIPELINES`] and `docs/PASSES.md`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelinePoint {
+    /// The pipeline spec string, e.g. `"gvn,pre,gvn"`.
+    pub spec: String,
+    /// Best-of-repeats wall time for the whole suite under this spec.
+    pub best_nanos: u64,
+    /// Routines per second at that wall time.
+    pub routines_per_sec: f64,
+    /// Dominance-based redundancy eliminations across the suite.
+    pub redundancies_eliminated: u64,
+    /// Computations PRE cloned into predecessors.
+    pub pre_inserted: u64,
+    /// Partially redundant computations PRE replaced with a φ.
+    pub pre_eliminated: u64,
+    /// Per-pass inclusive timing from this spec's instrumented sweep.
+    pub phases: Vec<PhaseTime>,
+}
+
+impl PipelinePoint {
+    /// Total redundant computations removed: dominance-based GVN
+    /// elimination plus PRE's φ replacements.
+    pub fn eliminated_total(&self) -> u64 {
+        self.redundancies_eliminated + self.pre_eliminated
+    }
+}
+
 /// The schema-versioned result of one perf run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchArtifact {
@@ -113,6 +155,8 @@ pub struct BenchArtifact {
     pub batch_scaling_cold: Vec<JobsPoint>,
     /// Per-phase inclusive timing from the instrumented sweep.
     pub phases: Vec<PhaseTime>,
+    /// Pipeline comparison points, in [`PINNED_PIPELINES`] order.
+    pub pipelines: Vec<PipelinePoint>,
     /// Metrics snapshot from the instrumented sweep.
     pub metrics: MetricsSnapshot,
     /// Best-of-repeats wall time of the untraced baseline loop.
@@ -140,6 +184,24 @@ impl Default for CompareThresholds {
 
 fn elapsed_nanos(t0: Instant) -> u64 {
     u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Collects the non-empty phase timings out of a profiled telemetry,
+/// in canonical [`PHASES`] order.
+fn phase_times(tel: &Telemetry<'_>) -> Vec<PhaseTime> {
+    tel.profiler()
+        .map(|p| {
+            PHASES
+                .iter()
+                .filter(|&&ph| p.spans(ph) > 0)
+                .map(|&ph| PhaseTime {
+                    name: ph.name().to_string(),
+                    nanos: p.nanos(ph),
+                    spans: p.spans(ph),
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn routines_per_sec(routines: u64, nanos: u64) -> f64 {
@@ -234,20 +296,7 @@ pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
     for f in &funcs {
         pgvn_core::run_traced_in_context(&mut ctx, f, &cfg, &mut tel);
     }
-    let phases: Vec<PhaseTime> = tel
-        .profiler()
-        .map(|p| {
-            PHASES
-                .iter()
-                .filter(|&&ph| p.spans(ph) > 0)
-                .map(|&ph| PhaseTime {
-                    name: ph.name().to_string(),
-                    nanos: p.nanos(ph),
-                    spans: p.spans(ph),
-                })
-                .collect()
-        })
-        .unwrap_or_default();
+    let phases = phase_times(&tel);
     let metrics = reg.snapshot();
 
     // Pass E: batch scaling across the jobs curve, once with the
@@ -279,6 +328,48 @@ pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
     let batch_scaling = curve(true);
     let batch_scaling_cold = curve(false);
 
+    // Pass F: the pinned pipeline comparison. Each spec gets timed
+    // repetitions over fresh clones (pipelines mutate the function),
+    // then one profiled sweep for the per-pass phase breakdown and the
+    // elimination counters. `gvn` is the reference; the PRE pipeline's
+    // counters show what partial-redundancy elimination adds.
+    let pipelines: Vec<PipelinePoint> = PINNED_PIPELINES
+        .iter()
+        .map(|&spec_text| {
+            let spec: PassSpec = spec_text.parse().expect("pinned pipeline spec parses");
+            let pipeline = Pipeline::new(cfg.clone()).passes(spec);
+            let mut best = u64::MAX;
+            for _ in 0..repeats {
+                let mut clones = funcs.clone();
+                let t0 = Instant::now();
+                for f in &mut clones {
+                    pipeline.optimize_with(&mut ctx, f);
+                }
+                best = best.min(elapsed_nanos(t0));
+            }
+            let mut sink = NullSink;
+            let mut tel = Telemetry::with_sink(&mut sink);
+            tel.enable_profiling();
+            let (mut eliminated, mut inserted, mut pre_gone) = (0u64, 0u64, 0u64);
+            for f in &funcs {
+                let mut f = f.clone();
+                let rep = pipeline.optimize_traced_with(&mut ctx, &mut f, &mut tel);
+                eliminated += rep.redundancies_eliminated as u64;
+                inserted += rep.pre_inserted as u64;
+                pre_gone += rep.pre_eliminated as u64;
+            }
+            PipelinePoint {
+                spec: spec_text.to_string(),
+                best_nanos: best,
+                routines_per_sec: routines_per_sec(opts.routines, best),
+                redundancies_eliminated: eliminated,
+                pre_inserted: inserted,
+                pre_eliminated: pre_gone,
+                phases: phase_times(&tel),
+            }
+        })
+        .collect();
+
     BenchArtifact {
         schema_version: SCHEMA_VERSION,
         seed: opts.seed,
@@ -290,6 +381,7 @@ pub fn run_suite(opts: &PerfOptions) -> BenchArtifact {
         batch_scaling,
         batch_scaling_cold,
         phases,
+        pipelines,
         metrics,
         overhead_base_nanos: base_nanos,
         overhead_instrumented_nanos: instr_nanos,
@@ -329,12 +421,33 @@ impl BenchArtifact {
         };
         let scaling = render_curve(&self.batch_scaling);
         let scaling_cold = render_curve(&self.batch_scaling_cold);
-        let mut phases = JsonWriter::object();
-        for ph in &self.phases {
-            let mut inner = JsonWriter::object();
-            inner.field_u64("nanos", ph.nanos).field_u64("spans", ph.spans);
-            phases.field_raw(&ph.name, &inner.finish());
-        }
+        let render_phases = |times: &[PhaseTime]| {
+            let mut phases = JsonWriter::object();
+            for ph in times {
+                let mut inner = JsonWriter::object();
+                inner.field_u64("nanos", ph.nanos).field_u64("spans", ph.spans);
+                phases.field_raw(&ph.name, &inner.finish());
+            }
+            phases.finish()
+        };
+        let pipelines = format!(
+            "[{}]",
+            self.pipelines
+                .iter()
+                .map(|p| {
+                    let mut w = JsonWriter::object();
+                    w.field_str("spec", &p.spec)
+                        .field_u64("best_nanos", p.best_nanos)
+                        .field_f64("routines_per_sec", p.routines_per_sec)
+                        .field_u64("redundancies_eliminated", p.redundancies_eliminated)
+                        .field_u64("pre_inserted", p.pre_inserted)
+                        .field_u64("pre_eliminated", p.pre_eliminated)
+                        .field_raw("phases", &render_phases(&p.phases));
+                    w.finish()
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         let mut overhead = JsonWriter::object();
         overhead
             .field_u64("base_nanos", self.overhead_base_nanos)
@@ -346,7 +459,8 @@ impl BenchArtifact {
             .field_raw("single_thread", &single.finish())
             .field_raw("batch_scaling", &scaling)
             .field_raw("batch_scaling_cold", &scaling_cold)
-            .field_raw("phases", &phases.finish())
+            .field_raw("phases", &render_phases(&self.phases))
+            .field_raw("pipelines", &pipelines)
             .field_raw("metrics", &self.metrics.to_json())
             .field_raw("overhead", &overhead.finish());
         w.finish()
@@ -401,27 +515,59 @@ impl BenchArtifact {
         // Absent from pre-v2 artifacts; tolerate so `compare` can still
         // report the schema mismatch instead of a parse failure.
         let batch_scaling_cold = curve("batch_scaling_cold", false)?;
-        let mut phases = Vec::new();
-        if let Some(JsonValue::Obj(map)) = v.get("phases") {
-            for (name, entry) in map {
-                phases.push(PhaseTime {
-                    name: name.clone(),
-                    nanos: entry
-                        .get("nanos")
+        let parse_phases = |entry: Option<&JsonValue>| -> Result<Vec<PhaseTime>, String> {
+            let mut phases = Vec::new();
+            if let Some(JsonValue::Obj(map)) = entry {
+                for (name, entry) in map {
+                    phases.push(PhaseTime {
+                        name: name.clone(),
+                        nanos: entry
+                            .get("nanos")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("phase entry missing nanos")?,
+                        spans: entry
+                            .get("spans")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or("phase entry missing spans")?,
+                    });
+                }
+            }
+            // The object reader is alphabetical; restore canonical
+            // report order (unknown phase names from future schemas
+            // sort last).
+            phases.sort_by_key(|p| {
+                PHASES.iter().position(|ph| ph.name() == p.name).unwrap_or(PHASES.len())
+            });
+            Ok(phases)
+        };
+        let phases = parse_phases(v.get("phases"))?;
+        // Absent from pre-v3 artifacts; tolerated for the same reason
+        // as `batch_scaling_cold` above.
+        let mut pipelines = Vec::new();
+        if let Some(JsonValue::Arr(points)) = v.get("pipelines") {
+            for p in points {
+                let pu = |key: &str| -> Result<u64, String> {
+                    p.get(key)
                         .and_then(JsonValue::as_u64)
-                        .ok_or("phase entry missing nanos")?,
-                    spans: entry
-                        .get("spans")
-                        .and_then(JsonValue::as_u64)
-                        .ok_or("phase entry missing spans")?,
+                        .ok_or_else(|| format!("pipeline point missing {key}"))
+                };
+                pipelines.push(PipelinePoint {
+                    spec: match p.get("spec") {
+                        Some(JsonValue::Str(s)) => s.clone(),
+                        _ => return Err("pipeline point missing spec".to_string()),
+                    },
+                    best_nanos: pu("best_nanos")?,
+                    routines_per_sec: p
+                        .get("routines_per_sec")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("pipeline point missing routines_per_sec")?,
+                    redundancies_eliminated: pu("redundancies_eliminated")?,
+                    pre_inserted: pu("pre_inserted")?,
+                    pre_eliminated: pu("pre_eliminated")?,
+                    phases: parse_phases(p.get("phases"))?,
                 });
             }
         }
-        // The object reader is alphabetical; restore canonical report
-        // order (unknown phase names from future schemas sort last).
-        phases.sort_by_key(|p| {
-            PHASES.iter().position(|ph| ph.name() == p.name).unwrap_or(PHASES.len())
-        });
         let metrics = match v.get("metrics") {
             Some(m) => MetricsSnapshot::from_json(&render(m))?,
             None => MetricsSnapshot::default(),
@@ -437,6 +583,7 @@ impl BenchArtifact {
             batch_scaling,
             batch_scaling_cold,
             phases,
+            pipelines,
             metrics,
             overhead_base_nanos: u(&["overhead", "base_nanos"])?,
             overhead_instrumented_nanos: u(&["overhead", "instrumented_nanos"])?,
@@ -478,6 +625,17 @@ impl BenchArtifact {
                 p.routines_per_sec,
                 p.best_nanos as f64 / 1.0e6,
                 speedup
+            );
+        }
+        for p in &self.pipelines {
+            let _ = writeln!(
+                out,
+                "  pipeline {:<12} {:>6} eliminated ({} by pre, {} inserted), {:.1} routines/s",
+                p.spec,
+                p.eliminated_total(),
+                p.pre_eliminated,
+                p.pre_inserted,
+                p.routines_per_sec
             );
         }
         let _ = writeln!(out, "  telemetry overhead: {:.1}%", self.telemetry_overhead_pct);
@@ -583,6 +741,35 @@ pub fn compare(old: &BenchArtifact, new: &BenchArtifact, th: &CompareThresholds)
             );
         }
     }
+    for op in &old.pipelines {
+        if let Some(np) = new.pipelines.iter().find(|p| p.spec == op.spec) {
+            check(
+                &format!("pipeline {}", op.spec),
+                op.routines_per_sec,
+                np.routines_per_sec,
+                &mut regressions,
+            );
+        }
+    }
+    // PRE must keep paying for itself: every pipeline beyond the plain
+    // `gvn` reference has to eliminate strictly more redundant
+    // computations than the reference on the same suite. This is a
+    // self-consistency gate on the new run, not a baseline diff, so it
+    // holds across suite sizes (quick vs full).
+    if let Some(reference) = new.pipelines.first() {
+        for p in &new.pipelines[1..] {
+            if p.eliminated_total() <= reference.eliminated_total() {
+                regressions.push(format!(
+                    "pipeline {}: {} eliminations is not strictly more than \
+                     the {} reference's {}",
+                    p.spec,
+                    p.eliminated_total(),
+                    reference.spec,
+                    reference.eliminated_total()
+                ));
+            }
+        }
+    }
     if new.telemetry_overhead_pct > th.max_overhead_pct {
         regressions.push(format!(
             "telemetry overhead {:.1}% exceeds the {:.0}% ceiling",
@@ -596,20 +783,31 @@ pub fn compare(old: &BenchArtifact, new: &BenchArtifact, th: &CompareThresholds)
 mod tests {
     use super::*;
 
+    // Small enough to keep the test fast, large enough that the pinned
+    // suite contains at least one PRE opportunity (the strict-improvement
+    // gate in `compare` needs the PRE pipeline to beat plain gvn).
     fn tiny() -> PerfOptions {
-        PerfOptions { seed: 2002, routines: 4, repeats: 1, jobs_curve: vec![1, 2] }
+        PerfOptions { seed: 2002, routines: 8, repeats: 1, jobs_curve: vec![1, 2] }
     }
 
     #[test]
     fn suite_runs_and_artifact_round_trips() {
         let art = run_suite(&tiny());
         assert_eq!(art.schema_version, SCHEMA_VERSION);
-        assert_eq!(art.routines, 4);
+        assert_eq!(art.routines, 8);
         assert!(art.total_insts > 0);
         assert!(art.single_thread_routines_per_sec > 0.0);
         assert_eq!(art.batch_scaling.len(), 2);
         assert_eq!(art.batch_scaling_cold.len(), 2, "cold curve mirrors the warm one");
         assert!(!art.phases.is_empty(), "profiled sweep records phases");
+        assert_eq!(art.pipelines.len(), PINNED_PIPELINES.len());
+        assert_eq!(art.pipelines[0].spec, "gvn");
+        assert_eq!(art.pipelines[1].spec, "gvn,pre,gvn");
+        assert!(
+            art.pipelines.iter().all(|p| !p.phases.is_empty()),
+            "every pipeline point carries its per-pass breakdown"
+        );
+        assert_eq!(art.pipelines[0].pre_eliminated, 0, "the plain-gvn reference never runs pre");
         assert!(
             art.metrics.value(pgvn_telemetry::Metric::DriverRuns) >= 4,
             "instrumented sweep records a run per routine"
@@ -637,6 +835,19 @@ mod tests {
         assert!(
             regressions.len() >= 3,
             "single-thread, scaling points and overhead all flagged: {regressions:?}"
+        );
+
+        // A PRE pipeline that stops out-eliminating the reference is a
+        // regression even when throughput is fine.
+        let mut stale = art.clone();
+        if let Some(p) = stale.pipelines.last_mut() {
+            p.redundancies_eliminated = 0;
+            p.pre_eliminated = 0;
+        }
+        let regressions = compare(&art, &stale, &th);
+        assert!(
+            regressions.iter().any(|r| r.contains("not strictly more")),
+            "lost PRE eliminations flagged: {regressions:?}"
         );
 
         // The reverse direction (got faster) stays clean.

@@ -44,6 +44,7 @@ use engine::{ConnOut, Engine, Job};
 use pgvn_core::{ContextCapacities, GvnBudget, GvnConfig, Mode, Variant};
 use pgvn_telemetry::json::JsonWriter;
 use pgvn_telemetry::{Metric, MetricsSnapshot};
+use pgvn_transform::PassSpec;
 use proto::{
     error_response, parse_request, pong_response, read_frame, shed_response,
     shutting_down_response, FrameError, FrameEvent, Request, RequestOp,
@@ -120,6 +121,9 @@ pub struct ServeOptions {
     /// Default pipeline rounds (requests may lower it; the ceiling in
     /// [`ServeLimits::max_rounds`] caps both).
     pub rounds: usize,
+    /// Default pass sequence for requests that don't override it.
+    /// `None` runs the classic rounds-of-`gvn` pipeline.
+    pub passes: Option<PassSpec>,
     /// Splice scheduling-dependent `wall_nanos` into records
     /// (forfeits serve≡batch byte identity, exactly as in batch).
     pub timings: bool,
@@ -136,6 +140,7 @@ impl Default for ServeOptions {
             limits: ServeLimits::default(),
             cfg: GvnConfig::full(),
             rounds: 2,
+            passes: None,
             timings: false,
             warm_start: true,
         }
@@ -251,7 +256,11 @@ pub fn resolve_request_options(req: &Request, opts: &ServeOptions) -> Result<Bat
     };
     cfg = cfg.budget(opts.limits.clamp(&requested)).fault_plan(req.inject);
     let rounds = req.rounds.unwrap_or(opts.rounds).clamp(1, opts.limits.max_rounds.max(1));
-    Ok(BatchOptions { cfg, rounds, jobs: 1, timings: opts.timings, warm_start: false })
+    let passes = match req.passes.as_deref() {
+        None => opts.passes.clone(),
+        Some(spec) => Some(PassSpec::parse(spec).map_err(|e| format!("passes: {e}"))?),
+    };
+    Ok(BatchOptions { cfg, rounds, passes, jobs: 1, timings: opts.timings, warm_start: false })
 }
 
 /// Materializes the request's routine: shipped source text, or a

@@ -192,6 +192,9 @@ pub struct Request {
     pub variant: Option<String>,
     /// Pipeline rounds override (clamped to the server ceiling).
     pub rounds: Option<usize>,
+    /// Pass-sequence override (e.g. `"gvn,pre,gvn"`). Validated at
+    /// request resolution; a malformed spec is a `protocol` error.
+    pub passes: Option<String>,
     /// Pass-ceiling override (clamped).
     pub budget_passes: Option<u32>,
     /// Deadline override in milliseconds (clamped). Also bounds the
@@ -281,6 +284,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
         mode: opt_str(&obj, "mode")?,
         variant: opt_str(&obj, "variant")?,
         rounds: opt_u64(&obj, "rounds")?.map(|v| v as usize),
+        passes: opt_str(&obj, "passes")?,
         budget_passes: opt_u64(&obj, "budget_passes")?.map(|v| v as u32),
         budget_ms: opt_u64(&obj, "budget_ms")?,
         budget_touches: opt_u64(&obj, "budget_touches")?,

@@ -56,9 +56,19 @@ fn perf_writes_a_schema_versioned_artifact() {
     assert!(v.get("phases").is_some());
     assert!(v.get("metrics").is_some());
     assert!(v.get("overhead").and_then(|o| o.get("pct")).is_some());
+    let Some(JsonValue::Arr(pipes)) = v.get("pipelines") else {
+        panic!("pipelines must be an array");
+    };
+    assert_eq!(pipes.len(), 2, "gvn vs gvn,pre,gvn comparison points");
     // The library parser accepts what the CLI emits.
     let art = BenchArtifact::from_json(text.trim()).expect("library parse");
     assert_eq!(art.routines, 6);
+    assert_eq!(art.pipelines[0].spec, "gvn");
+    assert_eq!(art.pipelines[1].spec, "gvn,pre,gvn");
+    assert!(
+        art.pipelines[1].eliminated_total() > art.pipelines[0].eliminated_total(),
+        "the PRE pipeline eliminates strictly more on the pinned suite"
+    );
 }
 
 #[test]
@@ -142,12 +152,17 @@ fn perf_bad_flags_exit_with_usage() {
 
 #[test]
 fn committed_baseline_parses_at_the_current_schema() {
-    // BENCH_8.json at the repo root is the CI baseline; a schema change
+    // BENCH_9.json at the repo root is the CI baseline; a schema change
     // without regenerating it should fail here, not in CI.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_8.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_8.json committed at repo root");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_9.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_9.json committed at repo root");
     let art = BenchArtifact::from_json(text.trim()).expect("baseline parses");
-    assert_eq!(art.schema_version, SCHEMA_VERSION, "regenerate BENCH_8.json");
+    assert_eq!(art.schema_version, SCHEMA_VERSION, "regenerate BENCH_9.json");
     assert!(art.single_thread_routines_per_sec > 0.0);
     assert!(!art.batch_scaling.is_empty());
+    assert_eq!(art.pipelines.len(), 2, "baseline carries the pipeline comparison");
+    assert!(
+        art.pipelines[1].eliminated_total() > art.pipelines[0].eliminated_total(),
+        "committed baseline shows PRE beating plain gvn"
+    );
 }
