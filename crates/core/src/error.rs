@@ -76,6 +76,9 @@ pub enum GvnError {
     VerifierRejected {
         /// The ladder rung (or pipeline stage) whose output was rejected.
         rung: String,
+        /// The stable lint code of the first diagnostic the verifier
+        /// reported (see `pgvn_ir::diag::codes`).
+        code: String,
         /// The verifier's message.
         error: String,
     },
@@ -117,8 +120,11 @@ impl fmt::Display for GvnError {
             GvnError::InternalInvariant { detail } => {
                 write!(f, "internal invariant violated: {detail}")
             }
-            GvnError::VerifierRejected { rung, error } => {
-                write!(f, "rewrite output rejected by the IR verifier at rung {rung}: {error}")
+            GvnError::VerifierRejected { rung, code, error } => {
+                write!(
+                    f,
+                    "rewrite output rejected by the IR verifier at rung {rung} [{code}]: {error}"
+                )
             }
             GvnError::Panicked { payload } => write!(f, "panicked: {payload}"),
         }
@@ -345,7 +351,11 @@ mod tests {
             ),
             (GvnError::invariant("boom"), "internal_invariant"),
             (
-                GvnError::VerifierRejected { rung: "full".into(), error: "bad".into() },
+                GvnError::VerifierRejected {
+                    rung: "full".into(),
+                    code: "block_no_terminator".into(),
+                    error: "bad".into(),
+                },
                 "verifier_rejected",
             ),
             (GvnError::Panicked { payload: "aiee".into() }, "panicked"),

@@ -1,0 +1,379 @@
+//! The shared diagnostic engine behind the verifier and the lint suite.
+//!
+//! Every static check in the project — the structural verifier in this
+//! crate, the dominance/φ-cycle/type lints in `pgvn-transform`, and the
+//! `pgvn check` CLI built on them — reports findings as [`Diagnostic`]s
+//! collected by a [`DiagnosticEngine`]. A diagnostic carries a **stable
+//! snake_case code** (the contract the fixture matrix, docs and CI key
+//! on), a [`Severity`], a human-readable message, and a source location
+//! expressed as the block/instruction ids of this IR. The engine renders
+//! either text lines (for stderr) or JSON objects (for the JSONL
+//! surfaces); both orderings are deterministic.
+//!
+//! The code catalog lives in [`codes`] (structural codes owned by this
+//! crate) and is documented end to end in `docs/CHECK.md`.
+
+use crate::entities::{Block, EntityRef, Inst};
+use std::fmt;
+
+/// Stable codes for the structural (verifier-owned) diagnostics.
+///
+/// These are part of the public contract: `docs/CHECK.md` documents each
+/// one, `crates/ir/tests/verify_malformed.rs` pins a malformed fixture
+/// to each, and the degradation ladder's `verifier_rejected` errors
+/// carry them. Renaming one is a breaking change.
+pub mod codes {
+    /// A live block has no terminator instruction.
+    pub const BLOCK_NO_TERMINATOR: &str = "block_no_terminator";
+    /// An instruction is listed in a block but records another block.
+    pub const INST_BLOCK_MISMATCH: &str = "inst_block_mismatch";
+    /// A terminator appears before the end of its block.
+    pub const TERMINATOR_MID_BLOCK: &str = "terminator_mid_block";
+    /// A φ-function appears after a non-φ instruction.
+    pub const PHI_NOT_PREFIX: &str = "phi_not_prefix";
+    /// A φ-function's argument count differs from its block's
+    /// predecessor count.
+    pub const PHI_ARITY_MISMATCH: &str = "phi_arity_mismatch";
+    /// A `Param` instruction appears outside the entry block.
+    pub const PARAM_OUTSIDE_ENTRY: &str = "param_outside_entry";
+    /// A result value does not point back to its defining instruction.
+    pub const RESULT_NOT_LINKED: &str = "result_not_linked";
+    /// A non-terminator instruction defines no result value.
+    pub const MISSING_RESULT: &str = "missing_result";
+    /// An operand references a definition outside every live block.
+    pub const DEAD_OPERAND_USE: &str = "dead_operand_use";
+    /// A block's outgoing-edge count disagrees with its terminator kind.
+    pub const TERMINATOR_EDGE_MISMATCH: &str = "terminator_edge_mismatch";
+    /// A succ/pred edge list disagrees with the edge arena (removed
+    /// edges, wrong endpoints, or missing cross-references).
+    pub const EDGE_INCONSISTENT: &str = "edge_inconsistent";
+}
+
+/// How serious a diagnostic is.
+///
+/// The ordering is meaningful: [`Severity::Error`] diagnostics make
+/// `pgvn check` exit 1 and are the class the fuzz oracle diffs;
+/// [`Severity::Warn`] flags suspicious-but-legal IR; and
+/// [`Severity::Advisory`] marks missed-optimization opportunities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// An invariant violation: the IR is malformed.
+    Error,
+    /// Suspicious but well-formed IR (e.g. unreachable blocks).
+    Warn,
+    /// A missed-optimization note, never a correctness concern.
+    Advisory,
+}
+
+impl Severity {
+    /// All severities, most severe first.
+    pub const ALL: [Severity; 3] = [Severity::Error, Severity::Warn, Severity::Advisory];
+
+    /// Stable snake_case name used in text and JSON renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Advisory => "advisory",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: a stable code, a severity, a message, and an optional
+/// block/instruction location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: &'static str,
+    severity: Severity,
+    message: String,
+    block: Option<Block>,
+    inst: Option<Inst>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no location.
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic { code, severity, message: message.into(), block: None, inst: None }
+    }
+
+    /// Shorthand for an error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    /// Shorthand for a warn-severity diagnostic.
+    pub fn warn(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warn, code, message)
+    }
+
+    /// Shorthand for an advisory-severity diagnostic.
+    pub fn advisory(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Advisory, code, message)
+    }
+
+    /// Attaches the containing block.
+    pub fn in_block(mut self, b: Block) -> Self {
+        self.block = Some(b);
+        self
+    }
+
+    /// Attaches the offending instruction.
+    pub fn at_inst(mut self, i: Inst) -> Self {
+        self.inst = Some(i);
+        self
+    }
+
+    /// The stable snake_case code.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The block location, if any.
+    pub fn block(&self) -> Option<Block> {
+        self.block
+    }
+
+    /// The instruction location, if any.
+    pub fn inst(&self) -> Option<Inst> {
+        self.inst
+    }
+
+    /// The location rendered as `bb2/inst5`, `bb2`, or `-` when absent.
+    pub fn location(&self) -> String {
+        match (self.block, self.inst) {
+            (Some(b), Some(i)) => format!("{b}/{i}"),
+            (Some(b), None) => b.to_string(),
+            (None, Some(i)) => i.to_string(),
+            (None, None) => "-".to_string(),
+        }
+    }
+
+    /// One text line: `error[phi_arity_mismatch] at bb3/inst7: ...`.
+    pub fn render_text(&self) -> String {
+        format!("{}[{}] at {}: {}", self.severity, self.code, self.location(), self.message)
+    }
+
+    /// One JSON object (no trailing newline). Locations serialize as the
+    /// numeric block/inst indices and are omitted when absent.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.message.len() + 64);
+        out.push_str("{\"severity\":\"");
+        out.push_str(self.severity.name());
+        out.push_str("\",\"code\":\"");
+        out.push_str(self.code);
+        out.push('"');
+        if let Some(b) = self.block {
+            out.push_str(&format!(",\"block\":{}", b.index()));
+        }
+        if let Some(i) = self.inst {
+            out.push_str(&format!(",\"inst\":{}", i.index()));
+        }
+        out.push_str(",\"message\":\"");
+        escape_json(&self.message, &mut out);
+        out.push_str("\"}");
+        out
+    }
+
+    /// The deterministic presentation key: location first (function-level
+    /// findings lead), then severity, then code.
+    fn sort_key(&self) -> (usize, usize, Severity, &'static str) {
+        let b = self.block.map(|b| b.index() + 1).unwrap_or(0);
+        let i = self.inst.map(|i| i.index() + 1).unwrap_or(0);
+        (b, i, self.severity, self.code)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Collects [`Diagnostic`]s and renders them deterministically.
+///
+/// Checks report in discovery order; [`DiagnosticEngine::sort`] moves the
+/// collection to the canonical presentation order (by location, then
+/// severity, then code — a stable sort, so same-key findings keep their
+/// discovery order). The structural verifier relies on discovery order
+/// to pick "the first violation", so it sorts only at the rendering
+/// boundary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiagnosticEngine {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one diagnostic.
+    pub fn report(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// All diagnostics, in current order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of diagnostics collected.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` when nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Diagnostics of the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Warn-severity diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Advisory-severity diagnostics.
+    pub fn advisory_count(&self) -> usize {
+        self.count(Severity::Advisory)
+    }
+
+    /// `true` when at least one error-severity diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The first diagnostic in current order, if any.
+    pub fn first(&self) -> Option<&Diagnostic> {
+        self.diags.first()
+    }
+
+    /// Stable-sorts into canonical presentation order.
+    pub fn sort(&mut self) {
+        self.diags.sort_by_key(|d| d.sort_key());
+    }
+
+    /// Consumes the engine, yielding the diagnostics.
+    pub fn into_diagnostics(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// Text rendering: one [`Diagnostic::render_text`] line per finding.
+    pub fn text_lines(&self) -> Vec<String> {
+        self.diags.iter().map(Diagnostic::render_text).collect()
+    }
+
+    /// JSON array of [`Diagnostic::to_json`] objects.
+    pub fn to_json_array(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_names_are_stable() {
+        assert_eq!(Severity::Error.name(), "error");
+        assert_eq!(Severity::Warn.name(), "warn");
+        assert_eq!(Severity::Advisory.name(), "advisory");
+        assert!(Severity::Error < Severity::Warn && Severity::Warn < Severity::Advisory);
+    }
+
+    #[test]
+    fn diagnostic_renders_text_and_json() {
+        let d = Diagnostic::error(codes::PHI_ARITY_MISMATCH, "one arg, two preds")
+            .in_block(Block::from_u32(3))
+            .at_inst(Inst::from_u32(7));
+        assert_eq!(d.location(), "bb3/inst7");
+        assert_eq!(d.render_text(), "error[phi_arity_mismatch] at bb3/inst7: one arg, two preds");
+        assert_eq!(
+            d.to_json(),
+            "{\"severity\":\"error\",\"code\":\"phi_arity_mismatch\",\"block\":3,\
+             \"inst\":7,\"message\":\"one arg, two preds\"}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic::warn("demo_code", "quote \" slash \\ newline \n tab \t");
+        let json = d.to_json();
+        assert!(json.contains("quote \\\" slash \\\\ newline \\n tab \\t"), "{json}");
+        assert_eq!(d.location(), "-");
+    }
+
+    #[test]
+    fn engine_counts_and_sorts() {
+        let mut e = DiagnosticEngine::new();
+        e.report(Diagnostic::advisory("later", "at b2").in_block(Block::from_u32(2)));
+        e.report(Diagnostic::error("earlier", "at b1").in_block(Block::from_u32(1)));
+        e.report(Diagnostic::warn("function_level", "no location"));
+        assert_eq!((e.error_count(), e.warn_count(), e.advisory_count()), (1, 1, 1));
+        assert!(e.has_errors());
+        assert_eq!(e.len(), 3);
+        e.sort();
+        let codes: Vec<&str> = e.diagnostics().iter().map(|d| d.code()).collect();
+        assert_eq!(codes, ["function_level", "earlier", "later"]);
+        let json = e.to_json_array();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"code\"").count(), 3);
+    }
+
+    #[test]
+    fn empty_engine_is_clean() {
+        let e = DiagnosticEngine::new();
+        assert!(e.is_empty() && !e.has_errors());
+        assert_eq!(e.to_json_array(), "[]");
+        assert!(e.first().is_none());
+        assert!(e.text_lines().is_empty());
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diag;
 pub mod entities;
 pub mod function;
 pub mod instr;
@@ -44,8 +45,9 @@ pub mod interp;
 pub mod print;
 pub mod verify;
 
+pub use diag::{Diagnostic, DiagnosticEngine, Severity};
 pub use entities::{Block, Edge, EntityRef, EntitySet, EntityVec, Inst, SecondaryMap, Value};
 pub use function::{BlockData, DefUse, EdgeData, Function, ValueData};
 pub use instr::{BinOp, CmpOp, InstData, InstKind, UnOp};
 pub use interp::{HashedOpaques, InterpError, Interpreter, OpaqueSource, Trace};
-pub use verify::{assert_verifies, verify, VerifyError};
+pub use verify::{assert_verifies, verify, verify_into, VerifyError};

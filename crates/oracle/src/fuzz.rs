@@ -25,11 +25,11 @@ use crate::validator::{
     validate_function, validate_function_with, validate_optimized, ValidatorOptions,
 };
 use pgvn_core::{FaultKind, FaultPlan, FaultSite, GvnConfig, GvnContext};
-use pgvn_ir::Function;
+use pgvn_ir::{Function, Severity};
 use pgvn_lang::Routine;
 use pgvn_ssa::SsaStyle;
 use pgvn_telemetry::json::JsonWriter;
-use pgvn_transform::Pipeline;
+use pgvn_transform::{check_function_with, AnalysisManager, CheckOptions, Pipeline};
 use pgvn_workload::GenConfig;
 
 /// Which oracles to run per generated routine.
@@ -76,6 +76,10 @@ pub struct FuzzOptions {
     /// (`Pipeline::optimize_resilient`), cycling injected fault classes,
     /// and validate whatever rung committed against the original.
     pub check_resilient: bool,
+    /// Diff the lint suite's error-severity diagnostics across
+    /// optimization: the optimizer must never *introduce* an error
+    /// diagnostic the input did not already carry.
+    pub check_diagnostics: bool,
 }
 
 impl Default for FuzzOptions {
@@ -90,6 +94,7 @@ impl Default for FuzzOptions {
             shrink: Some(ShrinkOptions::default()),
             inject_miscompile: false,
             check_resilient: true,
+            check_diagnostics: true,
         }
     }
 }
@@ -101,7 +106,7 @@ pub struct FuzzFailure {
     pub iteration: u64,
     /// The derived generator seed (replays this routine alone).
     pub gen_seed: u64,
-    /// `"validate"`, `"lattice"`, or `"resilient"`.
+    /// `"validate"`, `"lattice"`, `"resilient"`, or `"diagnostics"`.
     pub kind: String,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -321,6 +326,43 @@ fn check_resilient(
     validate_optimized(func, &optimized, &label, validator).map_err(|e| e.to_string())
 }
 
+/// The diagnostic-stability oracle: optimization must never *introduce*
+/// an error-severity lint diagnostic. Lints the input (GVN-free suite —
+/// every error lint is), optimizes a clone through the plain pipeline,
+/// lints the output, and fails on any error code absent from the input.
+/// Codes are compared as a set: the optimizer may move or merge
+/// diagnostics, but a fresh class of breakage is a bug in a rewrite.
+fn check_diagnostic_stability(
+    ctx: &mut GvnContext,
+    func: &Function,
+    rounds: usize,
+) -> Result<(), String> {
+    let opts = CheckOptions::without_gvn();
+    let mut analyses = AnalysisManager::new();
+    let before = check_function_with(ctx, &mut analyses, func, &opts);
+    let input_codes: Vec<&str> = before
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| d.code())
+        .collect();
+    let mut optimized = func.clone();
+    Pipeline::new(GvnConfig::full()).rounds(rounds).optimize_with(ctx, &mut optimized);
+    let mut analyses = AnalysisManager::new();
+    let after = check_function_with(ctx, &mut analyses, &optimized, &opts);
+    for d in after.diagnostics() {
+        if d.severity() == Severity::Error && !input_codes.contains(&d.code()) {
+            return Err(format!(
+                "[diagnostics] optimization introduced error diagnostic {} at {}: {}",
+                d.code(),
+                d.location(),
+                d.message()
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs a campaign with the default (silent) progress callback.
 pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     fuzz_with(opts, &mut |_, _| {})
@@ -350,6 +392,12 @@ pub enum FailureCheck {
         /// Generator seed (seeds the fault plan).
         gen_seed: u64,
     },
+    /// Re-run the diagnostic-stability oracle: does optimizing this
+    /// routine still introduce an error-severity lint diagnostic?
+    Diagnostics {
+        /// Pipeline rounds in effect when the failure was found.
+        rounds: usize,
+    },
 }
 
 impl FailureCheck {
@@ -365,6 +413,9 @@ impl FailureCheck {
             FailureCheck::Lattice(rels) => check_lattice(&f, rels).is_err(),
             FailureCheck::Resilient { validator, iteration, gen_seed } => {
                 check_resilient(ctx, &f, *iteration, *gen_seed, validator).is_err()
+            }
+            FailureCheck::Diagnostics { rounds } => {
+                check_diagnostic_stability(ctx, &f, *rounds).is_err()
             }
         }
     }
@@ -458,6 +509,16 @@ pub fn run_iteration(ctx: &mut GvnContext, opts: &FuzzOptions, i: u64) -> Iterat
             let check =
                 FailureCheck::Resilient { validator: validator.clone(), iteration: i, gen_seed };
             found = Some(("resilient", detail, check));
+        }
+    }
+
+    if found.is_none() && opts.check_diagnostics {
+        if let Err(detail) = check_diagnostic_stability(ctx, &func, validator.rounds) {
+            found = Some((
+                "diagnostics",
+                detail,
+                FailureCheck::Diagnostics { rounds: validator.rounds },
+            ));
         }
     }
 
@@ -596,6 +657,16 @@ mod tests {
         // And the JSONL record parses back.
         let v = pgvn_telemetry::json::parse(&f.to_json()).unwrap();
         assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("validate"));
+    }
+
+    #[test]
+    fn diagnostic_stability_accepts_clean_optimization() {
+        let r =
+            pgvn_lang::parse("routine f(a, b) { x = a + b; if (x > 0) { return x; } return b; }")
+                .expect("parses");
+        let f = compile_routine(&r).expect("compiles");
+        let mut ctx = GvnContext::new();
+        assert_eq!(check_diagnostic_stability(&mut ctx, &f, 2), Ok(()));
     }
 
     #[test]

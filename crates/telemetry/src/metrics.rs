@@ -164,10 +164,19 @@ pub enum Metric {
     ServeRequestNanos,
     /// Per-request nanoseconds spent waiting in the admission queue.
     ServeQueueWaitNanos,
+    /// Error-severity diagnostics reported by the lint suite
+    /// (`pgvn check` and the `--check` gates).
+    CheckDiagnosticsError,
+    /// Warn-severity diagnostics reported by the lint suite.
+    CheckDiagnosticsWarn,
+    /// Advisory-severity diagnostics reported by the lint suite.
+    CheckDiagnosticsAdvisory,
+    /// Per-function wall-clock nanoseconds spent in the lint suite.
+    CheckNanos,
 }
 
 /// All metrics, in catalog (and snapshot) order.
-pub const METRICS: [Metric; 44] = [
+pub const METRICS: [Metric; 48] = [
     Metric::DriverRuns,
     Metric::DriverPasses,
     Metric::DriverTouches,
@@ -212,6 +221,10 @@ pub const METRICS: [Metric; 44] = [
     Metric::ServeQueueDepth,
     Metric::ServeRequestNanos,
     Metric::ServeQueueWaitNanos,
+    Metric::CheckDiagnosticsError,
+    Metric::CheckDiagnosticsWarn,
+    Metric::CheckDiagnosticsAdvisory,
+    Metric::CheckNanos,
 ];
 
 impl Metric {
@@ -262,6 +275,10 @@ impl Metric {
             Metric::ServeQueueDepth => "serve_queue_depth",
             Metric::ServeRequestNanos => "serve_request_nanos",
             Metric::ServeQueueWaitNanos => "serve_queue_wait_nanos",
+            Metric::CheckDiagnosticsError => "check_diagnostics_error",
+            Metric::CheckDiagnosticsWarn => "check_diagnostics_warn",
+            Metric::CheckDiagnosticsAdvisory => "check_diagnostics_advisory",
+            Metric::CheckNanos => "check_nanos",
         }
     }
 
@@ -299,7 +316,10 @@ impl Metric {
             | Metric::ServeDegraded
             | Metric::ServeAbsorbedPanics
             | Metric::ServeShed
-            | Metric::ServeExpired => MetricKind::Counter,
+            | Metric::ServeExpired
+            | Metric::CheckDiagnosticsError
+            | Metric::CheckDiagnosticsWarn
+            | Metric::CheckDiagnosticsAdvisory => MetricKind::Counter,
             Metric::ContextValueSlots | Metric::ServeQueueDepth => MetricKind::Gauge,
             Metric::DriverPasses
             | Metric::DriverTouchedInstsPass
@@ -310,7 +330,8 @@ impl Metric {
             | Metric::BatchRoutineNanos
             | Metric::FuzzWorkerIterations
             | Metric::ServeRequestNanos
-            | Metric::ServeQueueWaitNanos => MetricKind::Histogram,
+            | Metric::ServeQueueWaitNanos
+            | Metric::CheckNanos => MetricKind::Histogram,
         }
     }
 
@@ -351,7 +372,10 @@ impl Metric {
             | Metric::ServeExpired => "requests",
             Metric::ServeAbsorbedPanics => "panics",
             Metric::ServeQueueDepth => "requests",
-            Metric::ServeRequestNanos | Metric::ServeQueueWaitNanos => "nanos",
+            Metric::ServeRequestNanos | Metric::ServeQueueWaitNanos | Metric::CheckNanos => "nanos",
+            Metric::CheckDiagnosticsError
+            | Metric::CheckDiagnosticsWarn
+            | Metric::CheckDiagnosticsAdvisory => "diagnostics",
         }
     }
 
@@ -380,6 +404,7 @@ impl Metric {
                 | Metric::ServeQueueDepth
                 | Metric::ServeRequestNanos
                 | Metric::ServeQueueWaitNanos
+                | Metric::CheckNanos
         )
     }
 

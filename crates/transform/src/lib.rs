@@ -28,12 +28,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod dce;
 pub mod pass;
 pub mod pipeline;
 pub mod resilient;
 pub mod rewrite;
 
+pub use check::{
+    check_function, check_function_with, CheckOptions, Lint, LintContext, LintRegistry,
+};
 pub use dce::eliminate_dead_code;
 pub use pass::pre::{eliminate_partial_redundancies, PreStats};
 pub use pass::{AnalysisManager, CfgAnalyses, Pass, PassContext, PassId, PassManager, PassSpec};

@@ -260,8 +260,11 @@ impl Pipeline {
         // holds a verified function", which is only meaningful if the
         // input verified in the first place.
         if let Err(e) = verify(func) {
-            let err =
-                GvnError::VerifierRejected { rung: "input".to_string(), error: e.to_string() };
+            let err = GvnError::VerifierRejected {
+                rung: "input".to_string(),
+                code: e.code().to_string(),
+                error: e.to_string(),
+            };
             return ResilienceReport {
                 outcome: ResilientOutcome::Rejected(err),
                 failures: Vec::new(),
@@ -374,6 +377,7 @@ impl Pipeline {
         if let Err(e) = verify(func) {
             return Err(GvnError::VerifierRejected {
                 rung: rung.name().to_string(),
+                code: e.code().to_string(),
                 error: e.to_string(),
             });
         }

@@ -35,8 +35,10 @@
 
 use crate::prelude::*;
 use pgvn_core::GvnContext;
+use pgvn_ir::DiagnosticEngine;
 use pgvn_telemetry::json::JsonWriter;
 use pgvn_telemetry::{Metric, MetricsRegistry, MetricsSnapshot, Telemetry};
+use pgvn_transform::{check_function_with, AnalysisManager, CheckOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -75,6 +77,11 @@ pub struct BatchOptions {
     /// Records are context-history-independent, so this never changes
     /// report bytes — only the shard wall time.
     pub warm_start: bool,
+    /// Run the full lint suite (`pgvn check`) over each routine's
+    /// optimized output as a post-pass gate. Adds a `check` field to
+    /// classified records; error-severity diagnostics make the batch
+    /// unclean. Off by default so default output bytes are unchanged.
+    pub check: bool,
 }
 
 impl Default for BatchOptions {
@@ -86,6 +93,7 @@ impl Default for BatchOptions {
             jobs: 1,
             timings: false,
             warm_start: true,
+            check: false,
         }
     }
 }
@@ -137,6 +145,9 @@ pub struct RoutineRecord {
     /// Panics the degradation ladder absorbed (rung failures classified
     /// as `panicked`) while producing this record.
     pub absorbed_panics: u32,
+    /// Error-severity diagnostics the `--check` gate found on this
+    /// routine's optimized output (always zero when the gate is off).
+    pub check_errors: u32,
     /// Wall-clock nanoseconds spent processing this routine. Always
     /// measured; rendered into the JSONL line only on request (see
     /// [`RoutineRecord::json_line`]).
@@ -173,6 +184,9 @@ pub struct BatchReport {
     pub input_errors: u64,
     /// Routines that violated the no-panic contract.
     pub escaped_panics: u64,
+    /// Error-severity diagnostics found by the `--check` gate, summed
+    /// across routines (always zero when the gate is off).
+    pub check_errors: u64,
     /// All per-routine [`GvnStats`] merged in input order.
     pub merged_stats: GvnStats,
     /// Per-worker analysis metrics, merged and filtered to the stable
@@ -189,9 +203,13 @@ pub struct BatchReport {
 
 impl BatchReport {
     /// Whether every routine optimized cleanly (the batch exit-code
-    /// criterion: no rejections, input errors or escaped panics).
+    /// criterion: no rejections, input errors, escaped panics, or
+    /// `--check` error diagnostics).
     pub fn is_clean(&self) -> bool {
-        self.rejected == 0 && self.input_errors == 0 && self.escaped_panics == 0
+        self.rejected == 0
+            && self.input_errors == 0
+            && self.escaped_panics == 0
+            && self.check_errors == 0
     }
 
     /// The `batch_summary` JSONL record (no trailing newline).
@@ -204,7 +222,8 @@ impl BatchReport {
             .field_u64("identity", self.identity)
             .field_u64("rejected", self.rejected)
             .field_u64("input_errors", self.input_errors)
-            .field_u64("escaped_panics", self.escaped_panics);
+            .field_u64("escaped_panics", self.escaped_panics)
+            .field_u64("check_errors", self.check_errors);
         w.finish()
     }
 
@@ -221,6 +240,7 @@ impl BatchReport {
             .field_u64("rejected", self.rejected)
             .field_u64("input_errors", self.input_errors)
             .field_u64("escaped_panics", self.escaped_panics)
+            .field_u64("check_errors", self.check_errors)
             .field_raw("gvn_stats", &self.merged_stats.to_json())
             .field_raw("metrics", &self.metrics.to_json());
         w.finish()
@@ -241,6 +261,35 @@ impl BatchReport {
         w.field_raw("metrics", &self.timing.to_json());
         w.finish()
     }
+}
+
+/// The `check` object embedded in a classified record when the
+/// [`BatchOptions::check`] gate is on: severity counts plus the full
+/// sorted diagnostic list.
+fn check_json(engine: &DiagnosticEngine) -> String {
+    let mut w = JsonWriter::object();
+    w.field_u64("errors", engine.error_count() as u64)
+        .field_u64("warns", engine.warn_count() as u64)
+        .field_u64("advisories", engine.advisory_count() as u64)
+        .field_raw("diagnostics", &engine.to_json_array());
+    w.finish()
+}
+
+/// Runs the full lint suite over one function, recording the
+/// per-severity diagnostic counters (stable domain) into `reg`. Shared
+/// by the batch/serve `--check` gate and `pgvn check` itself.
+pub(crate) fn run_check(
+    ctx: &mut GvnContext,
+    reg: &MetricsRegistry,
+    func: &Function,
+    opts: &CheckOptions,
+) -> DiagnosticEngine {
+    let mut analyses = AnalysisManager::new();
+    let engine = check_function_with(ctx, &mut analyses, func, opts);
+    reg.add(Metric::CheckDiagnosticsError, engine.error_count() as u64);
+    reg.add(Metric::CheckDiagnosticsWarn, engine.warn_count() as u64);
+    reg.add(Metric::CheckDiagnosticsAdvisory, engine.advisory_count() as u64);
+    engine
 }
 
 /// Compiles and optimizes one routine against a worker's private
@@ -273,6 +322,7 @@ pub(crate) fn process_one(
                 diagnostic: Some(format!("pgvn batch: {}: input error: {e}", input.name)),
                 gvn_stats: None,
                 absorbed_panics: 0,
+                check_errors: 0,
                 wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             }
         }
@@ -303,18 +353,35 @@ pub(crate) fn process_one(
                     };
                     let absorbed_panics =
                         rep.failures.iter().filter(|f| f.error.kind() == "panicked").count() as u32;
+                    // The post-pass gate lints the committed output. It
+                    // runs before the delta snapshot so its per-severity
+                    // counters (stable domain) land in the record.
+                    let check =
+                        opts.check.then(|| run_check(ctx, reg, &f, &CheckOptions::default()));
                     let delta = reg.snapshot().delta(&before).stable_only();
                     w.field_str("status", "classified")
                         .field_u64("insts", insts as u64)
                         .field_raw("resilience", &rep.to_json())
                         .field_raw("metrics", &delta.to_json());
+                    if let Some(engine) = &check {
+                        w.field_raw("check", &check_json(engine));
+                    }
+                    let check_errors = check.as_ref().map_or(0, |e| e.error_count() as u32);
+                    let diagnostic = (check_errors > 0).then(|| {
+                        format!(
+                            "pgvn batch: {}: check: {check_errors} error diagnostic(s) on \
+                             optimized output",
+                            input.name
+                        )
+                    });
                     RoutineRecord {
                         name: input.name.clone(),
                         status,
                         json: w.finish(),
-                        diagnostic: None,
+                        diagnostic,
                         gvn_stats: Some(rep.report.gvn_stats),
                         absorbed_panics,
+                        check_errors,
                         wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
@@ -330,6 +397,7 @@ pub(crate) fn process_one(
                         )),
                         gvn_stats: None,
                         absorbed_panics: 0,
+                        check_errors: 0,
                         wall_nanos: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     }
                 }
@@ -404,6 +472,7 @@ pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
         rejected: 0,
         input_errors: 0,
         escaped_panics: 0,
+        check_errors: 0,
         merged_stats: GvnStats::default(),
         metrics: metrics.stable_only(),
         timing: timing_reg.snapshot(),
@@ -417,6 +486,7 @@ pub fn run_batch(inputs: &[BatchInput], opts: &BatchOptions) -> BatchReport {
             RoutineStatus::InputError => report.input_errors += 1,
             RoutineStatus::EscapedPanic => report.escaped_panics += 1,
         }
+        report.check_errors += u64::from(rec.check_errors);
         if let Some(stats) = &rec.gvn_stats {
             report.merged_stats.merge(stats);
         }
@@ -512,6 +582,34 @@ mod tests {
         assert_eq!(whole.merged_stats, expected);
         assert!(whole.merged_stats.passes > 0);
         assert!(whole.is_clean());
+    }
+
+    #[test]
+    fn check_gate_embeds_diagnostics_and_stays_deterministic() {
+        let inputs = gen_inputs(8, 42);
+        let gated = |jobs| BatchOptions { jobs, check: true, ..Default::default() };
+        let seq = run_batch(&inputs, &gated(1));
+        let par = run_batch(&inputs, &gated(4));
+        let lines = |r: &BatchReport| {
+            r.records.iter().map(|rec| rec.json.clone()).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(lines(&seq), lines(&par), "check gate keeps --jobs byte-identity");
+        assert_eq!(seq.stats_json(42), par.stats_json(42));
+        assert_eq!(seq.check_errors, 0, "optimized generated routines lint clean");
+        assert!(seq.is_clean());
+        for rec in &seq.records {
+            assert!(rec.json.contains("\"check\":{\"errors\":0"), "{}", rec.json);
+            pgvn_telemetry::json::parse(&rec.json).expect("gated record stays valid JSON");
+        }
+        assert!(
+            seq.metrics.value(Metric::CheckDiagnosticsError) == 0,
+            "no error diagnostics recorded"
+        );
+        let off = run_batch(&inputs, &BatchOptions::default());
+        assert!(
+            off.records.iter().all(|r| !r.json.contains("\"check\":")),
+            "default output bytes carry no check field"
+        );
     }
 
     #[test]

@@ -23,6 +23,17 @@
 //!   --budget-touches N                             per-routine touched-work quota
 //!   --inject kind@site                             deterministic fault injection
 //!   --inject-seed N / --inject-sticky              fault trigger seed / every rung
+//!   --check                                        lint the optimized output (exit 1 on errors)
+//!
+//! pgvn check [<file>...] [options] # static-analysis lint suite
+//!
+//! options:
+//!   --dir <dir>                                    check every .pgvn file in dir
+//!   --gen N                                        or: generate N routines
+//!   --seed N                                       generator seed (default: 2002)
+//!   --json                                         JSONL records instead of text
+//!   --no-gvn                                       skip the GVN-backed lints
+//!   --timings                                      append the check_timing record
 //!
 //! pgvn fuzz [options]              # differential-oracle fuzzing
 //!
@@ -35,6 +46,7 @@
 //!   --fixture-dir <dir>                            write .pgvn reproducers
 //!   --no-shrink                                    keep failures unminimized
 //!   --no-resilient                                 skip the degradation-ladder oracle
+//!   --no-diagnostics                               skip the diagnostic-stability oracle
 //!   --inject-bug                                   self-test: plant a miscompile
 //!   --jobs N                                       worker threads (default: 1)
 //!   --max-iters-per-shard N                        iterations per cursor grab (default: 64)
@@ -56,6 +68,7 @@
 //!   --jobs N                                       worker threads (default: 1)
 //!   --stats-json <path>                            merged GvnStats as JSONL
 //!   --no-warm                                      skip the worker warm-start pilot
+//!   --check                                        lint each optimized output (post-pass gate)
 //!
 //! pgvn serve [options]             # long-lived optimization service
 //!
@@ -69,6 +82,7 @@
 //!   --config/--mode/--variant/--rounds/--passes    base configuration
 //!   --no-warm                                      skip the worker warm-start pilot
 //!   --timings                                      wall_nanos in records (non-deterministic)
+//!   --check                                        lint each optimized output (post-pass gate)
 //!
 //! pgvn serve-load [options]        # load-test harness against pgvn serve
 //!
@@ -82,9 +96,10 @@
 //!   --check-batch                                  verify records against batch --jobs 1
 //!   --report <path>                                JSONL report (default: stdout)
 //!
-//! Exit codes: 0 success, 1 failures found (fuzz/batch), escaped
-//! panics (serve), dropped/mismatched responses (serve-load), or
-//! internal error, 2 usage or I/O errors. Batch and serve isolate
+//! Exit codes: 0 success, 1 failures found (fuzz/batch), diagnostics
+//! found (check), escaped panics (serve), dropped/mismatched responses
+//! (serve-load), or internal error, 2 usage or I/O errors — the full
+//! per-surface table is in the README. Batch and serve isolate
 //! every routine with `catch_unwind`: one poisoned routine cannot sink
 //! the process. Batch reports are byte-identical at any `--jobs`
 //! count, and serve records are byte-identical to `batch --jobs 1`.
@@ -134,6 +149,7 @@ struct Options {
     trace_json: Option<String>,
     profile: bool,
     stats_json: bool,
+    check: bool,
     res: ResilienceFlags,
 }
 
@@ -145,8 +161,8 @@ fn usage() -> ! {
          \x20           [--emit ir|analysis|optimized|all] [--run a,b,c] [--stats]\n\
          \x20           [--trace] [--trace-json <path>] [--profile] [--stats-json]\n\
          \x20           [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
-         \x20           [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
-         \x20      pgvn fuzz --help | pgvn batch --help"
+         \x20           [--inject kind@site] [--inject-seed N] [--inject-sticky] [--check]\n\
+         \x20      pgvn check --help | pgvn fuzz --help | pgvn batch --help"
     );
     std::process::exit(2);
 }
@@ -229,6 +245,7 @@ fn parse_options() -> Options {
     let mut trace_json = None;
     let mut profile = false;
     let mut stats_json = false;
+    let mut check = false;
     let mut passes = None;
     let mut res = ResilienceFlags::default();
     while let Some(a) = args.next() {
@@ -298,6 +315,7 @@ fn parse_options() -> Options {
             },
             "--profile" => profile = true,
             "--stats-json" => stats_json = true,
+            "--check" => check = true,
             _ if path.is_none() && !a.starts_with("--") => path = Some(a),
             _ => usage(),
         }
@@ -319,6 +337,7 @@ fn parse_options() -> Options {
         trace_json,
         profile,
         stats_json,
+        check,
         res,
     }
 }
@@ -327,11 +346,126 @@ fn wants_source(emit: &[String]) -> bool {
     emit.iter().any(|e| e == "source" || e == "all")
 }
 
+fn check_usage() -> ! {
+    eprintln!(
+        "usage: pgvn check [<file>...] [--dir <dir>] [--gen N] [--seed N]\n\
+         \x20                [--json] [--no-gvn] [--timings]"
+    );
+    std::process::exit(2);
+}
+
+/// `pgvn check`: the static-analysis lint suite over explicit files, a
+/// directory of `.pgvn` sources, or a generated corpus. Prints one line
+/// per diagnostic (or JSONL with `--json`) and exits 0 when no
+/// error-severity diagnostic was found, 1 otherwise, 2 on usage or I/O
+/// errors — warnings and advisories report without failing the run. The
+/// lint catalog and JSON schema are documented in `docs/CHECK.md`.
+fn check_main(mut args: std::env::Args) -> ExitCode {
+    use pgvn::batch::BatchInput;
+    use pgvn::check::run_check_inputs;
+    use pgvn::transform::CheckOptions;
+
+    let mut files: Vec<String> = Vec::new();
+    let mut dir: Option<String> = None;
+    let mut gen_count: Option<u64> = None;
+    let mut seed: u64 = 2002;
+    let mut json = false;
+    let mut timings = false;
+    let mut copts = CheckOptions::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => match args.next() {
+                Some(d) => dir = Some(d),
+                None => check_usage(),
+            },
+            "--gen" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => gen_count = Some(n),
+                None => check_usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => check_usage(),
+            },
+            "--json" => json = true,
+            "--no-gvn" => copts = CheckOptions::without_gvn(),
+            "--timings" => timings = true,
+            _ if !a.starts_with("--") => files.push(a),
+            _ => check_usage(),
+        }
+    }
+    if files.is_empty() && dir.is_none() && gen_count.is_none() {
+        check_usage();
+    }
+
+    // Gather the corpus exactly as `pgvn batch` does: unreadable or
+    // unparseable inputs classify as parse_error diagnostics, never
+    // early exits.
+    let mut inputs: Vec<BatchInput> = files
+        .iter()
+        .map(|p| BatchInput {
+            name: p.clone(),
+            source: std::fs::read_to_string(p).map_err(|e| e.to_string()),
+        })
+        .collect();
+    if let Some(dir) = &dir {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) => return fail_io(format_args!("check: cannot read {dir}: {e}")),
+        };
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pgvn"))
+            .collect();
+        paths.sort();
+        for p in paths {
+            let name = p.display().to_string();
+            let source = std::fs::read_to_string(&p).map_err(|e| e.to_string());
+            inputs.push(BatchInput { name, source });
+        }
+    }
+    if let Some(n) = gen_count {
+        for i in 0..n {
+            let gen_seed = pgvn::oracle::mix64(seed ^ pgvn::oracle::mix64(i));
+            let gcfg = pgvn::workload::GenConfig { seed: gen_seed, ..Default::default() };
+            let routine = pgvn::workload::generate_routine(&format!("check_{i}"), &gcfg);
+            inputs.push(BatchInput {
+                name: format!("check_{i}"),
+                source: Ok(pgvn::lang::print_routine(&routine)),
+            });
+        }
+    }
+
+    let report = run_check_inputs(&inputs, &copts);
+    if json {
+        for rec in &report.records {
+            println!("{}", rec.json_line());
+        }
+        if timings {
+            let mut w = pgvn::telemetry::json::JsonWriter::object();
+            w.field_str("event", "check_timing").field_raw("metrics", &report.timing.to_json());
+            println!("{}", w.finish());
+        }
+        println!("{}", report.summary_json());
+    } else {
+        for rec in &report.records {
+            for line in rec.text_lines() {
+                println!("{line}");
+            }
+        }
+        eprintln!("{}", report.summary_text());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn fuzz_usage() -> ! {
     eprintln!(
         "usage: pgvn fuzz [--seed N] [--iters N] [--mode validate|lattice|both]\n\
          \x20               [--max-failures N] [--report <path>] [--fixture-dir <dir>]\n\
-         \x20               [--no-shrink] [--no-resilient] [--inject-bug]\n\
+         \x20               [--no-shrink] [--no-resilient] [--no-diagnostics] [--inject-bug]\n\
          \x20               [--jobs N] [--max-iters-per-shard N] [--timings]"
     );
     std::process::exit(2);
@@ -383,6 +517,7 @@ fn fuzz_main(mut args: std::env::Args) -> ExitCode {
             },
             "--no-shrink" => copts.fuzz.shrink = None,
             "--no-resilient" => copts.fuzz.check_resilient = false,
+            "--no-diagnostics" => copts.fuzz.check_diagnostics = false,
             "--inject-bug" => copts.fuzz.inject_miscompile = true,
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => copts.jobs = v,
@@ -480,7 +615,7 @@ fn batch_usage() -> ! {
          \x20                [--budget-passes N] [--budget-ms N] [--budget-touches N]\n\
          \x20                [--inject kind@site] [--inject-seed N] [--inject-sticky]\n\
          \x20                [--report <path>] [--jobs N] [--stats-json <path>] [--timings]\n\
-         \x20                [--no-warm] [--passes gvn,pre,gvn]"
+         \x20                [--no-warm] [--passes gvn,pre,gvn] [--check]"
     );
     std::process::exit(2);
 }
@@ -506,6 +641,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     let mut jobs: usize = 1;
     let mut timings = false;
     let mut warm_start = true;
+    let mut check = false;
     let mut passes: Option<PassSpec> = None;
     let mut res = ResilienceFlags::default();
     let mut report_path: Option<String> = None;
@@ -580,6 +716,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
             },
             "--timings" => timings = true,
             "--no-warm" => warm_start = false,
+            "--check" => check = true,
             "--passes" => passes = Some(parse_passes_arg(args.next())),
             _ => batch_usage(),
         }
@@ -629,7 +766,7 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
     // with the fuzz campaigns and `pgvn serve`, so nesting composes).
     let batch = {
         let _hook = pgvn::oracle::silence_panic_hook();
-        run_batch(&inputs, &BatchOptions { cfg, rounds, passes, jobs, timings, warm_start })
+        run_batch(&inputs, &BatchOptions { cfg, rounds, passes, jobs, timings, warm_start, check })
     };
 
     // Records come back in input order whatever the worker count, so
@@ -674,6 +811,9 @@ fn batch_main(mut args: std::env::Args) -> ExitCode {
         batch.input_errors,
         batch.escaped_panics
     );
+    if check {
+        eprintln!("pgvn batch: check gate: {} error diagnostic(s)", batch.check_errors);
+    }
     if batch.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -689,7 +829,7 @@ fn serve_usage() -> ! {
          \x20                [--config full|extended|click|sccp|awz|basic]\n\
          \x20                [--mode optimistic|balanced|pessimistic]\n\
          \x20                [--variant practical|complete] [--rounds N]\n\
-         \x20                [--passes gvn,pre,gvn] [--no-warm] [--timings]"
+         \x20                [--passes gvn,pre,gvn] [--no-warm] [--timings] [--check]"
     );
     std::process::exit(2);
 }
@@ -755,6 +895,7 @@ fn serve_main(mut args: std::env::Args) -> ExitCode {
             }
             "--no-warm" => opts.warm_start = false,
             "--timings" => opts.timings = true,
+            "--check" => opts.check = true,
             "--passes" => opts.passes = Some(parse_passes_arg(args.next())),
             _ => serve_usage(),
         }
@@ -1025,6 +1166,7 @@ fn main() -> ExitCode {
         let mut args = std::env::args();
         let _argv0 = args.next();
         match args.next().as_deref() {
+            Some("check") => return check_main(args),
             Some("fuzz") => return fuzz_main(args),
             Some("batch") => return batch_main(args),
             Some("perf") => return perf_main(args),
@@ -1164,6 +1306,24 @@ fn main() -> ExitCode {
         }
         w.field_raw("resilience", &resilience.to_json());
         println!("{}", w.finish());
+    }
+
+    if opts.check {
+        // The post-pass gate: the committed output must carry no
+        // error-severity lint diagnostic. Warnings and advisories print
+        // without failing — same contract as `pgvn check`.
+        let engine =
+            pgvn::transform::check_function(&optimized, &pgvn::transform::CheckOptions::default());
+        for d in engine.diagnostics() {
+            eprintln!("pgvn: check: {}", d.render_text());
+        }
+        if engine.has_errors() {
+            eprintln!(
+                "pgvn: check: {} error diagnostic(s) on optimized output",
+                engine.error_count()
+            );
+            return ExitCode::FAILURE;
+        }
     }
 
     if let Some(args) = opts.run_args {

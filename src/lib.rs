@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod check;
 pub mod perf;
 pub mod serve;
 

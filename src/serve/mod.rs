@@ -130,6 +130,10 @@ pub struct ServeOptions {
     /// Run the warm-start pilot through each worker context before it
     /// serves, so table growth happens before the first request.
     pub warm_start: bool,
+    /// Run the full lint suite over each request's optimized output as
+    /// a post-pass gate, embedding a `check` object in the record —
+    /// exactly the batch `--check` gate, applied per request.
+    pub check: bool,
 }
 
 impl Default for ServeOptions {
@@ -143,6 +147,7 @@ impl Default for ServeOptions {
             passes: None,
             timings: false,
             warm_start: true,
+            check: false,
         }
     }
 }
@@ -260,7 +265,15 @@ pub fn resolve_request_options(req: &Request, opts: &ServeOptions) -> Result<Bat
         None => opts.passes.clone(),
         Some(spec) => Some(PassSpec::parse(spec).map_err(|e| format!("passes: {e}"))?),
     };
-    Ok(BatchOptions { cfg, rounds, passes, jobs: 1, timings: opts.timings, warm_start: false })
+    Ok(BatchOptions {
+        cfg,
+        rounds,
+        passes,
+        jobs: 1,
+        timings: opts.timings,
+        warm_start: false,
+        check: opts.check,
+    })
 }
 
 /// Materializes the request's routine: shipped source text, or a

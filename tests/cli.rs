@@ -523,6 +523,100 @@ fn batch_parallel_isolates_injected_faults_deterministically() {
 }
 
 #[test]
+fn check_clean_file_and_generated_corpus_exit_zero() {
+    let path = write_temp("check-clean.pgvn", "routine c(a, b) { return a + b; }");
+    // An explicit clean file plus a generated corpus: no error-severity
+    // diagnostic anywhere, so the run exits 0 even though the generated
+    // routines surface warnings and advisories.
+    let out = pgvn()
+        .args(["check", path.to_str().unwrap(), "--gen", "25", "--seed", "2002", "--json"])
+        .output()
+        .expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout.lines().last().expect("summary line");
+    assert!(summary.contains("\"event\":\"check_summary\""), "{summary}");
+    assert!(summary.contains("\"files\":26"), "{summary}");
+    assert!(summary.contains("\"errors\":0"), "{summary}");
+}
+
+#[test]
+fn check_json_flags_unparseable_input_and_exits_one() {
+    use pgvn::telemetry::json::{parse, JsonValue};
+
+    let path = write_temp("check-broken.pgvn", "routine oops {");
+    let out = pgvn().args(["check", path.to_str().unwrap(), "--json"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(1), "error diagnostics exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let record = stdout
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .find(|v| v.get("event").and_then(JsonValue::as_str) == Some("check"))
+        .expect("per-file check record");
+    assert_eq!(record.get("errors").and_then(JsonValue::as_u64), Some(1), "{stdout}");
+    assert!(stdout.contains("\"code\":\"parse_error\""), "{stdout}");
+    assert!(stdout.contains("\"flagged\":1"), "{stdout}");
+}
+
+#[test]
+fn check_text_mode_reports_advisories_without_failing() {
+    let path =
+        write_temp("check-dup.pgvn", "routine dup(a, b) { x = a + b; y = a + b; return x * y; }");
+    let out = pgvn().args(["check", path.to_str().unwrap()]).output().expect("spawns");
+    assert!(out.status.success(), "advisories never fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("advisory[missed_redundancy]"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pgvn check: 1 file(s), 1 flagged"), "{stderr}");
+}
+
+#[test]
+fn check_bad_flags_exit_with_usage() {
+    // No inputs at all, and an unknown flag: both usage errors.
+    for bad in [&["check"][..], &["check", "--bogus"]] {
+        let out = pgvn().args(bad).output().expect("spawns");
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage: pgvn check"));
+    }
+    // An unreadable --dir is an I/O error (distinct from a missing
+    // file argument, which classifies as parse_error and exits 1).
+    let out = pgvn().args(["check", "--dir", "/nonexistent/nope"]).output().expect("spawns");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn single_routine_check_gate_passes_on_clean_input() {
+    let path =
+        write_temp("check-gate.pg", "routine f(a, b) { x = a + b; y = b + a; return x - y; }");
+    let out = pgvn().arg(&path).args(["--check", "--run", "3,4"]).output().expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("result: 0"));
+}
+
+#[test]
+fn readme_documents_the_exit_code_table() {
+    // The README's exit-code table is the contract the CLI tests in
+    // this file (plus tests/perf.rs and tests/serve.rs) pin down; keep
+    // every surface listed so the docs cannot drift from the binary.
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md at the workspace root");
+    for surface in [
+        "`pgvn <file>`",
+        "`pgvn check`",
+        "`pgvn batch`",
+        "`pgvn fuzz`",
+        "`pgvn perf --compare`",
+        "`pgvn serve`",
+        "`pgvn serve-load`",
+    ] {
+        assert!(
+            readme.contains(&format!("| {surface} |")),
+            "README exit-code table is missing a row for {surface}"
+        );
+    }
+}
+
+#[test]
 fn serve_stdio_answers_framed_requests_and_drains_on_eof() {
     let mut child = pgvn()
         .args(["serve", "--workers", "2"])
